@@ -1,0 +1,206 @@
+//! Ablation microbenchmarks for the design choices called out in
+//! DESIGN.md:
+//!
+//! * `curves/*` — Morton vs Hilbert mapping cost (§VI-C2 argues Z-order
+//!   has the cheaper mapping);
+//! * `mttkrp/*` — fused 3-mode kernel vs the textbook unfold·Khatri-Rao
+//!   materialisation;
+//! * `pq/*` — Observation #2: in-place cached `P` refresh vs recomputing
+//!   the slab's `P` matrices from scratch on every update;
+//! * `fit/*` — zero-I/O surrogate fit vs exact fit against the tensor;
+//! * `solve/*` — the ridge-guarded Cholesky Gram solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use tpcp_cp::CpModel;
+use tpcp_linalg::{khatri_rao, solve, Mat};
+use tpcp_partition::Grid;
+use tpcp_schedule::{gray_coords, hilbert_index, morton_index, ScheduleKind, UnitId};
+use tpcp_storage::PolicyKind;
+use tpcp_tensor::{random_factor, DenseTensor};
+use twopcp::{simulate_swaps, PqCache, SwapSimConfig};
+
+fn bench_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curves");
+    let coords: Vec<[usize; 3]> = (0..4096)
+        .map(|i| [i % 16, (i / 16) % 16, i / 256])
+        .collect();
+    group.bench_function("gray_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..4096usize {
+                acc ^= gray_coords(black_box(i), &[16, 16, 16])[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("morton_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for c in &coords {
+                acc ^= morton_index(black_box(c), 4);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("hilbert_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for c in &coords {
+                acc ^= hilbert_index(black_box(c), 4);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_mttkrp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mttkrp");
+    group.sample_size(20);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let dims = [24usize, 24, 24];
+    let f = 8;
+    let x = tpcp_tensor::random_dense(&dims, &mut rng);
+    let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
+    let refs: Vec<&Mat> = factors.iter().collect();
+
+    group.bench_function("fused_3mode", |b| {
+        b.iter(|| black_box(tpcp_cp::mttkrp_dense(black_box(&x), &refs, 1).unwrap()))
+    });
+    group.bench_function("unfold_khatri_rao", |b| {
+        b.iter(|| {
+            let others = [&factors[0], &factors[2]];
+            let kr = khatri_rao(&others).unwrap();
+            black_box(x.unfold(1).unwrap().matmul(&kr).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_pq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pq");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let grid = Grid::uniform(&[64, 64, 64], 4);
+    let f = 16;
+    let mut pq = PqCache::new(&grid, f);
+    // Prime the cache and build the slab's U and A.
+    let a = random_factor(16, f, &mut rng);
+    let slab: Vec<usize> = grid.slab(0, 0).collect();
+    let us: Vec<Mat> = slab.iter().map(|_| random_factor(16, f, &mut rng)).collect();
+    for block in 0..grid.num_blocks() {
+        for mode in 0..3 {
+            pq.set_p(block, mode, random_factor(f, f, &mut rng));
+        }
+    }
+    for unit in 0..grid.num_units() {
+        pq.set_q(&grid, UnitId::from_linear(&grid, unit), random_factor(f, f, &mut rng));
+    }
+
+    // Observation #2 ablation: with the in-place cache, a mode-0 update
+    // combines F×F mats; without it every P(h≠0) would be recomputed from
+    // its (rows×F) U and A matrices.
+    group.bench_function("cached_hadamard_chain", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &l in &slab {
+                acc += pq.p_hadamard_excluding(black_box(l), 0).unwrap().sum();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("recompute_from_factors", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for u in &us {
+                // Recompute both other-mode P matrices from scratch.
+                let p1 = u.t_matmul(black_box(&a)).unwrap();
+                let p2 = u.t_matmul(black_box(&a)).unwrap();
+                acc += p1.hadamard(&p2).unwrap().sum();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit");
+    group.sample_size(20);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let dims = [32usize, 32, 32];
+    let f = 8;
+    let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
+    let model = CpModel::new(vec![1.0; f], factors).unwrap();
+    let x: DenseTensor = model.reconstruct_dense();
+
+    group.bench_function("exact_fit_dense", |b| {
+        b.iter(|| black_box(model.fit_dense(black_box(&x)).unwrap()))
+    });
+
+    let grid = Grid::uniform(&dims, 2);
+    let mut pq = PqCache::new(&grid, f);
+    for block in 0..grid.num_blocks() {
+        for mode in 0..3 {
+            pq.set_p(block, mode, random_factor(f, f, &mut rng));
+        }
+    }
+    for unit in 0..grid.num_units() {
+        pq.set_q(&grid, UnitId::from_linear(&grid, unit), random_factor(f, f, &mut rng));
+    }
+    let u_norms = vec![1.0; grid.num_blocks()];
+    group.bench_function("surrogate_fit", |b| {
+        b.iter(|| black_box(pq.surrogate_fit(&grid, black_box(&u_norms)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let f = 64;
+    let basis = random_factor(f + 8, f, &mut rng);
+    let mut s = basis.gram();
+    s.add_assign(&Mat::identity(f)).unwrap();
+    let t = random_factor(256, f, &mut rng);
+    group.bench_function("gram_system_64", |b| {
+        b.iter(|| black_box(solve::solve_gram_system(black_box(&t), &s, 1e-9).unwrap()))
+    });
+    group.finish();
+}
+
+/// Extension ablation: Gray-order vs Hilbert-order swap counts — both have
+/// unit-step transitions, but Gray handles non-power-of-two grids natively
+/// with an O(order) mapping.
+fn bench_gray_vs_hilbert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedules");
+    group.sample_size(10);
+    for kind in [ScheduleKind::HilbertOrder, ScheduleKind::GrayOrder] {
+        group.bench_function(format!("swapsim_8cube_{}", kind.abbrev()), |b| {
+            b.iter(|| {
+                let r = simulate_swaps(&SwapSimConfig {
+                    parts: vec![8; 3],
+                    schedule: kind,
+                    policy: PolicyKind::Forward,
+                    buffer_fraction: 1.0 / 3.0,
+                    virtual_iters: 130,
+                })
+                .unwrap();
+                black_box(r.steady_swaps)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_curves,
+    bench_mttkrp,
+    bench_pq,
+    bench_fit,
+    bench_solve,
+    bench_gray_vs_hilbert
+);
+criterion_main!(benches);

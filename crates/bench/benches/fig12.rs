@@ -1,0 +1,35 @@
+//! Criterion bench over the Figure 12 swap simulator: per-cell cost of the
+//! schedule × policy sweep (the simulation itself is the artefact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpcp_schedule::ScheduleKind;
+use tpcp_storage::PolicyKind;
+use twopcp::{simulate_swaps, SwapSimConfig};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    for schedule in ScheduleKind::ALL {
+        for policy in PolicyKind::ALL {
+            let id = BenchmarkId::new(schedule.abbrev(), policy.abbrev());
+            group.bench_with_input(id, &(schedule, policy), |b, &(schedule, policy)| {
+                b.iter(|| {
+                    let report = simulate_swaps(&SwapSimConfig {
+                        parts: vec![8; 3],
+                        schedule,
+                        policy,
+                        buffer_fraction: 1.0 / 3.0,
+                        virtual_iters: 130,
+                    })
+                    .unwrap();
+                    black_box(report.steady_swaps)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

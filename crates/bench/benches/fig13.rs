@@ -1,0 +1,41 @@
+//! Criterion bench mirroring one Figure 13 cell per schedule: full
+//! two-phase decomposition of the Epinions-like tensor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpcp_datasets::epinions_like;
+use tpcp_schedule::ScheduleKind;
+use tpcp_storage::PolicyKind;
+use twopcp::{TwoPcp, TwoPcpConfig};
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    let x = epinions_like(17);
+    for schedule in ScheduleKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("epinions_2x2x2", schedule.abbrev()),
+            &schedule,
+            |b, &schedule| {
+                b.iter(|| {
+                    let outcome = TwoPcp::new(
+                        TwoPcpConfig::new(5)
+                            .parts(vec![2])
+                            .schedule(schedule)
+                            .policy(PolicyKind::Forward)
+                            .buffer_fraction(1.0 / 3.0)
+                            .max_virtual_iters(20)
+                            .tol(1e-2),
+                    )
+                    .decompose_sparse(black_box(&x))
+                    .unwrap();
+                    black_box(outcome.fit)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

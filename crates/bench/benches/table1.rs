@@ -1,0 +1,48 @@
+//! Criterion bench mirroring Table I at micro scale: full 2PCP pipeline vs
+//! the HaTen2 baseline on a small dense tensor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tpcp_datasets::dense_uniform;
+use tpcp_haten2::{haten2_cp, Haten2Config};
+use tpcp_tensor::SparseTensor;
+use twopcp::{TwoPcp, TwoPcpConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    let x = dense_uniform(&[24, 24, 24], 0.2, 1);
+    group.bench_function("twopcp_24cube", |b| {
+        b.iter(|| {
+            let outcome = TwoPcp::new(
+                TwoPcpConfig::new(4)
+                    .parts(vec![2])
+                    .max_virtual_iters(8)
+                    .tol(1e-2),
+            )
+            .decompose_dense(black_box(&x))
+            .unwrap();
+            black_box(outcome.fit)
+        })
+    });
+
+    let sparse = SparseTensor::from_dense(&x, 0.0);
+    let dir = std::env::temp_dir().join(format!("tpcp_bench_t1_{}", std::process::id()));
+    group.bench_function("haten2_24cube_1iter", |b| {
+        b.iter(|| {
+            let cfg = Haten2Config {
+                rank: 4,
+                iterations: 1,
+                ..Haten2Config::new(&dir)
+            };
+            let report = haten2_cp(black_box(&sparse), &cfg).unwrap();
+            black_box(report.fit)
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

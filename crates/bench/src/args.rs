@@ -1,0 +1,33 @@
+//! Minimal command-line flag handling shared by the experiment binaries.
+
+/// `true` when `--name` is present in the process arguments.
+pub fn flag(name: &str) -> bool {
+    let needle = format!("--{name}");
+    std::env::args().any(|a| a == needle)
+}
+
+/// The value following `--name`, when present (`--name value`).
+pub fn value(name: &str) -> Option<String> {
+    let needle = format!("--{name}");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == needle {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Parsed value of `--name`, falling back to `default`.
+pub fn value_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A fresh scratch directory under the system temp dir.
+pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpcp_bench_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

@@ -1,0 +1,172 @@
+//! Figure 12 (a–c): per-virtual-iteration data swaps.
+//!
+//! Paper setting (Table III): grids 2³/4³/8³ × schedules MC/FO/ZO/HO ×
+//! replacement LRU/MRU/FOR × buffer fractions 1/3, 1/2, 2/3. The paper
+//! notes the counts are data-independent, so this experiment is replayed
+//! exactly (not scaled) through [`twopcp::simulate_swaps`].
+
+use crate::fmt::{fmt_bytes, render_table};
+use tpcp_schedule::ScheduleKind;
+use tpcp_storage::PolicyKind;
+use twopcp::{simulate_swaps, unit_bytes, SwapSimConfig};
+
+/// One cell of Figure 12.
+#[derive(Clone, Debug)]
+pub struct Fig12Cell {
+    /// Partitions per mode.
+    pub parts: usize,
+    /// Update schedule.
+    pub schedule: ScheduleKind,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Buffer fraction.
+    pub fraction: f64,
+    /// Steady-state swaps per virtual iteration.
+    pub swaps: f64,
+}
+
+/// Runs the full sweep. `virtual_iters` bounds the simulation length per
+/// cell (it must comfortably exceed the warmup cycle; 300 is plenty for
+/// the paper's grids).
+pub fn run(virtual_iters: usize) -> Vec<Fig12Cell> {
+    let mut cells = Vec::new();
+    for &fraction in &[1.0 / 3.0, 0.5, 2.0 / 3.0] {
+        for &parts in &[2usize, 4, 8] {
+            for schedule in ScheduleKind::ALL {
+                for policy in PolicyKind::ALL {
+                    let report = simulate_swaps(&SwapSimConfig {
+                        parts: vec![parts; 3],
+                        schedule,
+                        policy,
+                        buffer_fraction: fraction,
+                        virtual_iters,
+                    })
+                    .expect("swap simulation failed");
+                    cells.push(Fig12Cell {
+                        parts,
+                        schedule,
+                        policy,
+                        fraction,
+                        swaps: report.steady_swaps,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Renders the three paper sub-figures as tables (one per buffer size).
+pub fn render(cells: &[Fig12Cell]) -> String {
+    let mut out = String::new();
+    for (label, fraction) in [
+        ("(a) buffer = 1/3 of total requirement", 1.0 / 3.0),
+        ("(b) buffer = 1/2 of total requirement", 0.5),
+        ("(c) buffer = 2/3 of total requirement", 2.0 / 3.0),
+    ] {
+        out.push_str(&format!(
+            "Figure 12 {label} — per-iteration data swaps\n"
+        ));
+        let mut body = Vec::new();
+        for &parts in &[2usize, 4, 8] {
+            for schedule in ScheduleKind::ALL {
+                let mut row = vec![format!("{0}x{0}x{0}", parts), schedule.abbrev().into()];
+                for policy in PolicyKind::ALL {
+                    let cell = cells
+                        .iter()
+                        .find(|c| {
+                            c.parts == parts
+                                && c.schedule == schedule
+                                && c.policy == policy
+                                && (c.fraction - fraction).abs() < 1e-9
+                        })
+                        .expect("cell present");
+                    row.push(format!("{:.2}", cell.swaps));
+                }
+                body.push(row);
+            }
+        }
+        out.push_str(&render_table(
+            &["Grid", "Schedule", "LRU", "MRU", "FOR"],
+            &body,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// The §VIII-C1 worked example: bytes exchanged per iteration for a
+/// 100K×100K×100K tensor, 8³ grid, rank 100, comparing the best
+/// mode-centric strategy against HO+FOR.
+pub fn render_bytes_example(cells: &[Fig12Cell]) -> String {
+    let dims = [100_000usize; 3];
+    let parts = [8usize; 3];
+    let rank = 100;
+    let unit = unit_bytes(&dims, &parts, rank, 0) as f64;
+
+    let pick = |schedule: ScheduleKind, policy: PolicyKind, fraction: f64| -> f64 {
+        cells
+            .iter()
+            .find(|c| {
+                c.parts == 8
+                    && c.schedule == schedule
+                    && c.policy == policy
+                    && (c.fraction - fraction).abs() < 1e-9
+            })
+            .map_or(f64::NAN, |c| c.swaps)
+    };
+
+    let mc_mru = pick(ScheduleKind::ModeCentric, PolicyKind::Mru, 2.0 / 3.0);
+    let ho_for = pick(ScheduleKind::HilbertOrder, PolicyKind::Forward, 2.0 / 3.0);
+    let mut out = String::from(
+        "Worked example (paper §VIII-C1): 100K^3 tensor, 8x8x8 grid, rank 100\n",
+    );
+    out.push_str(&format!("  one data unit = {}\n", fmt_bytes(unit as u64)));
+    out.push_str(&format!(
+        "  MC + MRU : {mc_mru:.2} swaps/iter = {} per iteration (paper: ~6 GB at 8.32 swaps)\n",
+        fmt_bytes((mc_mru * unit) as u64)
+    ));
+    out.push_str(&format!(
+        "  HO + FOR : {ho_for:.2} swaps/iter = {} per iteration (paper: ~160 MB at 0.22 swaps)\n",
+        fmt_bytes((ho_for * unit) as u64)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_cells_and_reproduces_ordering() {
+        let cells = run(220);
+        assert_eq!(cells.len(), 3 * 3 * 4 * 3);
+        // Headline orderings of the paper at 1/3 buffer, 8³ grid:
+        let get = |s: ScheduleKind, p: PolicyKind| {
+            cells
+                .iter()
+                .find(|c| {
+                    c.parts == 8
+                        && c.schedule == s
+                        && c.policy == p
+                        && (c.fraction - 1.0 / 3.0).abs() < 1e-9
+                })
+                .unwrap()
+                .swaps
+        };
+        let mc_lru = get(ScheduleKind::ModeCentric, PolicyKind::Lru);
+        let ho_for = get(ScheduleKind::HilbertOrder, PolicyKind::Forward);
+        assert!(mc_lru > 23.0, "MC+LRU {mc_lru}");
+        assert!(ho_for < 1.5, "HO+FOR {ho_for}");
+        let rendered = render(&cells);
+        assert!(rendered.contains("(a) buffer = 1/3"));
+        assert!(rendered.contains("8x8x8"));
+    }
+
+    #[test]
+    fn bytes_example_matches_paper_magnitudes() {
+        let cells = run(220);
+        let text = render_bytes_example(&cells);
+        assert!(text.contains("one data unit = 650.0 MB"), "{text}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the experiment reports.
+
+use std::time::Duration;
+
+/// Formats a duration compactly (`1.23s`, `456ms`, `2m03s`).
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 60.0 {
+        let m = (secs / 60.0).floor() as u64;
+        format!("{m}m{:04.1}s", secs - 60.0 * m as f64)
+    } else if secs >= 1.0 {
+        format!("{secs:.1}s")
+    } else {
+        format!("{:.0}ms", secs * 1e3)
+    }
+}
+
+/// Formats a non-zero count the way the paper does (`0.025B`, `43.2K`).
+pub fn fmt_count(n: u64) -> String {
+    let x = n as f64;
+    if x >= 1e9 {
+        format!("{:.3}B", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}K", x / 1e3)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Formats a byte count (`1.2 GB`, `34 MB`, `512 B`).
+pub fn fmt_bytes(n: u64) -> String {
+    let x = n as f64;
+    if x >= 1e9 {
+        format!("{:.2} GB", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.1} MB", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1} KB", x / 1e3)
+    } else {
+        format!("{n} B")
+    }
+}
+
+/// Renders an aligned plain-text table with a header row.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (c, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {c:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations() {
+        assert_eq!(fmt_duration(Duration::from_millis(250)), "250ms");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(2.34)), "2.3s");
+        assert_eq!(fmt_duration(Duration::from_secs(125)), "2m05.0s");
+    }
+
+    #[test]
+    fn counts() {
+        assert_eq!(fmt_count(42), "42");
+        assert_eq!(fmt_count(43_200), "43.2K");
+        assert_eq!(fmt_count(25_000_000), "25.00M");
+        assert_eq!(fmt_count(700_000_000), "700.00M");
+        assert_eq!(fmt_count(2_500_000_000), "2.500B");
+    }
+
+    #[test]
+    fn bytes() {
+        assert_eq!(fmt_bytes(100), "100 B");
+        assert_eq!(fmt_bytes(2_048), "2.0 KB");
+        assert_eq!(fmt_bytes(6_000_000_000), "6.00 GB");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        assert!(t.contains("| name      | value |"));
+        assert!(t.contains("| long-name | 2     |"));
+        let widths: Vec<usize> = t.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{t}");
+    }
+}

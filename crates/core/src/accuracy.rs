@@ -1,0 +1,141 @@
+//! Exact decomposition-accuracy evaluation (paper §III-B).
+//!
+//! `accuracy(X, X̃) = 1 − ‖X̃ − X‖ / ‖X‖`. The surrogate fit used for
+//! Phase-2 stopping (see [`crate::pq::PqCache::surrogate_fit`]) measures
+//! agreement with the Phase-1 reconstruction; the functions here measure
+//! agreement with the *original* tensor, which is what the paper's
+//! accuracy figures (Figure 13) report.
+
+use crate::Result;
+use tpcp_cp::CpModel;
+use tpcp_linalg::Mat;
+use tpcp_partition::Grid;
+use tpcp_tensor::{DenseTensor, SparseTensor};
+
+/// Exact fit of `model` against a dense tensor.
+///
+/// # Errors
+/// Shape mismatches between model and tensor.
+pub fn exact_fit_dense(model: &CpModel, x: &DenseTensor) -> Result<f64> {
+    model.fit_dense(x).map_err(crate::TwoPcpError::from)
+}
+
+/// Exact fit of `model` against a sparse tensor.
+///
+/// # Errors
+/// Shape mismatches between model and tensor.
+pub fn exact_fit_sparse(model: &CpModel, x: &SparseTensor) -> Result<f64> {
+    model.fit_sparse(x).map_err(crate::TwoPcpError::from)
+}
+
+/// The sub-model of `model` restricted to one grid block: each factor is
+/// sliced to the block's row range (paper eq. 2 —
+/// `X_k ≈ I ×₁ A(1)(k₁) … ×_N A(N)(k_N)`).
+pub fn block_sub_model(model: &CpModel, grid: &Grid, block: usize) -> CpModel {
+    let coords = grid.block_coords(block);
+    let factors: Vec<Mat> = model
+        .factors
+        .iter()
+        .enumerate()
+        .map(|(mode, f)| {
+            let range = grid.part_range(mode, coords[mode]);
+            f.row_block(range.start, range.end - range.start)
+        })
+        .collect();
+    CpModel {
+        weights: model.weights.clone(),
+        factors,
+    }
+}
+
+/// Exact fit computed blockwise against dense blocks (streaming-friendly:
+/// only one block of `X` needs to be resident at a time).
+///
+/// `blocks` must be in linear block-id order, as produced by
+/// [`tpcp_partition::split_dense`].
+///
+/// # Errors
+/// Shape mismatches between the model slices and the blocks.
+pub fn blockwise_fit_dense(
+    model: &CpModel,
+    grid: &Grid,
+    blocks: &[DenseTensor],
+) -> Result<f64> {
+    let mut err_sq = 0.0;
+    let mut x_sq = 0.0;
+    for (lin, block) in blocks.iter().enumerate() {
+        let sub = block_sub_model(model, grid, lin);
+        let b_sq = block.fro_norm_sq();
+        let inner = sub.inner_dense(block).map_err(crate::TwoPcpError::from)?;
+        let m_sq = sub.norm_sq();
+        err_sq += (b_sq - 2.0 * inner + m_sq).max(0.0);
+        x_sq += b_sq;
+    }
+    if x_sq <= 0.0 {
+        return Ok(if err_sq <= 1e-30 { 1.0 } else { f64::NEG_INFINITY });
+    }
+    Ok(1.0 - (err_sq.sqrt() / x_sq.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tpcp_partition::split_dense;
+    use tpcp_tensor::random_factor;
+
+    fn model_and_tensor(dims: &[usize], f: usize, seed: u64) -> (CpModel, DenseTensor) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
+        let model = CpModel::new(vec![1.0; f], factors).unwrap();
+        let t = model.reconstruct_dense();
+        (model, t)
+    }
+
+    #[test]
+    fn blockwise_fit_matches_global_fit() {
+        let (model, x) = model_and_tensor(&[8, 6, 4], 3, 2);
+        let grid = Grid::new(x.dims(), &[2, 3, 2]);
+        let blocks = split_dense(&x, &grid);
+        let global = exact_fit_dense(&model, &x).unwrap();
+        let blockwise = blockwise_fit_dense(&model, &grid, &blocks).unwrap();
+        assert!((global - blockwise).abs() < 1e-6, "{global} vs {blockwise}");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn block_sub_model_reconstructs_the_block() {
+        let (model, x) = model_and_tensor(&[6, 6], 2, 5);
+        let grid = Grid::uniform(x.dims(), 2);
+        let blocks = split_dense(&x, &grid);
+        for lin in 0..grid.num_blocks() {
+            let sub = block_sub_model(&model, &grid, lin);
+            let recon = sub.reconstruct_dense();
+            for (a, b) in recon.as_slice().iter().zip(blocks[lin].as_slice()) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn imperfect_model_fits_below_one() {
+        let (model, mut x) = model_and_tensor(&[6, 6, 6], 2, 9);
+        for v in x.as_mut_slice().iter_mut().step_by(3) {
+            *v += 0.5;
+        }
+        let grid = Grid::uniform(x.dims(), 2);
+        let blocks = split_dense(&x, &grid);
+        let fit = blockwise_fit_dense(&model, &grid, &blocks).unwrap();
+        assert!(fit < 0.999);
+        assert!(fit > 0.0);
+    }
+
+    #[test]
+    fn sparse_fit_agrees_with_dense() {
+        let (model, x) = model_and_tensor(&[5, 5, 5], 2, 3);
+        let sp = SparseTensor::from_dense(&x, 0.0);
+        let d = exact_fit_dense(&model, &x).unwrap();
+        let s = exact_fit_sparse(&model, &sp).unwrap();
+        assert!((d - s).abs() < 1e-9);
+    }
+}

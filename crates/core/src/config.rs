@@ -1,0 +1,240 @@
+//! Configuration for the two-phase pipeline.
+
+use crate::{Result, TwoPcpError};
+use std::path::PathBuf;
+use tpcp_schedule::ScheduleKind;
+use tpcp_storage::PolicyKind;
+
+/// How the global sub-factors `A(i)(kᵢ)` are initialised before Phase 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InitKind {
+    /// Mean of the mode-`i` sub-factors across the slab — aligns `A` with
+    /// the Phase-1 component space (default).
+    SlabMean,
+    /// Seeded random initialisation.
+    Random,
+}
+
+/// Options for Phase 1 (per-block CP-ALS).
+#[derive(Clone, Debug)]
+pub struct Phase1Options {
+    /// ALS iterations per block.
+    pub max_iters: usize,
+    /// ALS convergence tolerance per block.
+    pub tol: f64,
+    /// Worker threads for parallel block decomposition
+    /// (`0` = all available cores).
+    pub threads: usize,
+    /// Route Phase 1 through the MapReduce substrate (paper Observation #1)
+    /// instead of in-process threads. Requires `work_dir`.
+    pub use_mapreduce: bool,
+}
+
+impl Default for Phase1Options {
+    fn default() -> Self {
+        Phase1Options {
+            max_iters: 25,
+            tol: 1e-4,
+            threads: 0,
+            use_mapreduce: false,
+        }
+    }
+}
+
+/// Full configuration of a 2PCP run (paper Table III's parameter space).
+#[derive(Clone, Debug)]
+pub struct TwoPcpConfig {
+    /// Decomposition rank `F`.
+    pub rank: usize,
+    /// Partition counts per mode (`K₁ … K_N`); a single-element vector is
+    /// broadcast to every mode.
+    pub parts: Vec<usize>,
+    /// Phase-2 update schedule (MC / FO / ZO / HO, plus the GO extension).
+    pub schedule: ScheduleKind,
+    /// Buffer replacement policy (LRU / MRU / FOR).
+    pub policy: PolicyKind,
+    /// Buffer capacity as a fraction of the total space requirement
+    /// (paper: 1/3, 1/2, 2/3). Values ≥ 1 keep everything resident.
+    pub buffer_fraction: f64,
+    /// Maximum number of virtual iterations in Phase 2 (paper: 100/200).
+    pub max_virtual_iters: usize,
+    /// Stop when the per-virtual-iteration accuracy improvement drops
+    /// below this (paper: 10⁻²).
+    pub tol: f64,
+    /// Ridge for the `T·S⁻¹` solves.
+    pub ridge: f64,
+    /// Seed for all randomised pieces (block ALS init etc.).
+    pub seed: u64,
+    /// Where unit pages live; `None` = in-memory store (testing / small
+    /// runs), `Some(dir)` = disk store (the out-of-core configuration).
+    pub work_dir: Option<PathBuf>,
+    /// Initialisation of the global sub-factors.
+    pub init: InitKind,
+    /// Phase-1 options.
+    pub phase1: Phase1Options,
+}
+
+impl TwoPcpConfig {
+    /// A configuration with the paper's preferred defaults: Hilbert-order
+    /// schedule, forward-looking replacement, 2 partitions per mode.
+    pub fn new(rank: usize) -> Self {
+        TwoPcpConfig {
+            rank,
+            parts: vec![2],
+            schedule: ScheduleKind::HilbertOrder,
+            policy: PolicyKind::Forward,
+            buffer_fraction: 1.0,
+            max_virtual_iters: 100,
+            tol: 1e-2,
+            ridge: 1e-9,
+            seed: 0,
+            work_dir: None,
+            init: InitKind::SlabMean,
+            phase1: Phase1Options::default(),
+        }
+    }
+
+    /// Sets the per-mode partition counts.
+    pub fn parts(mut self, parts: Vec<usize>) -> Self {
+        self.parts = parts;
+        self
+    }
+
+    /// Sets the Phase-2 update schedule.
+    pub fn schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the buffer replacement policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the buffer size as a fraction of the total space requirement.
+    pub fn buffer_fraction(mut self, fraction: f64) -> Self {
+        self.buffer_fraction = fraction;
+        self
+    }
+
+    /// Sets the virtual-iteration budget.
+    pub fn max_virtual_iters(mut self, iters: usize) -> Self {
+        self.max_virtual_iters = iters;
+        self
+    }
+
+    /// Sets the Phase-2 stopping tolerance.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses an on-disk unit store rooted at `dir`.
+    pub fn work_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.work_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the sub-factor initialisation strategy.
+    pub fn init(mut self, init: InitKind) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Sets the Phase-1 options.
+    pub fn phase1(mut self, phase1: Phase1Options) -> Self {
+        self.phase1 = phase1;
+        self
+    }
+
+    /// Resolves the partition vector for an order-`n` tensor (broadcasting
+    /// a singleton) and validates the configuration.
+    ///
+    /// # Errors
+    /// [`TwoPcpError::Config`] on invalid rank, partitioning or buffer
+    /// fraction.
+    pub fn resolved_parts(&self, order: usize) -> Result<Vec<usize>> {
+        if self.rank == 0 {
+            return Err(TwoPcpError::Config {
+                reason: "rank must be positive".into(),
+            });
+        }
+        if self.buffer_fraction <= 0.0 {
+            return Err(TwoPcpError::Config {
+                reason: "buffer_fraction must be positive".into(),
+            });
+        }
+        let parts = if self.parts.len() == 1 {
+            vec![self.parts[0]; order]
+        } else if self.parts.len() == order {
+            self.parts.clone()
+        } else {
+            return Err(TwoPcpError::Config {
+                reason: format!(
+                    "{} partition counts for an order-{order} tensor",
+                    self.parts.len()
+                ),
+            });
+        };
+        if parts.contains(&0) {
+            return Err(TwoPcpError::Config {
+                reason: "partition counts must be positive".into(),
+            });
+        }
+        Ok(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = TwoPcpConfig::new(10)
+            .parts(vec![4, 4, 4])
+            .schedule(ScheduleKind::ZOrder)
+            .policy(PolicyKind::Lru)
+            .buffer_fraction(1.0 / 3.0)
+            .max_virtual_iters(200)
+            .tol(1e-3)
+            .seed(9);
+        assert_eq!(cfg.rank, 10);
+        assert_eq!(cfg.parts, vec![4, 4, 4]);
+        assert_eq!(cfg.schedule, ScheduleKind::ZOrder);
+        assert_eq!(cfg.policy, PolicyKind::Lru);
+        assert_eq!(cfg.max_virtual_iters, 200);
+    }
+
+    #[test]
+    fn parts_broadcast() {
+        let cfg = TwoPcpConfig::new(2).parts(vec![3]);
+        assert_eq!(cfg.resolved_parts(4).unwrap(), vec![3, 3, 3, 3]);
+        let cfg2 = TwoPcpConfig::new(2).parts(vec![2, 3]);
+        assert_eq!(cfg2.resolved_parts(2).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(TwoPcpConfig::new(0).resolved_parts(3).is_err());
+        assert!(TwoPcpConfig::new(2)
+            .parts(vec![2, 2])
+            .resolved_parts(3)
+            .is_err());
+        assert!(TwoPcpConfig::new(2)
+            .buffer_fraction(0.0)
+            .resolved_parts(3)
+            .is_err());
+        assert!(TwoPcpConfig::new(2)
+            .parts(vec![0])
+            .resolved_parts(3)
+            .is_err());
+    }
+}

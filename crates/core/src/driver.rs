@@ -1,0 +1,233 @@
+//! The top-level two-phase driver.
+
+use crate::config::TwoPcpConfig;
+use crate::phase1::{
+    run_phase1_dense, run_phase1_mapreduce, run_phase1_sparse, Phase1Result,
+};
+use crate::phase2::{refine, RefineStats};
+use crate::Result;
+use std::time::{Duration, Instant};
+use tpcp_cp::CpModel;
+use tpcp_mapreduce::JobCounters;
+use tpcp_storage::{DiskStore, MemStore, UnitStore};
+use tpcp_tensor::{DenseTensor, SparseTensor};
+
+/// The 2PCP decomposition engine (see crate docs for an example).
+pub struct TwoPcp {
+    config: TwoPcpConfig,
+}
+
+/// The result of a full two-phase decomposition.
+#[derive(Clone, Debug)]
+pub struct TwoPcpOutcome {
+    /// The rank-`F` CP model of the input tensor.
+    pub model: CpModel,
+    /// Exact accuracy against the input (paper §III-B).
+    pub fit: f64,
+    /// Phase-1 details (grid, per-block fits, space requirement).
+    pub phase1: Phase1Result,
+    /// Phase-2 statistics (swaps, fit trace, convergence).
+    pub phase2: RefineStats,
+    /// Wall-clock time of Phase 1.
+    pub phase1_time: Duration,
+    /// Wall-clock time of Phase 2.
+    pub phase2_time: Duration,
+    /// MapReduce counters (all zero unless Phase 1 ran on the substrate).
+    pub mr_counters: tpcp_mapreduce::CounterSnapshot,
+}
+
+enum Input<'a> {
+    Dense(&'a DenseTensor),
+    Sparse(&'a SparseTensor),
+}
+
+impl TwoPcp {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: TwoPcpConfig) -> Self {
+        TwoPcp { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TwoPcpConfig {
+        &self.config
+    }
+
+    /// Decomposes a dense tensor.
+    ///
+    /// # Errors
+    /// Configuration, numerical, storage or MapReduce failures.
+    pub fn decompose_dense(&self, x: &DenseTensor) -> Result<TwoPcpOutcome> {
+        self.dispatch(Input::Dense(x))
+    }
+
+    /// Decomposes a sparse tensor.
+    ///
+    /// # Errors
+    /// Configuration, numerical, storage or MapReduce failures.
+    pub fn decompose_sparse(&self, x: &SparseTensor) -> Result<TwoPcpOutcome> {
+        self.dispatch(Input::Sparse(x))
+    }
+
+    fn dispatch(&self, input: Input<'_>) -> Result<TwoPcpOutcome> {
+        match &self.config.work_dir {
+            Some(dir) => {
+                let store = DiskStore::open(dir.join("units"))?;
+                self.run(input, store)
+            }
+            None => self.run(input, MemStore::new()),
+        }
+    }
+
+    fn run<S: UnitStore>(&self, input: Input<'_>, mut store: S) -> Result<TwoPcpOutcome> {
+        let cfg = &self.config;
+        let counters = JobCounters::new();
+
+        // ---- Phase 1 -------------------------------------------------------
+        let t0 = Instant::now();
+        let phase1 = if cfg.phase1.use_mapreduce {
+            let mr_dir = cfg
+                .work_dir
+                .clone()
+                .unwrap_or_else(std::env::temp_dir)
+                .join(format!("shuffle_{}", std::process::id()));
+            match input {
+                Input::Sparse(x) => {
+                    run_phase1_mapreduce(x, cfg, &mut store, &mr_dir, &counters)?
+                }
+                Input::Dense(x) => {
+                    // The MapReduce formulation streams non-zeros; a dense
+                    // tensor is fed through its sparse (COO) view.
+                    let sparse = SparseTensor::from_dense(x, 0.0);
+                    run_phase1_mapreduce(&sparse, cfg, &mut store, &mr_dir, &counters)?
+                }
+            }
+        } else {
+            match input {
+                Input::Dense(x) => run_phase1_dense(x, cfg, &mut store)?,
+                Input::Sparse(x) => run_phase1_sparse(x, cfg, &mut store)?,
+            }
+        };
+        let phase1_time = t0.elapsed();
+
+        // ---- Phase 2 -------------------------------------------------------
+        let t1 = Instant::now();
+        let outcome = refine(&phase1.grid, store, cfg, &phase1.u_norm_sq)?;
+        let phase2_time = t1.elapsed();
+
+        // ---- Exact accuracy -------------------------------------------------
+        let fit = match input {
+            Input::Dense(x) => outcome.model.fit_dense(x)?,
+            Input::Sparse(x) => outcome.model.fit_sparse(x)?,
+        };
+
+        Ok(TwoPcpOutcome {
+            model: outcome.model,
+            fit,
+            phase1,
+            phase2: outcome.stats,
+            phase1_time,
+            phase2_time,
+            mr_counters: counters.snapshot(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Phase1Options;
+    use rand::SeedableRng;
+    use tpcp_linalg::Mat;
+    use tpcp_schedule::ScheduleKind;
+    use tpcp_storage::PolicyKind;
+    use tpcp_tensor::random_factor;
+
+    fn low_rank(dims: &[usize], f: usize, seed: u64) -> DenseTensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
+        CpModel::new(vec![1.0; f], factors).unwrap().reconstruct_dense()
+    }
+
+    #[test]
+    fn end_to_end_dense_in_memory() {
+        let x = low_rank(&[10, 10, 10], 2, 4);
+        let outcome = TwoPcp::new(
+            TwoPcpConfig::new(2)
+                .parts(vec![2])
+                .max_virtual_iters(40)
+                .tol(1e-7),
+        )
+        .decompose_dense(&x)
+        .unwrap();
+        assert!(outcome.fit > 0.97, "fit {}", outcome.fit);
+        assert_eq!(outcome.model.dims(), vec![10, 10, 10]);
+        assert_eq!(outcome.mr_counters.map_input_records, 0);
+    }
+
+    #[test]
+    fn end_to_end_on_disk_matches_in_memory() {
+        let x = low_rank(&[8, 8, 8], 2, 6);
+        let cfg = TwoPcpConfig::new(2)
+            .parts(vec![2])
+            .schedule(ScheduleKind::ZOrder)
+            .policy(PolicyKind::Forward)
+            .buffer_fraction(0.5)
+            .max_virtual_iters(15)
+            .tol(0.0);
+
+        let mem = TwoPcp::new(cfg.clone()).decompose_dense(&x).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("tpcp_driver_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = TwoPcp::new(cfg.work_dir(&dir)).decompose_dense(&x).unwrap();
+
+        // Same seeds + same schedule => bit-identical math, independent of
+        // the storage backend.
+        assert_eq!(mem.fit, disk.fit);
+        assert_eq!(
+            mem.phase2.swaps_per_iteration,
+            disk.phase2.swaps_per_iteration
+        );
+        assert!(disk.phase2.io.fetches > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn end_to_end_sparse() {
+        let x = low_rank(&[9, 9, 9], 2, 8);
+        let sp = SparseTensor::from_dense(&x, 0.0);
+        let outcome = TwoPcp::new(
+            TwoPcpConfig::new(2)
+                .parts(vec![3])
+                .max_virtual_iters(40)
+                .tol(1e-7),
+        )
+        .decompose_sparse(&sp)
+        .unwrap();
+        assert!(outcome.fit > 0.9, "fit {}", outcome.fit);
+    }
+
+    #[test]
+    fn end_to_end_mapreduce_phase1() {
+        let x = low_rank(&[8, 8, 8], 2, 10);
+        let dir = std::env::temp_dir().join(format!("tpcp_driver_mr_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let outcome = TwoPcp::new(
+            TwoPcpConfig::new(2)
+                .parts(vec![2])
+                .max_virtual_iters(30)
+                .tol(1e-6)
+                .work_dir(&dir)
+                .phase1(Phase1Options {
+                    use_mapreduce: true,
+                    ..Default::default()
+                }),
+        )
+        .decompose_dense(&x)
+        .unwrap();
+        assert!(outcome.fit > 0.9, "fit {}", outcome.fit);
+        assert_eq!(outcome.mr_counters.map_input_records, 512);
+        assert_eq!(outcome.mr_counters.reduce_groups, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

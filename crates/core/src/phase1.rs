@@ -1,0 +1,553 @@
+//! Phase 1: independent (parallel) decomposition of every block.
+//!
+//! Each sub-tensor `X_k` is decomposed with standard CP-ALS into rank-`F`
+//! sub-factors `U(1)_k … U(N)_k` (paper §IV, Observation #1). Three
+//! execution paths are provided:
+//!
+//! * [`run_phase1_dense`] / [`run_phase1_sparse`] — in-process parallel
+//!   workers over split blocks (the paper's "strong configuration" without
+//!   the cluster);
+//! * [`run_phase1_mapreduce`] — the paper's MapReduce formulation, mapping
+//!   `⟨b, i, j, k, X(i,j,k)⟩ on b` and decomposing each block in a reducer,
+//!   running on the [`tpcp_mapreduce`] substrate.
+//!
+//! All paths end by assembling the per-mode *data-access units*
+//! (`A(i)(kᵢ)` + slab sub-factors) and writing them to the unit store that
+//! Phase 2 will refine against.
+
+use crate::config::{InitKind, TwoPcpConfig};
+use crate::{Result, TwoPcpError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tpcp_cp::{cp_als_dense, cp_als_sparse, AlsOptions, CpModel};
+use tpcp_linalg::Mat;
+use tpcp_mapreduce::{run_job, JobCounters, MapReduceJob, MrConfig};
+use tpcp_partition::{split_dense, split_sparse, Grid};
+use tpcp_schedule::UnitId;
+use tpcp_storage::{UnitData, UnitStore};
+use tpcp_tensor::{random_factor, DenseTensor, SparseBuilder, SparseTensor};
+
+/// Everything Phase 2 (and the evaluation harness) needs to know about the
+/// completed first phase.
+#[derive(Clone, Debug)]
+pub struct Phase1Result {
+    /// The partitioning grid.
+    pub grid: Grid,
+    /// `‖X_k‖²` per block (enables streaming exact-accuracy computation).
+    pub block_norms_sq: Vec<f64>,
+    /// `‖X̂₁_k‖²` per block — the Phase-1 reconstruction norms feeding the
+    /// Phase-2 surrogate fit.
+    pub u_norm_sq: Vec<f64>,
+    /// Per-block ALS fit achieved in Phase 1.
+    pub block_fits: Vec<f64>,
+    /// Total bytes of all data-access units (the paper's `memtotal`,
+    /// §IV-A) — the reference the buffer fraction is taken against.
+    pub total_unit_bytes: usize,
+}
+
+/// Builds the grid after validating partition counts against dimensions.
+pub(crate) fn grid_for(cfg: &TwoPcpConfig, dims: &[usize]) -> Result<Grid> {
+    let parts = cfg.resolved_parts(dims.len())?;
+    for (m, (&p, &d)) in parts.iter().zip(dims).enumerate() {
+        if p > d {
+            return Err(TwoPcpError::Config {
+                reason: format!("mode {m}: {p} partitions exceed dimension {d}"),
+            });
+        }
+    }
+    Ok(Grid::new(dims, &parts))
+}
+
+fn als_options(cfg: &TwoPcpConfig, block_seed: u64) -> AlsOptions {
+    AlsOptions {
+        rank: cfg.rank,
+        max_iters: cfg.phase1.max_iters,
+        tol: cfg.phase1.tol,
+        ridge: cfg.ridge,
+        seed: block_seed,
+        init: None,
+    }
+}
+
+/// Spreads the component weights evenly over the modes
+/// (`λ^{1/N}` per factor), so the block model becomes the identity-core
+/// form `X_k ≈ I ×₁ U(1)_k ×₂ … ×_N U(N)_k` of paper eq. 1.
+fn balance_weights(model: &mut CpModel) {
+    let order = model.order();
+    if order == 0 {
+        return;
+    }
+    model.normalize();
+    let root: Vec<f64> = model
+        .weights
+        .iter()
+        .map(|&l| if l > 0.0 { l.powf(1.0 / order as f64) } else { 0.0 })
+        .collect();
+    for factor in &mut model.factors {
+        factor.scale_columns(&root);
+    }
+    model.weights.fill(1.0);
+}
+
+/// Work-stealing parallel map over an item slice.
+fn parallel_map<B, T, F>(items: &[B], threads: usize, f: F) -> Result<Vec<T>>
+where
+    B: Sync,
+    T: Send,
+    F: Fn(usize, &B) -> Result<T> + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        threads
+    }
+    .min(items.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<parking_lot::Mutex<Option<Result<T>>>> =
+        (0..items.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock() = Some(result);
+            });
+        }
+    })
+    .expect("phase-1 worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("slot filled"))
+        .collect()
+}
+
+/// Writes the per-mode data-access units for the decomposed blocks and
+/// returns `(u_norm_sq, total_unit_bytes)`.
+fn assemble_units<S: UnitStore>(
+    grid: &Grid,
+    cfg: &TwoPcpConfig,
+    models: &[CpModel],
+    store: &mut S,
+) -> Result<(Vec<f64>, usize)> {
+    debug_assert_eq!(models.len(), grid.num_blocks());
+    let u_norm_sq: Vec<f64> = models.iter().map(CpModel::norm_sq).collect();
+    let mut total_bytes = 0usize;
+    for mode in 0..grid.order() {
+        for part in 0..grid.parts()[mode] {
+            let rows = grid.part_len(mode, part);
+            let slab: Vec<usize> = grid.slab(mode, part).collect();
+            let sub_factors: Vec<(u64, Mat)> = slab
+                .iter()
+                .map(|&l| (l as u64, models[l].factors[mode].clone()))
+                .collect();
+            let factor = match cfg.init {
+                InitKind::Random => {
+                    let mut rng = StdRng::seed_from_u64(
+                        cfg.seed ^ ((mode as u64) << 32) ^ part as u64,
+                    );
+                    random_factor(rows, cfg.rank, &mut rng)
+                }
+                InitKind::SlabMean => {
+                    let mut acc = Mat::zeros(rows, cfg.rank);
+                    for (_, u) in &sub_factors {
+                        acc.add_assign(u).map_err(TwoPcpError::from)?;
+                    }
+                    acc.scale(1.0 / sub_factors.len().max(1) as f64);
+                    acc
+                }
+            };
+            let data = UnitData {
+                unit: UnitId::new(mode, part),
+                factor,
+                sub_factors,
+            };
+            total_bytes += data.payload_bytes();
+            store.write(&data)?;
+        }
+    }
+    Ok((u_norm_sq, total_bytes))
+}
+
+/// Phase 1 over a dense tensor with in-process parallel block workers.
+///
+/// # Errors
+/// Configuration, ALS or storage failures.
+pub fn run_phase1_dense<S: UnitStore>(
+    x: &DenseTensor,
+    cfg: &TwoPcpConfig,
+    store: &mut S,
+) -> Result<Phase1Result> {
+    let grid = grid_for(cfg, x.dims())?;
+    let blocks = split_dense(x, &grid);
+    let block_norms_sq: Vec<f64> = blocks.iter().map(DenseTensor::fro_norm_sq).collect();
+    let results = parallel_map(&blocks, cfg.phase1.threads, |i, block| {
+        let report = cp_als_dense(block, &als_options(cfg, cfg.seed.wrapping_add(i as u64)))?;
+        let mut model = report.model;
+        balance_weights(&mut model);
+        Ok((model, report.final_fit))
+    })?;
+    finish_phase1(grid, cfg, results, block_norms_sq, store)
+}
+
+/// Phase 1 over a sparse tensor with in-process parallel block workers.
+///
+/// # Errors
+/// Configuration, ALS or storage failures.
+pub fn run_phase1_sparse<S: UnitStore>(
+    x: &SparseTensor,
+    cfg: &TwoPcpConfig,
+    store: &mut S,
+) -> Result<Phase1Result> {
+    let grid = grid_for(cfg, x.dims())?;
+    let blocks = split_sparse(x, &grid);
+    let block_norms_sq: Vec<f64> = blocks.iter().map(SparseTensor::fro_norm_sq).collect();
+    let results = parallel_map(&blocks, cfg.phase1.threads, |i, block| {
+        if block.is_empty() {
+            // Footnote 3: empty sub-tensors get zero factors.
+            return Ok((CpModel::zeros(block.dims(), cfg.rank), 1.0));
+        }
+        let report = cp_als_sparse(block, &als_options(cfg, cfg.seed.wrapping_add(i as u64)))?;
+        let mut model = report.model;
+        balance_weights(&mut model);
+        Ok((model, report.final_fit))
+    })?;
+    finish_phase1(grid, cfg, results, block_norms_sq, store)
+}
+
+fn finish_phase1<S: UnitStore>(
+    grid: Grid,
+    cfg: &TwoPcpConfig,
+    results: Vec<(CpModel, f64)>,
+    block_norms_sq: Vec<f64>,
+    store: &mut S,
+) -> Result<Phase1Result> {
+    let (models, block_fits): (Vec<CpModel>, Vec<f64>) = results.into_iter().unzip();
+    let (u_norm_sq, total_unit_bytes) = assemble_units(&grid, cfg, &models, store)?;
+    Ok(Phase1Result {
+        grid,
+        block_norms_sq,
+        u_norm_sq,
+        block_fits,
+        total_unit_bytes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce path (paper Observation #1)
+// ---------------------------------------------------------------------------
+
+/// Per-block output of the Phase-1 reducer.
+struct BlockOut {
+    block: u64,
+    model: CpModel,
+    fit: f64,
+    norm_sq: f64,
+}
+
+/// The paper's Phase-1 job: `map` keys each non-zero by its block id,
+/// `reduce` recomposes the sub-tensor and runs PARAFAC on it.
+struct Phase1Job<'a> {
+    grid: &'a Grid,
+    cfg: &'a TwoPcpConfig,
+    /// `part_of[mode][global_row] = (partition, local_row)`.
+    part_of: Vec<Vec<(u32, u32)>>,
+}
+
+impl<'a> Phase1Job<'a> {
+    fn new(grid: &'a Grid, cfg: &'a TwoPcpConfig) -> Self {
+        let mut part_of = Vec::with_capacity(grid.order());
+        for m in 0..grid.order() {
+            let mut table = vec![(0u32, 0u32); grid.dims()[m]];
+            for k in 0..grid.parts()[m] {
+                let r = grid.part_range(m, k);
+                for (off, slot) in table[r].iter_mut().enumerate() {
+                    *slot = (k as u32, off as u32);
+                }
+            }
+            part_of.push(table);
+        }
+        Phase1Job { grid, cfg, part_of }
+    }
+}
+
+impl MapReduceJob for Phase1Job<'_> {
+    /// One tensor non-zero: global coordinates plus value.
+    type Input = (Vec<u32>, f64);
+    /// Linear block id `b`.
+    type Key = u64;
+    /// Block-local coordinates plus value.
+    type Value = (Vec<u32>, f64);
+    type Output = BlockOut;
+
+    fn map(&self, (coords, v): Self::Input, emit: &mut dyn FnMut(u64, (Vec<u32>, f64))) {
+        let mut block = 0u64;
+        let mut local = Vec::with_capacity(coords.len());
+        for (m, &c) in coords.iter().enumerate() {
+            let (k, off) = self.part_of[m][c as usize];
+            block = block * self.grid.parts()[m] as u64 + u64::from(k);
+            local.push(off);
+        }
+        emit(block, (local, v));
+    }
+
+    fn reduce(
+        &self,
+        block: u64,
+        values: Vec<(Vec<u32>, f64)>,
+        emit: &mut dyn FnMut(BlockOut),
+    ) {
+        let coords = self.grid.block_coords(block as usize);
+        let dims = self.grid.block_dims(&coords);
+        let mut builder = SparseBuilder::new(&dims);
+        let mut norm_sq = 0.0;
+        let mut idx = vec![0usize; dims.len()];
+        for (local, v) in values {
+            for (slot, c) in idx.iter_mut().zip(&local) {
+                *slot = *c as usize;
+            }
+            builder.push(&idx, v);
+            norm_sq += v * v;
+        }
+        let tensor = builder.build();
+        let opts = als_options(self.cfg, self.cfg.seed.wrapping_add(block));
+        match cp_als_sparse(&tensor, &opts) {
+            Ok(report) => {
+                let mut model = report.model;
+                balance_weights(&mut model);
+                emit(BlockOut {
+                    block,
+                    model,
+                    fit: report.final_fit,
+                    norm_sq,
+                });
+            }
+            Err(_) => {
+                // An unsolvable block degrades to zero factors rather than
+                // failing the whole job (mirrors footnote 3's treatment).
+                emit(BlockOut {
+                    block,
+                    model: CpModel::zeros(&dims, self.cfg.rank),
+                    fit: 0.0,
+                    norm_sq,
+                });
+            }
+        }
+    }
+}
+
+/// Phase 1 executed as a MapReduce job over the tensor's non-zeros —
+/// the paper's distributed formulation, runnable on the in-process engine.
+///
+/// # Errors
+/// Configuration, MapReduce or storage failures.
+pub fn run_phase1_mapreduce<S: UnitStore>(
+    x: &SparseTensor,
+    cfg: &TwoPcpConfig,
+    store: &mut S,
+    mr_dir: &Path,
+    counters: &JobCounters,
+) -> Result<Phase1Result> {
+    let grid = grid_for(cfg, x.dims())?;
+
+    let mut inputs: Vec<(Vec<u32>, f64)> = Vec::with_capacity(x.nnz());
+    x.for_each_entry(|idx, v| inputs.push((idx.to_vec(), v)));
+
+    let job = Phase1Job::new(&grid, cfg);
+    let mr_cfg = MrConfig::new(mr_dir);
+    let outputs = run_job(&job, inputs, &mr_cfg, counters)?;
+
+    // Fill in results; blocks with no non-zeros never reach a reducer.
+    let nblocks = grid.num_blocks();
+    let mut models: Vec<Option<CpModel>> = (0..nblocks).map(|_| None).collect();
+    let mut block_fits = vec![1.0f64; nblocks];
+    let mut block_norms_sq = vec![0.0f64; nblocks];
+    for out in outputs {
+        let b = out.block as usize;
+        block_fits[b] = out.fit;
+        block_norms_sq[b] = out.norm_sq;
+        models[b] = Some(out.model);
+    }
+    let models: Vec<CpModel> = models
+        .into_iter()
+        .enumerate()
+        .map(|(b, m)| {
+            m.unwrap_or_else(|| CpModel::zeros(&grid.block_dims(&grid.block_coords(b)), cfg.rank))
+        })
+        .collect();
+
+    let (u_norm_sq, total_unit_bytes) = assemble_units(&grid, cfg, &models, store)?;
+    Ok(Phase1Result {
+        grid,
+        block_norms_sq,
+        u_norm_sq,
+        block_fits,
+        total_unit_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcp_storage::MemStore;
+
+    fn low_rank(dims: &[usize], f: usize, seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
+        CpModel::new(vec![1.0; f], factors).unwrap().reconstruct_dense()
+    }
+
+    fn cfg(rank: usize, parts: Vec<usize>) -> TwoPcpConfig {
+        TwoPcpConfig::new(rank).parts(parts)
+    }
+
+    #[test]
+    fn dense_phase1_writes_all_units() {
+        let x = low_rank(&[8, 8, 8], 2, 1);
+        let cfg = cfg(2, vec![2]);
+        let mut store = MemStore::new();
+        let result = run_phase1_dense(&x, &cfg, &mut store).unwrap();
+        assert_eq!(result.grid.num_units(), 6);
+        assert_eq!(store.len(), 6);
+        for lin in 0..6 {
+            let unit = UnitId::from_linear(&result.grid, lin);
+            let data = store.read(unit).unwrap();
+            assert_eq!(data.factor.shape(), (4, 2));
+            assert_eq!(data.sub_factors.len(), 4, "slab of a 2x2x2 grid");
+        }
+        // Unit bytes match the paper's formula: per mode-partition
+        // (4·2)·(1 + 4)·8 bytes; 6 units total.
+        assert_eq!(result.total_unit_bytes, 6 * (4 * 2) * 5 * 8);
+    }
+
+    #[test]
+    fn dense_phase1_blocks_fit_well() {
+        let x = low_rank(&[8, 8, 8], 2, 2);
+        let cfg = TwoPcpConfig::new(3).parts(vec![2]);
+        let mut store = MemStore::new();
+        let result = run_phase1_dense(&x, &cfg, &mut store).unwrap();
+        for (b, fit) in result.block_fits.iter().enumerate() {
+            assert!(*fit > 0.98, "block {b} fit {fit}");
+        }
+        // ‖X̂₁‖ ≈ ‖X‖ when blocks fit well.
+        let total_u: f64 = result.u_norm_sq.iter().sum();
+        let total_x: f64 = result.block_norms_sq.iter().sum();
+        assert!((total_u - total_x).abs() / total_x < 0.05);
+    }
+
+    #[test]
+    fn sparse_phase1_handles_empty_blocks() {
+        // One populated corner; the rest of the blocks are empty.
+        let mut b = SparseBuilder::new(&[8, 8, 8]);
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    b.push(&[i, j, k], (1 + i + j + k) as f64);
+                }
+            }
+        }
+        let x = b.build();
+        let cfg = cfg(2, vec![2]);
+        let mut store = MemStore::new();
+        let result = run_phase1_sparse(&x, &cfg, &mut store).unwrap();
+        // Block (0,0,0) is the only non-empty one.
+        assert!(result.block_norms_sq[0] > 0.0);
+        assert!(result.block_norms_sq[1..].iter().all(|&n| n == 0.0));
+        assert!(result.u_norm_sq[1..].iter().all(|&n| n == 0.0));
+        // Empty blocks produce zero sub-factors (footnote 3).
+        let unit = store.read(UnitId::new(0, 1)).unwrap();
+        for (block, u) in &unit.sub_factors {
+            let coords = result.grid.block_coords(*block as usize);
+            assert_eq!(coords[0], 1);
+            assert!(u.as_slice().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn mapreduce_phase1_matches_threaded_norms() {
+        let x = low_rank(&[6, 6, 6], 2, 3);
+        let sparse = SparseTensor::from_dense(&x, 0.0);
+        let cfg = cfg(2, vec![2]);
+
+        let mut store_a = MemStore::new();
+        let threaded = run_phase1_sparse(&sparse, &cfg, &mut store_a).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("tpcp_p1mr_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let counters = JobCounters::new();
+        let mut store_b = MemStore::new();
+        let mr = run_phase1_mapreduce(&sparse, &cfg, &mut store_b, &dir, &counters).unwrap();
+
+        // Same per-block ALS seeds ⇒ identical block norms and fits.
+        assert_eq!(threaded.block_norms_sq, mr.block_norms_sq);
+        for (a, b) in threaded.block_fits.iter().zip(&mr.block_fits) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        let s = counters.snapshot();
+        assert_eq!(s.map_input_records, sparse.nnz() as u64);
+        assert_eq!(s.reduce_groups, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn balance_weights_preserves_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut model = CpModel::new(
+            vec![3.0, 0.5],
+            vec![
+                random_factor(3, 2, &mut rng),
+                random_factor(4, 2, &mut rng),
+                random_factor(2, 2, &mut rng),
+            ],
+        )
+        .unwrap();
+        let before = model.reconstruct_dense();
+        balance_weights(&mut model);
+        assert!(model.weights.iter().all(|&w| w == 1.0));
+        let after = model.reconstruct_dense();
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // Factor column norms are balanced across modes.
+        let n0 = model.factors[0].column_norms();
+        let n1 = model.factors[1].column_norms();
+        for (a, b) in n0.iter().zip(&n1) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_init_differs_from_slab_mean() {
+        let x = low_rank(&[4, 4], 1, 9);
+        let mut s1 = MemStore::new();
+        let mut s2 = MemStore::new();
+        run_phase1_dense(&x, &TwoPcpConfig::new(1).parts(vec![2]), &mut s1).unwrap();
+        run_phase1_dense(
+            &x,
+            &TwoPcpConfig::new(1).parts(vec![2]).init(InitKind::Random),
+            &mut s2,
+        )
+        .unwrap();
+        let a = s1.read(UnitId::new(0, 0)).unwrap();
+        let b = s2.read(UnitId::new(0, 0)).unwrap();
+        assert_ne!(a.factor, b.factor);
+        // Sub-factors are identical (same ALS), only the init differs.
+        assert_eq!(a.sub_factors, b.sub_factors);
+    }
+
+    #[test]
+    fn too_many_partitions_is_a_config_error() {
+        let x = low_rank(&[3, 3], 1, 0);
+        let mut store = MemStore::new();
+        let err = run_phase1_dense(&x, &TwoPcpConfig::new(1).parts(vec![4]), &mut store)
+            .unwrap_err();
+        assert!(matches!(err, TwoPcpError::Config { .. }));
+    }
+}

@@ -1,0 +1,219 @@
+//! The RAM-resident `P`/`Q` caches of the refinement phase.
+//!
+//! For every block `l` and mode `h` the paper maintains
+//! `P(h)_l = U(h)_lᵀ A(h)(l_h)` and `Q(h)_l = A(h)(l_h)ᵀ A(h)(l_h)` — `F×F`
+//! matrices revised *in place* after each sub-factor update (Algorithm 1/2,
+//! Observation #2). `Q(h)_l` depends on the block only through its mode-`h`
+//! partition, so it is stored per *unit* rather than per block.
+//!
+//! These caches are small (`|K|·N·F²` + `ΣKᵢ·F²` doubles) relative to the
+//! swappable units and are excluded from the buffer budget, matching the
+//! paper's memory accounting (§IV-A counts only `A` and `U` data).
+
+use crate::{Result, TwoPcpError};
+use tpcp_linalg::{hadamard_all, Mat};
+use tpcp_partition::Grid;
+use tpcp_schedule::UnitId;
+
+/// The `P`/`Q` cache (see module docs).
+pub struct PqCache {
+    order: usize,
+    rank: usize,
+    /// `p[block][mode]` = `U(mode)_blockᵀ · A(mode)(block_mode)`.
+    p: Vec<Vec<Mat>>,
+    /// `q[unit.linear]` = `A(i)(kᵢ)ᵀ · A(i)(kᵢ)`.
+    q: Vec<Mat>,
+}
+
+impl PqCache {
+    /// An all-zero cache for `grid` at rank `rank`.
+    pub fn new(grid: &Grid, rank: usize) -> Self {
+        PqCache {
+            order: grid.order(),
+            rank,
+            p: (0..grid.num_blocks())
+                .map(|_| (0..grid.order()).map(|_| Mat::zeros(rank, rank)).collect())
+                .collect(),
+            q: (0..grid.num_units()).map(|_| Mat::zeros(rank, rank)).collect(),
+        }
+    }
+
+    /// Decomposition rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// `P(mode)_block`.
+    pub fn p(&self, block: usize, mode: usize) -> &Mat {
+        &self.p[block][mode]
+    }
+
+    /// Replaces `P(mode)_block`.
+    pub fn set_p(&mut self, block: usize, mode: usize, value: Mat) {
+        debug_assert_eq!(value.shape(), (self.rank, self.rank));
+        self.p[block][mode] = value;
+    }
+
+    /// `Q` of the unit `⟨mode, part⟩`.
+    pub fn q(&self, grid: &Grid, unit: UnitId) -> &Mat {
+        &self.q[unit.linear(grid)]
+    }
+
+    /// Replaces `Q` of the unit.
+    pub fn set_q(&mut self, grid: &Grid, unit: UnitId, value: Mat) {
+        debug_assert_eq!(value.shape(), (self.rank, self.rank));
+        self.q[unit.linear(grid)] = value;
+    }
+
+    /// Hadamard product of `P(h)_block` over all modes `h ≠ mode`
+    /// (the paper's `P_l ⊘ (U(i)ᵀ_l A(i)(kᵢ))`, computed without the
+    /// numerically fragile element-wise division).
+    ///
+    /// # Errors
+    /// Propagates shape mismatches (impossible for a well-formed cache).
+    pub fn p_hadamard_excluding(&self, block: usize, mode: usize) -> Result<Mat> {
+        let mats: Vec<&Mat> = (0..self.order)
+            .filter(|&h| h != mode)
+            .map(|h| &self.p[block][h])
+            .collect();
+        hadamard_all(&mats).map_err(TwoPcpError::from)
+    }
+
+    /// Hadamard product of `Q` over all modes `h ≠ mode` for block
+    /// `coords` (the summand of `S(i)(kᵢ)`).
+    ///
+    /// # Errors
+    /// Propagates shape mismatches (impossible for a well-formed cache).
+    pub fn q_hadamard_excluding(
+        &self,
+        grid: &Grid,
+        coords: &[usize],
+        mode: usize,
+    ) -> Result<Mat> {
+        let mats: Vec<&Mat> = (0..self.order)
+            .filter(|&h| h != mode)
+            .map(|h| &self.q[UnitId::new(h, coords[h]).linear(grid)])
+            .collect();
+        hadamard_all(&mats).map_err(TwoPcpError::from)
+    }
+
+    /// Surrogate fit of the current global factors against the Phase-1
+    /// reconstruction (see crate docs of [`crate::phase2`]):
+    ///
+    /// `‖X̂₁ − X̂‖² = Σ_l ( ‖X̂₁_l‖² − 2·1ᵀ(⊛_h P(h)_l)1 + 1ᵀ(⊛_h Q(h)_l)1 )`
+    ///
+    /// computed entirely from the caches — zero I/O.
+    ///
+    /// # Errors
+    /// Propagates cache-shape mismatches (impossible when well-formed).
+    #[allow(clippy::needless_range_loop)]
+    pub fn surrogate_fit(&self, grid: &Grid, u_norm_sq: &[f64]) -> Result<f64> {
+        debug_assert_eq!(u_norm_sq.len(), grid.num_blocks());
+        let mut err_sq = 0.0;
+        let mut ref_sq = 0.0;
+        for block in 0..grid.num_blocks() {
+            let coords = grid.block_coords(block);
+            let p_refs: Vec<&Mat> = (0..self.order).map(|h| &self.p[block][h]).collect();
+            let inner = hadamard_all(&p_refs)?.sum();
+            let q_refs: Vec<&Mat> = (0..self.order)
+                .map(|h| &self.q[UnitId::new(h, coords[h]).linear(grid)])
+                .collect();
+            let model_sq = hadamard_all(&q_refs)?.sum();
+            err_sq += (u_norm_sq[block] - 2.0 * inner + model_sq).max(0.0);
+            ref_sq += u_norm_sq[block];
+        }
+        if ref_sq <= 0.0 {
+            return Ok(1.0);
+        }
+        Ok(1.0 - (err_sq.sqrt() / ref_sq.sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid22() -> Grid {
+        Grid::uniform(&[4, 4], 2)
+    }
+
+    #[test]
+    fn new_cache_is_zeroed() {
+        let g = grid22();
+        let pq = PqCache::new(&g, 3);
+        assert_eq!(pq.rank(), 3);
+        assert_eq!(pq.p(0, 0).shape(), (3, 3));
+        assert_eq!(pq.q(&g, UnitId::new(1, 1)).shape(), (3, 3));
+        assert!(pq.p(3, 1).as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let g = grid22();
+        let mut pq = PqCache::new(&g, 2);
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        pq.set_p(2, 1, m.clone());
+        assert_eq!(pq.p(2, 1), &m);
+        pq.set_q(&g, UnitId::new(1, 0), m.clone());
+        assert_eq!(pq.q(&g, UnitId::new(1, 0)), &m);
+    }
+
+    #[test]
+    fn hadamard_excluding_skips_the_mode() {
+        let g = grid22();
+        let mut pq = PqCache::new(&g, 1);
+        pq.set_p(0, 0, Mat::from_rows(&[&[2.0]]));
+        pq.set_p(0, 1, Mat::from_rows(&[&[5.0]]));
+        // Excluding mode 0 leaves only mode 1's P.
+        assert_eq!(pq.p_hadamard_excluding(0, 0).unwrap().get(0, 0), 5.0);
+        assert_eq!(pq.p_hadamard_excluding(0, 1).unwrap().get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn q_hadamard_uses_block_coords() {
+        let g = grid22();
+        let mut pq = PqCache::new(&g, 1);
+        pq.set_q(&g, UnitId::new(0, 1), Mat::from_rows(&[&[3.0]]));
+        pq.set_q(&g, UnitId::new(1, 0), Mat::from_rows(&[&[7.0]]));
+        // Block (1, 0): excluding mode 1 leaves Q of unit <0,1> = 3.
+        let got = pq.q_hadamard_excluding(&g, &[1, 0], 1).unwrap();
+        assert_eq!(got.get(0, 0), 3.0);
+        // Excluding mode 0 leaves Q of unit <1,0> = 7.
+        let got = pq.q_hadamard_excluding(&g, &[1, 0], 0).unwrap();
+        assert_eq!(got.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn surrogate_fit_perfect_alignment() {
+        // Rank 1, every block: P = Q = u_norm contribution s.t. error = 0.
+        let g = grid22();
+        let mut pq = PqCache::new(&g, 1);
+        for b in 0..g.num_blocks() {
+            for m in 0..2 {
+                pq.set_p(b, m, Mat::from_rows(&[&[2.0]]));
+            }
+        }
+        for u in 0..g.num_units() {
+            pq.set_q(&g, UnitId::from_linear(&g, u), Mat::from_rows(&[&[2.0]]));
+        }
+        // Per block: inner = 4, model_sq = 4 ⇒ choose u_norm_sq = 4.
+        let fit = pq.surrogate_fit(&g, &[4.0; 4]).unwrap();
+        assert!((fit - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surrogate_fit_detects_error() {
+        let g = grid22();
+        let pq = PqCache::new(&g, 1); // all-zero model
+        let fit = pq.surrogate_fit(&g, &[1.0; 4]).unwrap();
+        // err² = Σ u_norm_sq ⇒ fit = 0.
+        assert!(fit.abs() < 1e-12);
+    }
+
+    #[test]
+    fn surrogate_fit_zero_reference() {
+        let g = grid22();
+        let pq = PqCache::new(&g, 1);
+        assert_eq!(pq.surrogate_fit(&g, &[0.0; 4]).unwrap(), 1.0);
+    }
+}

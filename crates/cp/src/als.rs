@@ -1,0 +1,407 @@
+//! The alternating-least-squares driver.
+
+use crate::model::fit_from_parts;
+use crate::{mttkrp_dense, mttkrp_sparse, CpError, CpModel, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpcp_linalg::{hadamard_all, solve, Mat};
+use tpcp_tensor::{random_factor, DenseTensor, SparseTensor};
+
+/// Options for [`cp_als_dense`] / [`cp_als_sparse`].
+#[derive(Clone, Debug)]
+pub struct AlsOptions {
+    /// Decomposition rank `F`.
+    pub rank: usize,
+    /// Maximum number of full ALS iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on the per-iteration fit improvement
+    /// (the paper's stand-alone experiments use `10⁻²`).
+    pub tol: f64,
+    /// Relative ridge added when the normal-equation system is singular
+    /// (scaled by `trace(S)/F`).
+    pub ridge: f64,
+    /// Seed for the random factor initialisation.
+    pub seed: u64,
+    /// Optional explicit initial factors (overrides `seed`).
+    pub init: Option<Vec<Mat>>,
+}
+
+impl Default for AlsOptions {
+    fn default() -> Self {
+        AlsOptions {
+            rank: 10,
+            max_iters: 50,
+            tol: 1e-4,
+            ridge: 1e-9,
+            seed: 0,
+            init: None,
+        }
+    }
+}
+
+impl AlsOptions {
+    /// Convenience constructor fixing the rank.
+    pub fn with_rank(rank: usize) -> Self {
+        AlsOptions {
+            rank,
+            ..Default::default()
+        }
+    }
+}
+
+/// Outcome of an ALS run: the model plus convergence diagnostics.
+#[derive(Clone, Debug)]
+pub struct AlsReport {
+    /// The fitted model (normalised: unit factor columns, weights in `λ`).
+    pub model: CpModel,
+    /// Number of full iterations executed.
+    pub iterations: usize,
+    /// Fit (`1 − relative error`) after the final iteration.
+    pub final_fit: f64,
+    /// Fit after every iteration, in order.
+    pub fit_trace: Vec<f64>,
+    /// `true` when the tolerance was met before `max_iters`.
+    pub converged: bool,
+}
+
+/// Tensor abstraction letting one ALS loop serve both storage formats.
+trait AlsTensor {
+    fn dims(&self) -> &[usize];
+    fn norm_sq(&self) -> f64;
+    fn mttkrp(&self, factors: &[&Mat], mode: usize) -> Result<Mat>;
+}
+
+impl AlsTensor for DenseTensor {
+    fn dims(&self) -> &[usize] {
+        DenseTensor::dims(self)
+    }
+    fn norm_sq(&self) -> f64 {
+        self.fro_norm_sq()
+    }
+    fn mttkrp(&self, factors: &[&Mat], mode: usize) -> Result<Mat> {
+        mttkrp_dense(self, factors, mode)
+    }
+}
+
+impl AlsTensor for SparseTensor {
+    fn dims(&self) -> &[usize] {
+        SparseTensor::dims(self)
+    }
+    fn norm_sq(&self) -> f64 {
+        self.fro_norm_sq()
+    }
+    fn mttkrp(&self, factors: &[&Mat], mode: usize) -> Result<Mat> {
+        mttkrp_sparse(self, factors, mode)
+    }
+}
+
+/// CP-ALS on a dense tensor (the paper's Phase-1 PARAFAC per block, and the
+/// "Naive CP" baseline of Table II when applied to the whole tensor).
+///
+/// # Errors
+/// Propagates shape/singularity failures; [`CpError::ZeroRank`] when
+/// `options.rank == 0`.
+pub fn cp_als_dense(x: &DenseTensor, options: &AlsOptions) -> Result<AlsReport> {
+    als_loop(x, options)
+}
+
+/// CP-ALS on a sparse (COO) tensor.
+///
+/// # Errors
+/// Propagates shape/singularity failures; [`CpError::ZeroRank`] when
+/// `options.rank == 0`.
+pub fn cp_als_sparse(x: &SparseTensor, options: &AlsOptions) -> Result<AlsReport> {
+    als_loop(x, options)
+}
+
+fn als_loop<T: AlsTensor>(x: &T, options: &AlsOptions) -> Result<AlsReport> {
+    if options.rank == 0 {
+        return Err(CpError::ZeroRank);
+    }
+    let dims: Vec<usize> = x.dims().to_vec();
+    let order = dims.len();
+    let f = options.rank;
+
+    let mut factors: Vec<Mat> = match &options.init {
+        Some(init) => {
+            if init.len() != order
+                || init
+                    .iter()
+                    .zip(&dims)
+                    .any(|(m, &d)| m.rows() != d || m.cols() != f)
+            {
+                return Err(CpError::BadFactors {
+                    reason: "initial factors disagree with tensor dims/rank".into(),
+                });
+            }
+            init.clone()
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(options.seed);
+            dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect()
+        }
+    };
+
+    let norm_x_sq = x.norm_sq();
+    let mut grams: Vec<Mat> = factors.iter().map(Mat::gram).collect();
+    let mut fit_trace = Vec::with_capacity(options.max_iters);
+    let mut prev_fit = f64::NEG_INFINITY;
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for _iter in 0..options.max_iters {
+        iterations += 1;
+        let mut last_m: Option<Mat> = None;
+        for mode in 0..order {
+            let refs: Vec<&Mat> = factors.iter().collect();
+            let m = x.mttkrp(&refs, mode)?;
+            let other_grams: Vec<&Mat> = (0..order)
+                .filter(|&h| h != mode)
+                .map(|h| &grams[h])
+                .collect();
+            let s = hadamard_all(&other_grams)?;
+            let a = solve::solve_gram_system(&m, &s, options.ridge)?;
+            grams[mode] = a.gram();
+            factors[mode] = a;
+            if mode == order - 1 {
+                last_m = Some(m);
+            }
+        }
+
+        // Fit via the Gram identity — ⟨X, X̃⟩ = Σ (M ⊛ A_last), where M is
+        // the last mode's MTTKRP and A_last the factor just solved from it.
+        let m = last_m.expect("order >= 1");
+        let inner: f64 = m
+            .as_slice()
+            .iter()
+            .zip(factors[order - 1].as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let gram_refs: Vec<&Mat> = grams.iter().collect();
+        let model_sq = hadamard_all(&gram_refs)?.sum().max(0.0);
+        let fit = fit_from_parts(norm_x_sq, inner, model_sq);
+        fit_trace.push(fit);
+
+        // Rebalance factor scales (preserves the reconstruction: each
+        // column's total weight is redistributed as λ^{1/N} per mode).
+        rebalance(&mut factors, &mut grams);
+
+        if (fit - prev_fit).abs() < options.tol {
+            converged = true;
+            break;
+        }
+        prev_fit = fit;
+    }
+
+    let mut model = CpModel::new(vec![1.0; f], factors)?;
+    model.normalize();
+    let final_fit = fit_trace.last().copied().unwrap_or(0.0);
+    Ok(AlsReport {
+        model,
+        iterations,
+        final_fit,
+        fit_trace,
+        converged,
+    })
+}
+
+/// Normalises every factor column and redistributes the combined weight
+/// `λ_f` evenly (`λ_f^{1/N}` per mode), refreshing the Gram caches.
+fn rebalance(factors: &mut [Mat], grams: &mut [Mat]) {
+    let order = factors.len();
+    let f = factors.first().map_or(0, Mat::cols);
+    let mut lambda = vec![1.0f64; f];
+    for factor in factors.iter_mut() {
+        for (l, n) in lambda.iter_mut().zip(factor.normalize_columns()) {
+            *l *= n;
+        }
+    }
+    let root: Vec<f64> = lambda
+        .iter()
+        .map(|&l| if l > 0.0 { l.powf(1.0 / order as f64) } else { 0.0 })
+        .collect();
+    for (factor, gram) in factors.iter_mut().zip(grams.iter_mut()) {
+        factor.scale_columns(&root);
+        *gram = factor.gram();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A random rank-`f` tensor with optional noise.
+    fn low_rank_tensor(dims: &[usize], f: usize, noise: f64, seed: u64) -> DenseTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, f, &mut rng))
+            .collect();
+        let model = CpModel::new(vec![1.0; f], factors).unwrap();
+        let mut t = model.reconstruct_dense();
+        if noise > 0.0 {
+            let noise_t = tpcp_tensor::random_dense(dims, &mut rng);
+            for (v, n) in t.as_mut_slice().iter_mut().zip(noise_t.as_slice()) {
+                *v += noise * (n - 0.5);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn recovers_exact_low_rank_tensor() {
+        let t = low_rank_tensor(&[8, 7, 6], 3, 0.0, 42);
+        let opts = AlsOptions {
+            rank: 3,
+            max_iters: 200,
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let report = cp_als_dense(&t, &opts).unwrap();
+        assert!(
+            report.final_fit > 0.999,
+            "fit {} too low after {} iters",
+            report.final_fit,
+            report.iterations
+        );
+    }
+
+    #[test]
+    fn fit_trace_is_monotone_nondecreasing() {
+        let t = low_rank_tensor(&[6, 6, 6], 4, 0.2, 7);
+        let opts = AlsOptions {
+            rank: 4,
+            max_iters: 30,
+            tol: 0.0,
+            ..Default::default()
+        };
+        let report = cp_als_dense(&t, &opts).unwrap();
+        for w in report.fit_trace.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-8,
+                "fit decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn converges_and_reports() {
+        // ALS can enter a "swamp" (slow, collinear-factor convergence) on
+        // unlucky instances, so the threshold matches the paper's 1e-2
+        // stopping condition rather than machine precision.
+        let t = low_rank_tensor(&[5, 5, 5], 2, 0.0, 3);
+        let opts = AlsOptions {
+            rank: 2,
+            max_iters: 500,
+            tol: 1e-5,
+            ..Default::default()
+        };
+        let report = cp_als_dense(&t, &opts).unwrap();
+        assert!(report.converged);
+        assert!(report.iterations < 500);
+        assert_eq!(report.fit_trace.len(), report.iterations);
+    }
+
+    #[test]
+    fn sparse_matches_dense_path() {
+        let t = low_rank_tensor(&[6, 5, 4], 2, 0.0, 9);
+        let sp = SparseTensor::from_dense(&t, 0.0);
+        let opts = AlsOptions {
+            rank: 2,
+            max_iters: 40,
+            tol: 1e-12,
+            seed: 1,
+            ..Default::default()
+        };
+        let dense_report = cp_als_dense(&t, &opts).unwrap();
+        let sparse_report = cp_als_sparse(&sp, &opts).unwrap();
+        // Same seed, same data => identical trajectories.
+        assert_eq!(dense_report.iterations, sparse_report.iterations);
+        assert!((dense_report.final_fit - sparse_report.final_fit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_higher_than_dims_is_handled_by_ridge() {
+        // F = 6 against a 4x3x3 tensor: Grams are singular by construction.
+        let t = low_rank_tensor(&[4, 3, 3], 2, 0.0, 5);
+        let opts = AlsOptions {
+            rank: 6,
+            max_iters: 25,
+            tol: 1e-6,
+            ..Default::default()
+        };
+        let report = cp_als_dense(&t, &opts).unwrap();
+        assert!(report.final_fit > 0.99, "fit {}", report.final_fit);
+    }
+
+    #[test]
+    fn zero_tensor_returns_zero_model() {
+        let t = DenseTensor::zeros(&[4, 4, 4]);
+        let report = cp_als_dense(&t, &AlsOptions::with_rank(2)).unwrap();
+        assert_eq!(report.final_fit, 1.0);
+        assert!(report.model.norm_sq() < 1e-18);
+    }
+
+    #[test]
+    fn zero_rank_rejected() {
+        let t = DenseTensor::zeros(&[2, 2]);
+        assert!(matches!(
+            cp_als_dense(&t, &AlsOptions::with_rank(0)),
+            Err(CpError::ZeroRank)
+        ));
+    }
+
+    #[test]
+    fn explicit_init_is_used_and_validated() {
+        let t = low_rank_tensor(&[4, 4, 4], 2, 0.0, 8);
+        let bad = AlsOptions {
+            rank: 2,
+            init: Some(vec![Mat::zeros(4, 2); 2]),
+            ..Default::default()
+        };
+        assert!(cp_als_dense(&t, &bad).is_err());
+
+        let mut rng = StdRng::seed_from_u64(99);
+        let init: Vec<Mat> = (0..3).map(|_| random_factor(4, 2, &mut rng)).collect();
+        let opts = AlsOptions {
+            rank: 2,
+            max_iters: 300,
+            tol: 1e-9,
+            init: Some(init),
+            ..Default::default()
+        };
+        let report = cp_als_dense(&t, &opts).unwrap();
+        assert!(report.final_fit > 0.99, "fit {}", report.final_fit);
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let t = low_rank_tensor(&[5, 4, 3], 2, 0.1, 21);
+        let opts = AlsOptions {
+            rank: 2,
+            max_iters: 10,
+            tol: 0.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let a = cp_als_dense(&t, &opts).unwrap();
+        let b = cp_als_dense(&t, &opts).unwrap();
+        assert_eq!(a.fit_trace, b.fit_trace);
+    }
+
+    #[test]
+    fn two_mode_tensor_als_works() {
+        // CP on a matrix degenerates to a low-rank matrix factorisation.
+        let t = low_rank_tensor(&[8, 6], 2, 0.0, 31);
+        let opts = AlsOptions {
+            rank: 2,
+            max_iters: 100,
+            tol: 1e-10,
+            ..Default::default()
+        };
+        let report = cp_als_dense(&t, &opts).unwrap();
+        assert!(report.final_fit > 0.999);
+    }
+}

@@ -1,0 +1,326 @@
+//! MTTKRP: matricised tensor times Khatri-Rao product.
+//!
+//! `M = X_(n) · KR([A⁽ʰ⁾]_{h≠n})` is the dominant kernel of CP-ALS. Neither
+//! implementation materialises the Khatri-Rao product:
+//!
+//! * the dense 3-mode path streams contiguous mode-2 fibres and performs a
+//!   small GEMM per fibre (`O(|X|·F)` flops, `O(F)` scratch);
+//! * the generic dense path walks the tensor linearly with an odometer over
+//!   coordinates (no div/mod per element);
+//! * the sparse path accumulates one scaled Hadamard row product per
+//!   non-zero.
+
+use crate::{CpError, Result};
+use tpcp_linalg::Mat;
+use tpcp_tensor::{DenseTensor, SparseTensor};
+
+fn check_factors(dims: &[usize], factors: &[&Mat], mode: usize) -> Result<usize> {
+    if factors.len() != dims.len() {
+        return Err(CpError::BadFactors {
+            reason: format!(
+                "{} factors for order-{} tensor",
+                factors.len(),
+                dims.len()
+            ),
+        });
+    }
+    if mode >= dims.len() {
+        return Err(CpError::Tensor(tpcp_tensor::TensorError::InvalidMode {
+            mode,
+            order: dims.len(),
+        }));
+    }
+    let f = factors.first().map_or(0, |m| m.cols());
+    for (h, m) in factors.iter().enumerate() {
+        if m.cols() != f {
+            return Err(CpError::BadFactors {
+                reason: format!("factor {h} rank {} != {f}", m.cols()),
+            });
+        }
+        if h != mode && m.rows() != dims[h] {
+            return Err(CpError::BadFactors {
+                reason: format!("factor {h} rows {} != dim {}", m.rows(), dims[h]),
+            });
+        }
+    }
+    Ok(f)
+}
+
+/// Dense MTTKRP for mode `mode`: returns the `I_mode × F` matrix
+/// `X_(mode) · KR([factors]_{h≠mode})`.
+///
+/// `factors[mode]` is ignored (only its column count participates in
+/// validation), matching ALS usage where that factor is the one being
+/// solved for.
+///
+/// # Errors
+/// [`CpError::BadFactors`] on shape inconsistencies.
+pub fn mttkrp_dense(x: &DenseTensor, factors: &[&Mat], mode: usize) -> Result<Mat> {
+    let f = check_factors(x.dims(), factors, mode)?;
+    if x.order() == 3 {
+        return Ok(mttkrp_dense3(x, factors, mode, f));
+    }
+    Ok(mttkrp_dense_generic(x, factors, mode, f))
+}
+
+/// Specialised 3-mode path: iterate `(i, j)` pairs, treating the contiguous
+/// mode-2 fibre `X[i, j, :]` as a vector.
+fn mttkrp_dense3(x: &DenseTensor, factors: &[&Mat], mode: usize, f: usize) -> Mat {
+    let dims = x.dims();
+    let (di, dj, dk) = (dims[0], dims[1], dims[2]);
+    let mut out = Mat::zeros(dims[mode], f);
+    let data = x.as_slice();
+    let mut scratch = vec![0.0f64; f];
+    match mode {
+        0 => {
+            // M[i] += (X[i,j,:] · C) ⊛ B[j]
+            for i in 0..di {
+                let out_row = out.row_mut(i);
+                for j in 0..dj {
+                    let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
+                    scratch.fill(0.0);
+                    for (k, &v) in fibre.iter().enumerate() {
+                        if v == 0.0 {
+                            continue;
+                        }
+                        let c_row = factors[2].row(k);
+                        for (s, &c) in scratch.iter_mut().zip(c_row) {
+                            *s += v * c;
+                        }
+                    }
+                    let b_row = factors[1].row(j);
+                    for ((o, &s), &b) in out_row.iter_mut().zip(&scratch).zip(b_row) {
+                        *o += s * b;
+                    }
+                }
+            }
+        }
+        1 => {
+            // M[j] += (X[i,j,:] · C) ⊛ A[i]
+            for i in 0..di {
+                let a_row = factors[0].row(i);
+                for j in 0..dj {
+                    let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
+                    scratch.fill(0.0);
+                    for (k, &v) in fibre.iter().enumerate() {
+                        if v == 0.0 {
+                            continue;
+                        }
+                        let c_row = factors[2].row(k);
+                        for (s, &c) in scratch.iter_mut().zip(c_row) {
+                            *s += v * c;
+                        }
+                    }
+                    let out_row = out.row_mut(j);
+                    for ((o, &s), &a) in out_row.iter_mut().zip(&scratch).zip(a_row) {
+                        *o += s * a;
+                    }
+                }
+            }
+        }
+        _ => {
+            // M[k] += X[i,j,k] · (A[i] ⊛ B[j])
+            for i in 0..di {
+                let a_row = factors[0].row(i);
+                for j in 0..dj {
+                    let b_row = factors[1].row(j);
+                    for ((s, &a), &b) in scratch.iter_mut().zip(a_row).zip(b_row) {
+                        *s = a * b;
+                    }
+                    let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
+                    for (k, &v) in fibre.iter().enumerate() {
+                        if v == 0.0 {
+                            continue;
+                        }
+                        let out_row = out.row_mut(k);
+                        for (o, &s) in out_row.iter_mut().zip(&scratch) {
+                            *o += v * s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Generic N-mode dense path with an incremental coordinate odometer.
+fn mttkrp_dense_generic(x: &DenseTensor, factors: &[&Mat], mode: usize, f: usize) -> Mat {
+    let dims = x.dims();
+    let order = dims.len();
+    let mut out = Mat::zeros(dims[mode], f);
+    if x.is_empty() {
+        return out;
+    }
+    let mut coords = vec![0usize; order];
+    let mut prod = vec![0.0f64; f];
+    for &v in x.as_slice() {
+        if v != 0.0 {
+            prod.fill(v);
+            for (h, &c) in coords.iter().enumerate() {
+                if h == mode {
+                    continue;
+                }
+                for (p, &a) in prod.iter_mut().zip(factors[h].row(c)) {
+                    *p *= a;
+                }
+            }
+            let out_row = out.row_mut(coords[mode]);
+            for (o, &p) in out_row.iter_mut().zip(&prod) {
+                *o += p;
+            }
+        }
+        // Odometer increment (row-major, last mode fastest).
+        for m in (0..order).rev() {
+            coords[m] += 1;
+            if coords[m] < dims[m] {
+                break;
+            }
+            coords[m] = 0;
+        }
+    }
+    out
+}
+
+/// Sparse (COO) MTTKRP for mode `mode`.
+///
+/// # Errors
+/// [`CpError::BadFactors`] on shape inconsistencies.
+#[allow(clippy::needless_range_loop)]
+pub fn mttkrp_sparse(x: &SparseTensor, factors: &[&Mat], mode: usize) -> Result<Mat> {
+    let f = check_factors(x.dims(), factors, mode)?;
+    let mut out = Mat::zeros(x.dims()[mode], f);
+    let order = x.order();
+    let mut prod = vec![0.0f64; f];
+    let values = x.values();
+    for e in 0..x.nnz() {
+        prod.fill(values[e]);
+        for h in 0..order {
+            if h == mode {
+                continue;
+            }
+            let row = factors[h].row(x.mode_coords(h)[e] as usize);
+            for (p, &a) in prod.iter_mut().zip(row) {
+                *p *= a;
+            }
+        }
+        let target = x.mode_coords(mode)[e] as usize;
+        let out_row = out.row_mut(target);
+        for (o, &p) in out_row.iter_mut().zip(&prod) {
+            *o += p;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcp_linalg::khatri_rao;
+
+    fn reference_mttkrp(x: &DenseTensor, factors: &[&Mat], mode: usize) -> Mat {
+        // Materialised definition: unfold · KR.
+        let others: Vec<&Mat> = (0..factors.len())
+            .filter(|&h| h != mode)
+            .map(|h| factors[h])
+            .collect();
+        let kr = khatri_rao(&others).unwrap();
+        x.unfold(mode).unwrap().matmul(&kr).unwrap()
+    }
+
+    fn rand_tensor_and_factors(
+        dims: &[usize],
+        f: usize,
+        seed: u64,
+    ) -> (DenseTensor, Vec<Mat>) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = tpcp_tensor::random_dense(dims, &mut rng);
+        let factors = dims
+            .iter()
+            .map(|&d| tpcp_tensor::random_factor(d, f, &mut rng))
+            .collect();
+        (t, factors)
+    }
+
+    #[test]
+    fn dense3_matches_reference_all_modes() {
+        let (t, factors) = rand_tensor_and_factors(&[4, 5, 3], 2, 11);
+        let refs: Vec<&Mat> = factors.iter().collect();
+        for mode in 0..3 {
+            let fast = mttkrp_dense(&t, &refs, mode).unwrap();
+            let slow = reference_mttkrp(&t, &refs, mode);
+            assert!(
+                fast.max_abs_diff(&slow).unwrap() < 1e-10,
+                "mode {mode} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_generic_matches_reference_4mode() {
+        let (t, factors) = rand_tensor_and_factors(&[3, 2, 4, 2], 3, 5);
+        let refs: Vec<&Mat> = factors.iter().collect();
+        for mode in 0..4 {
+            let fast = mttkrp_dense(&t, &refs, mode).unwrap();
+            let slow = reference_mttkrp(&t, &refs, mode);
+            assert!(
+                fast.max_abs_diff(&slow).unwrap() < 1e-10,
+                "mode {mode} diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_generic_matches_2mode_matrix_product() {
+        // For a matrix, MTTKRP over mode 0 is X · B.
+        let (t, factors) = rand_tensor_and_factors(&[4, 3], 2, 7);
+        let refs: Vec<&Mat> = factors.iter().collect();
+        let fast = mttkrp_dense(&t, &refs, 0).unwrap();
+        let x = t.unfold(0).unwrap();
+        let expect = x.matmul(&factors[1]).unwrap();
+        assert!(fast.max_abs_diff(&expect).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        let (t, factors) = rand_tensor_and_factors(&[5, 4, 3], 3, 13);
+        // Zero half the cells to create genuine sparsity.
+        let mut t = t;
+        for (i, v) in t.as_mut_slice().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let sp = SparseTensor::from_dense(&t, 0.0);
+        let refs: Vec<&Mat> = factors.iter().collect();
+        for mode in 0..3 {
+            let d = mttkrp_dense(&t, &refs, mode).unwrap();
+            let s = mttkrp_sparse(&sp, &refs, mode).unwrap();
+            assert!(d.max_abs_diff(&s).unwrap() < 1e-10, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn empty_sparse_gives_zero() {
+        let sp = SparseTensor::empty(&[3, 3, 3]);
+        let f = Mat::zeros(3, 2);
+        let out = mttkrp_sparse(&sp, &[&f, &f, &f], 1).unwrap();
+        assert_eq!(out.shape(), (3, 2));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let t = DenseTensor::zeros(&[3, 3, 3]);
+        let good = Mat::zeros(3, 2);
+        let bad_rank = Mat::zeros(3, 4);
+        let bad_rows = Mat::zeros(2, 2);
+        assert!(mttkrp_dense(&t, &[&good, &good], 0).is_err());
+        assert!(mttkrp_dense(&t, &[&good, &bad_rank, &good], 0).is_err());
+        assert!(mttkrp_dense(&t, &[&good, &bad_rows, &good], 0).is_err());
+        assert!(mttkrp_dense(&t, &[&good, &good, &good], 3).is_err());
+        // The mode's own factor rows are NOT validated (it is replaced).
+        assert!(mttkrp_dense(&t, &[&bad_rows, &good, &good], 0).is_ok());
+    }
+}

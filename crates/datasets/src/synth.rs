@@ -1,0 +1,228 @@
+//! Generic synthetic tensor generators.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tpcp_cp::CpModel;
+use tpcp_linalg::Mat;
+use tpcp_tensor::{random_factor, DenseTensor, SparseBuilder, SparseTensor};
+
+/// A dense-stored tensor with an expected `density` fraction of non-zero
+/// cells, uniform values — the Table I/II workload ("billion-scale dense
+/// tensors" of density 0.2 / 0.49, stored with explicit zeros).
+pub fn dense_uniform(dims: &[usize], density: f64, seed: u64) -> DenseTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    tpcp_tensor::sparse_support_dense(dims, density, &mut rng)
+}
+
+/// A dense low-rank tensor `Σ_f a_f ∘ b_f ∘ …` plus uniform noise of
+/// amplitude `noise`; the ground-truth structure CP-ALS should recover.
+pub fn low_rank_dense(dims: &[usize], rank: usize, noise: f64, seed: u64) -> DenseTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factors: Vec<Mat> = dims
+        .iter()
+        .map(|&d| random_factor(d, rank, &mut rng))
+        .collect();
+    let model = CpModel::new(vec![1.0; rank], factors).expect("consistent rank");
+    let mut t = model.reconstruct_dense();
+    if noise > 0.0 {
+        for v in t.as_mut_slice() {
+            *v += noise * (rng.random::<f64>() - 0.5);
+        }
+    }
+    t
+}
+
+/// A sparse tensor whose support is sampled uniformly at the requested
+/// `density` and whose values come from a hidden low-rank CP model plus
+/// noise — the recipe behind the rating-style datasets.
+pub fn low_rank_sparse(
+    dims: &[usize],
+    density: f64,
+    rank: usize,
+    noise: f64,
+    seed: u64,
+) -> SparseTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factors: Vec<Mat> = dims
+        .iter()
+        .map(|&d| random_factor(d, rank, &mut rng))
+        .collect();
+    let model = CpModel::new(vec![1.0; rank], factors).expect("consistent rank");
+    sample_sparse_from_model(&model, dims, density, noise, &mut rng, None)
+}
+
+/// Samples `density·Πdims` coordinates (optionally biasing one mode by a
+/// weight table) and evaluates the model there.
+pub(crate) fn sample_sparse_from_model(
+    model: &CpModel,
+    dims: &[usize],
+    density: f64,
+    noise: f64,
+    rng: &mut StdRng,
+    mode0_weights: Option<&[f64]>,
+) -> SparseTensor {
+    let total: f64 = dims.iter().map(|&d| d as f64).product();
+    let target = (total * density).round().max(1.0) as usize;
+    let mut builder = SparseBuilder::new(dims);
+    let mut idx = vec![0usize; dims.len()];
+    // Cumulative table for the biased mode, if any.
+    let cumulative: Option<Vec<f64>> = mode0_weights.map(|w| {
+        let sum: f64 = w.iter().sum();
+        let mut acc = 0.0;
+        w.iter()
+            .map(|&x| {
+                acc += x / sum;
+                acc
+            })
+            .collect()
+    });
+    // Oversample slightly: the builder dedups coordinate collisions.
+    for _ in 0..(target + target / 8 + 4) {
+        for (m, slot) in idx.iter_mut().enumerate() {
+            *slot = if m == 0 {
+                match &cumulative {
+                    Some(c) => {
+                        let u: f64 = rng.random();
+                        c.partition_point(|&x| x < u).min(dims[0] - 1)
+                    }
+                    None => rng.random_range(0..dims[0]),
+                }
+            } else {
+                rng.random_range(0..dims[m])
+            };
+        }
+        let mut value = 0.0;
+        for f in 0..model.rank() {
+            let mut prod = model.weights[f];
+            for (m, &c) in idx.iter().enumerate() {
+                prod *= model.factors[m].get(c, f);
+            }
+            value += prod;
+        }
+        value += noise * (rng.random::<f64>() - 0.5);
+        if value == 0.0 {
+            value = f64::MIN_POSITIVE;
+        }
+        builder.push(&idx, value);
+    }
+    builder.build()
+}
+
+/// An ensemble-simulation tensor (paper §I footnote 2: "ensemble
+/// simulations … created by sampling the domains of the relevant input
+/// parameters, and recording simulation results for each configuration").
+///
+/// Each mode is an input-parameter axis; the cell value is a smooth
+/// response surface (a sum of `rank` separable sinusoidal modes) plus
+/// observation noise — dense by construction, like the Table I/II
+/// workloads, but with the smooth structure real simulation outputs have.
+pub fn ensemble_like(dims: &[usize], rank: usize, noise: f64, seed: u64) -> DenseTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let factors: Vec<Mat> = dims
+        .iter()
+        .map(|&d| {
+            let mut m = Mat::zeros(d, rank);
+            for f in 0..rank {
+                let freq = rng.random_range(0.5..3.0);
+                let phase = rng.random::<f64>() * std::f64::consts::TAU;
+                let amp = 0.5 + rng.random::<f64>();
+                for r in 0..d {
+                    let x = r as f64 / d.max(1) as f64;
+                    m.set(r, f, amp * (freq * std::f64::consts::TAU * x + phase).sin());
+                }
+            }
+            m
+        })
+        .collect();
+    let model = CpModel::new(vec![1.0; rank], factors).expect("consistent rank");
+    let mut t = model.reconstruct_dense();
+    if noise > 0.0 {
+        for v in t.as_mut_slice() {
+            *v += noise * (rng.random::<f64>() - 0.5);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_uniform_density() {
+        let t = dense_uniform(&[20, 20, 20], 0.2, 1);
+        let d = t.nnz() as f64 / t.len() as f64;
+        assert!((d - 0.2).abs() < 0.03, "density {d}");
+        // Deterministic per seed.
+        assert_eq!(t, dense_uniform(&[20, 20, 20], 0.2, 1));
+        assert_ne!(t, dense_uniform(&[20, 20, 20], 0.2, 2));
+    }
+
+    #[test]
+    fn low_rank_dense_is_actually_low_rank() {
+        let t = low_rank_dense(&[8, 8, 8], 2, 0.0, 3);
+        let report = tpcp_cp::cp_als_dense(
+            &t,
+            &tpcp_cp::AlsOptions {
+                rank: 2,
+                max_iters: 150,
+                tol: 1e-9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(report.final_fit > 0.99, "fit {}", report.final_fit);
+    }
+
+    #[test]
+    fn low_rank_sparse_hits_density_target() {
+        let dims = [50usize, 60, 20];
+        let t = low_rank_sparse(&dims, 0.01, 3, 0.1, 7);
+        let expect = (50.0 * 60.0 * 20.0 * 0.01) as usize;
+        // Collisions cause small shortfalls; oversampling small excess.
+        assert!(t.nnz() >= expect * 9 / 10, "nnz {} << {expect}", t.nnz());
+        assert!(t.nnz() <= expect * 13 / 10, "nnz {} >> {expect}", t.nnz());
+    }
+
+    #[test]
+    fn ensemble_like_is_smooth_and_dense() {
+        let t = ensemble_like(&[16, 16, 8], 3, 0.0, 5);
+        assert!(t.nnz() as f64 / t.len() as f64 > 0.95);
+        // Smoothness: adjacent cells along mode 0 differ much less than
+        // the global dynamic range.
+        let dims = t.dims().to_vec();
+        let mut max_step: f64 = 0.0;
+        let mut range_min = f64::INFINITY;
+        let mut range_max = f64::NEG_INFINITY;
+        for i in 0..dims[0] {
+            for j in 0..dims[1] {
+                for k in 0..dims[2] {
+                    let v = t.get(&[i, j, k]).unwrap();
+                    range_min = range_min.min(v);
+                    range_max = range_max.max(v);
+                    if i + 1 < dims[0] {
+                        let w = t.get(&[i + 1, j, k]).unwrap();
+                        max_step = max_step.max((v - w).abs());
+                    }
+                }
+            }
+        }
+        assert!(max_step < (range_max - range_min) * 0.8);
+    }
+
+    #[test]
+    fn biased_mode_sampling_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dims = [10usize, 10, 10];
+        let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, 2, &mut rng)).collect();
+        let model = CpModel::new(vec![1.0; 2], factors).unwrap();
+        // All weight on rows 0..2 of mode 0.
+        let mut weights = vec![0.0; 10];
+        weights[0] = 1.0;
+        weights[1] = 1.0;
+        let t = sample_sparse_from_model(&model, &dims, 0.2, 0.0, &mut rng, Some(&weights));
+        for e in 0..t.nnz() {
+            assert!(t.mode_coords(0)[e] < 2);
+        }
+    }
+}

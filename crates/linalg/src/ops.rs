@@ -1,0 +1,324 @@
+//! Multiplication, Gram, Hadamard and element-wise kernels on [`Mat`].
+
+use crate::{LinalgError, Mat, Result};
+
+impl Mat {
+    /// `self · rhs` (shapes `m×k` times `k×n`).
+    pub fn matmul(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols() != rhs.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k) = self.shape();
+        let n = rhs.cols();
+        let mut out = Mat::zeros(m, n);
+        // i-k-j ordering: the inner loop streams a row of `rhs` and a row of
+        // `out`, both contiguous, so the kernel vectorises without bounds
+        // checks dominating.
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(p);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ · rhs` (shapes `m×k` transposed times `m×n`, result `k×n`).
+    ///
+    /// This is the kernel behind the paper's `P(h)_l = U(h)_lᵀ A(h)(l_h)`
+    /// cache refresh, so it avoids materialising the transpose.
+    pub fn t_matmul(&self, rhs: &Mat) -> Result<Mat> {
+        if self.rows() != rhs.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "t_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k) = self.shape();
+        let n = rhs.cols();
+        let mut out = Mat::zeros(k, n);
+        // Accumulate rank-1 updates row by row; both accessed rows are
+        // contiguous.
+        for r in 0..m {
+            let a_row = self.row(r);
+            let b_row = rhs.row(r);
+            for (c, &a_rc) in a_row.iter().enumerate() {
+                if a_rc == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(c);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_rc * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self · rhsᵀ` (shapes `m×k` times `n×k` transposed, result `m×n`).
+    pub fn matmul_t(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols() != rhs.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_t",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let m = self.rows();
+        let n = rhs.rows();
+        let mut out = Mat::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `selfᵀ · self` (always square `cols × cols`, symmetric).
+    pub fn gram(&self) -> Mat {
+        // Computed via t_matmul with itself; the symmetric half-compute
+        // optimisation is not worth the branchier inner loop at F ≤ a few
+        // hundred, which is the regime of CP ranks.
+        self.t_matmul(self).expect("gram: shapes always compatible")
+    }
+
+    /// Element-wise (Hadamard) product, returning a new matrix.
+    pub fn hadamard(&self, rhs: &Mat) -> Result<Mat> {
+        let mut out = self.clone();
+        out.hadamard_assign(rhs)?;
+        Ok(out)
+    }
+
+    /// Element-wise (Hadamard) product in place: `self ⊛= rhs`.
+    pub fn hadamard_assign(&mut self, rhs: &Mat) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hadamard",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a *= b;
+        }
+        Ok(())
+    }
+
+    /// `self += rhs` in place.
+    pub fn add_assign(&mut self, rhs: &Mat) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// `self -= rhs` in place.
+    pub fn sub_assign(&mut self, rhs: &Mat) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sub",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a -= b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in self.as_mut_slice() {
+            *v *= s;
+        }
+    }
+
+    /// Scales each column `c` by `weights[c]` in place.
+    ///
+    /// Used to fold the CP component weights `λ_f` back into a factor.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != self.cols()`.
+    pub fn scale_columns(&mut self, weights: &[f64]) {
+        assert_eq!(weights.len(), self.cols(), "scale_columns: length mismatch");
+        let cols = self.cols();
+        for row in 0..self.rows() {
+            for (v, &w) in self.row_mut(row).iter_mut().zip(weights).take(cols) {
+                *v *= w;
+            }
+        }
+    }
+
+    /// Per-column Euclidean norms.
+    pub fn column_norms(&self) -> Vec<f64> {
+        let mut norms = vec![0.0; self.cols()];
+        for r in 0..self.rows() {
+            for (n, &v) in norms.iter_mut().zip(self.row(r)) {
+                *n += v * v;
+            }
+        }
+        for n in &mut norms {
+            *n = n.sqrt();
+        }
+        norms
+    }
+
+    /// Normalises each column to unit norm, returning the norms.
+    ///
+    /// Zero columns are left untouched and report norm 0 (their weight is
+    /// zero, so the CP reconstruction is unaffected).
+    pub fn normalize_columns(&mut self) -> Vec<f64> {
+        let norms = self.column_norms();
+        for r in 0..self.rows() {
+            let row = self.row_mut(r);
+            for (v, &n) in row.iter_mut().zip(&norms) {
+                if n > 0.0 {
+                    *v /= n;
+                }
+            }
+        }
+        norms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22() -> Mat {
+        Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let a = m22();
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m22();
+        let i = Mat::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = m22();
+        let b = Mat::zeros(3, 2);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Mat::from_rows(&[&[1.0, 0.5], &[-1.0, 2.0]]);
+        let fast = a.t_matmul(&b).unwrap();
+        let slow = a.transposed().matmul(&b).unwrap();
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Mat::from_rows(&[&[1.0, 0.5, 2.0], &[-1.0, 2.0, 0.0]]);
+        let fast = a.matmul_t(&b).unwrap();
+        let slow = a.matmul(&b.transposed()).unwrap();
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn gram_is_symmetric_and_correct() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = a.gram();
+        assert_eq!(g.shape(), (2, 2));
+        assert_eq!(g.get(0, 0), 35.0);
+        assert_eq!(g.get(0, 1), 44.0);
+        assert_eq!(g.get(1, 0), 44.0);
+        assert_eq!(g.get(1, 1), 56.0);
+    }
+
+    #[test]
+    fn hadamard_and_assign() {
+        let a = m22();
+        let b = Mat::from_rows(&[&[2.0, 0.0], &[1.0, -1.0]]);
+        let h = a.hadamard(&b).unwrap();
+        assert_eq!(h, Mat::from_rows(&[&[2.0, 0.0], &[3.0, -4.0]]));
+        let mut c = a.clone();
+        c.hadamard_assign(&b).unwrap();
+        assert_eq!(c, h);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let mut a = m22();
+        a.add_assign(&Mat::identity(2)).unwrap();
+        assert_eq!(a, Mat::from_rows(&[&[2.0, 2.0], &[3.0, 5.0]]));
+        a.sub_assign(&Mat::identity(2)).unwrap();
+        assert_eq!(a, m22());
+        a.scale(2.0);
+        assert_eq!(a, Mat::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]));
+    }
+
+    #[test]
+    fn shape_errors_on_elementwise() {
+        let mut a = m22();
+        let b = Mat::zeros(1, 2);
+        assert!(a.hadamard(&b).is_err());
+        assert!(a.add_assign(&b).is_err());
+        assert!(a.sub_assign(&b).is_err());
+    }
+
+    #[test]
+    fn column_norms_and_normalize() {
+        let mut a = Mat::from_rows(&[&[3.0, 0.0], &[4.0, 0.0]]);
+        let norms = a.normalize_columns();
+        assert!((norms[0] - 5.0).abs() < 1e-12);
+        assert_eq!(norms[1], 0.0);
+        assert!((a.get(0, 0) - 0.6).abs() < 1e-12);
+        assert!((a.get(1, 0) - 0.8).abs() < 1e-12);
+        // Zero column untouched.
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn scale_columns_folds_weights() {
+        let mut a = m22();
+        a.scale_columns(&[10.0, 0.5]);
+        assert_eq!(a, Mat::from_rows(&[&[10.0, 1.0], &[30.0, 2.0]]));
+    }
+}

@@ -1,0 +1,329 @@
+//! Linear solvers: Cholesky for SPD Gram systems, LU for general squares.
+//!
+//! CP-ALS and the 2PCP refinement both need `X · S⁻¹` where `S` is an `F×F`
+//! Hadamard product of Gram matrices — symmetric positive *semi*-definite,
+//! and frequently rank-deficient when the rank `F` exceeds a mode dimension
+//! (the paper runs F=100 against an 18-wide mode). [`solve_gram_system`]
+//! therefore attempts a plain Cholesky factorisation and escalates through
+//! increasing ridge (Tikhonov) regularisation until the factorisation
+//! succeeds, which is the standard practical treatment.
+
+// Index-based loops mirror the textbook factorisation pseudocode; iterator
+// rewrites obscure the triangular access patterns.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{LinalgError, Mat, Result};
+
+/// Cholesky factorisation of a symmetric positive-definite matrix.
+///
+/// Returns the lower-triangular factor `L` with `L·Lᵀ = S`.
+///
+/// # Errors
+/// [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::Singular`] when a pivot is not strictly positive
+/// (semi-definite or indefinite input).
+pub fn cholesky(s: &Mat) -> Result<Mat> {
+    let n = s.rows();
+    if s.cols() != n {
+        return Err(LinalgError::NotSquare { shape: s.shape() });
+    }
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = s.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(LinalgError::Singular);
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L·Lᵀ·x = b` in place for one right-hand side given the Cholesky
+/// factor `L`; `b` is overwritten with `x`.
+#[allow(clippy::needless_range_loop)]
+pub fn cholesky_solve_vec(l: &Mat, b: &mut [f64]) {
+    let n = l.rows();
+    debug_assert_eq!(b.len(), n);
+    // Forward substitution: L y = b.
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * b[k];
+        }
+        b[i] = sum / l.get(i, i);
+    }
+    // Back substitution: Lᵀ x = y.
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for k in i + 1..n {
+            sum -= l.get(k, i) * b[k];
+        }
+        b[i] = sum / l.get(i, i);
+    }
+}
+
+/// Computes `X = T · S⁻¹` for symmetric positive (semi-)definite `S`.
+///
+/// This is the paper's update rule `A(i)(ki) ← T(i)(ki) (S(i)(ki))⁻¹`
+/// (eq. 3). Row `r` of the result solves `S xᵀ = T[r,:]ᵀ` (valid because `S`
+/// is symmetric). When the plain Cholesky factorisation fails, a ridge of
+/// `ridge · trace(S)/F` is added and doubled until it succeeds.
+///
+/// # Errors
+/// [`LinalgError::ShapeMismatch`] when `T.cols() != S.rows()`, or
+/// [`LinalgError::Singular`] if even heavy regularisation fails (e.g. `S`
+/// contains non-finite values).
+pub fn solve_gram_system(t: &Mat, s: &Mat, ridge: f64) -> Result<Mat> {
+    if t.cols() != s.rows() || s.rows() != s.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_gram_system",
+            lhs: t.shape(),
+            rhs: s.shape(),
+        });
+    }
+    let n = s.rows();
+    if n == 0 {
+        return Ok(Mat::zeros(t.rows(), 0));
+    }
+    let trace: f64 = (0..n).map(|i| s.get(i, i)).sum();
+    let scale = if trace > 0.0 { trace / n as f64 } else { 1.0 };
+
+    let mut lambda = 0.0;
+    let mut next_lambda = ridge.max(1e-12) * scale;
+    for _attempt in 0..24 {
+        let mut reg = s.clone();
+        if lambda > 0.0 {
+            for i in 0..n {
+                let v = reg.get(i, i) + lambda;
+                reg.set(i, i, v);
+            }
+        }
+        match cholesky(&reg) {
+            Ok(l) => {
+                let mut out = t.clone();
+                let mut rhs = vec![0.0; n];
+                for r in 0..out.rows() {
+                    rhs.copy_from_slice(out.row(r));
+                    cholesky_solve_vec(&l, &mut rhs);
+                    out.row_mut(r).copy_from_slice(&rhs);
+                }
+                return Ok(out);
+            }
+            Err(_) => {
+                lambda = next_lambda;
+                next_lambda *= 10.0;
+            }
+        }
+    }
+    Err(LinalgError::Singular)
+}
+
+/// Solves the general square system `A x = b` by LU with partial pivoting.
+///
+/// Used in tests and by the HaTen2 baseline's local solve step.
+///
+/// # Errors
+/// [`LinalgError::NotSquare`] / [`LinalgError::ShapeMismatch`] on bad
+/// shapes, [`LinalgError::Singular`] when a pivot underflows.
+pub fn lu_solve(a: &Mat, b: &[f64]) -> Result<Vec<f64>> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "lu_solve",
+            lhs: a.shape(),
+            rhs: (b.len(), 1),
+        });
+    }
+    let mut lu = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot_row = col;
+        let mut pivot_val = lu.get(col, col).abs();
+        for r in col + 1..n {
+            let v = lu.get(r, col).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            perm.swap(col, pivot_row);
+            for c in 0..n {
+                let a = lu.get(col, c);
+                let b2 = lu.get(pivot_row, c);
+                lu.set(col, c, b2);
+                lu.set(pivot_row, c, a);
+            }
+            x.swap(col, pivot_row);
+        }
+        let inv_pivot = 1.0 / lu.get(col, col);
+        for r in col + 1..n {
+            let factor = lu.get(r, col) * inv_pivot;
+            lu.set(r, col, factor);
+            if factor != 0.0 {
+                for c in col + 1..n {
+                    let v = lu.get(r, c) - factor * lu.get(col, c);
+                    lu.set(r, c, v);
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+    }
+    // Back substitution on U.
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for k in i + 1..n {
+            sum -= lu.get(i, k) * x[k];
+        }
+        x[i] = sum / lu.get(i, i);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Mat {
+        // A·Aᵀ + I for a fixed A is SPD.
+        let a = Mat::from_rows(&[&[1.0, 2.0, 0.0], &[0.0, 1.0, 1.0], &[2.0, 0.0, 1.0]]);
+        let mut s = a.matmul_t(&a).unwrap();
+        s.add_assign(&Mat::identity(3)).unwrap();
+        s
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let s = spd3();
+        let l = cholesky(&s).unwrap();
+        let back = l.matmul_t(&l).unwrap();
+        assert!(back.max_abs_diff(&s).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let s = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(cholesky(&s).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        assert!(matches!(
+            cholesky(&Mat::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn cholesky_solve_roundtrip() {
+        let s = spd3();
+        let l = cholesky(&s).unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        // b = S x.
+        let mut b = [0.0; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                b[i] += s.get(i, j) * x_true[j];
+            }
+        }
+        cholesky_solve_vec(&l, &mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_gram_system_exact() {
+        let s = spd3();
+        let x_true = Mat::from_rows(&[&[1.0, 0.0, 2.0], &[0.5, -1.0, 0.0]]);
+        let t = x_true.matmul(&s).unwrap();
+        let x = solve_gram_system(&t, &s, 1e-12).unwrap();
+        assert!(x.max_abs_diff(&x_true).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn solve_gram_system_singular_falls_back_to_ridge() {
+        // Rank-1 Gram matrix: plain Cholesky fails, ridge path must engage.
+        let a = Mat::from_rows(&[&[1.0, 2.0]]);
+        let s = a.gram(); // [[1,2],[2,4]], singular
+        let t = Mat::from_rows(&[&[1.0, 2.0]]);
+        let x = solve_gram_system(&t, &s, 1e-10).unwrap();
+        // The regularised solution must be finite and approximately satisfy
+        // x·S ≈ T in the least-squares sense.
+        assert!(x.as_slice().iter().all(|v| v.is_finite()));
+        let back = x.matmul(&s).unwrap();
+        assert!(back.max_abs_diff(&t).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn solve_gram_system_rejects_nan() {
+        let s = Mat::from_rows(&[&[f64::NAN]]);
+        let t = Mat::from_rows(&[&[1.0]]);
+        assert_eq!(
+            solve_gram_system(&t, &s, 1e-10).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+
+    #[test]
+    fn solve_gram_system_empty_rank() {
+        let x = solve_gram_system(&Mat::zeros(3, 0), &Mat::zeros(0, 0), 1e-10).unwrap();
+        assert_eq!(x.shape(), (3, 0));
+    }
+
+    #[test]
+    fn lu_solve_known_system() {
+        let a = Mat::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let b = [8.0, -11.0, -3.0];
+        let x = lu_solve(&a, &b).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (got, want) in x.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn lu_solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = lu_solve(&a, &[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_singular() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn lu_solve_shape_errors() {
+        assert!(matches!(
+            lu_solve(&Mat::zeros(2, 3), &[0.0, 0.0]),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            lu_solve(&Mat::identity(2), &[0.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the linear-algebra kernels.
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use tpcp_linalg::{hadamard_all, khatri_rao, solve, Mat};
+
+/// Strategy producing a matrix with bounded dimensions and tame values.
+fn mat(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Mat> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Mat::from_vec(r, c, data))
+    })
+}
+
+/// Pair of matrices with compatible inner dimension for `matmul`.
+fn matmul_pair() -> impl Strategy<Value = (Mat, Mat)> {
+    (1usize..8, 1usize..8, 1usize..8).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-10.0f64..10.0, m * k)
+                .prop_map(move |d| Mat::from_vec(m, k, d)),
+            proptest::collection::vec(-10.0f64..10.0, k * n)
+                .prop_map(move |d| Mat::from_vec(k, n, d)),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(a in mat(1..12, 1..12)) {
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity((a, b) in matmul_pair()) {
+        let c = a.matmul(&b).unwrap();
+        let via_identity = a
+            .matmul(&Mat::identity(a.cols())).unwrap()
+            .matmul(&b).unwrap();
+        prop_assert!(c.max_abs_diff(&via_identity).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn t_matmul_equals_transpose_then_matmul((a, b) in (1usize..8, 1usize..8, 1usize..8)
+        .prop_flat_map(|(m, k, n)| (
+            proptest::collection::vec(-10.0f64..10.0, m * k)
+                .prop_map(move |d| Mat::from_vec(m, k, d)),
+            proptest::collection::vec(-10.0f64..10.0, m * n)
+                .prop_map(move |d| Mat::from_vec(m, n, d)),
+        )))
+    {
+        let fast = a.t_matmul(&b).unwrap();
+        let slow = a.transposed().matmul(&b).unwrap();
+        prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal(a in mat(1..10, 1..6)) {
+        let g = a.gram();
+        for i in 0..g.rows() {
+            // Diagonal entries of a Gram matrix are column norms squared.
+            prop_assert!(g.get(i, i) >= -1e-12);
+            for j in 0..g.cols() {
+                prop_assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn khatri_rao_gram_identity(
+        (a, b) in (1usize..6, 1usize..6, 1usize..5).prop_flat_map(|(ra, rb, f)| (
+            proptest::collection::vec(-5.0f64..5.0, ra * f)
+                .prop_map(move |d| Mat::from_vec(ra, f, d)),
+            proptest::collection::vec(-5.0f64..5.0, rb * f)
+                .prop_map(move |d| Mat::from_vec(rb, f, d)),
+        )))
+    {
+        // (A ⊙ B)ᵀ(A ⊙ B) = AᵀA ⊛ BᵀB
+        let k = khatri_rao(&[&a, &b]).unwrap();
+        let lhs = k.gram();
+        let rhs = a.gram().hadamard(&b.gram()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn hadamard_is_commutative(a in mat(1..8, 1..8)) {
+        let b = {
+            let mut b = a.clone();
+            b.scale(0.5);
+            b
+        };
+        let ab = hadamard_all(&[&a, &b]).unwrap();
+        let ba = hadamard_all(&[&b, &a]).unwrap();
+        prop_assert!(ab.max_abs_diff(&ba).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn solve_gram_recovers_solution(
+        (x, basis) in (1usize..5, 2usize..6).prop_flat_map(|(m, n)| (
+            proptest::collection::vec(-3.0f64..3.0, m * n)
+                .prop_map(move |d| Mat::from_vec(m, n, d)),
+            proptest::collection::vec(-3.0f64..3.0, (n + 2) * n)
+                .prop_map(move |d| Mat::from_vec(n + 2, n, d)),
+        )))
+    {
+        // S = basisᵀ·basis + I is comfortably SPD.
+        let mut s = basis.gram();
+        s.add_assign(&Mat::identity(s.rows())).unwrap();
+        let t = x.matmul(&s).unwrap();
+        let recovered = solve::solve_gram_system(&t, &s, 1e-12).unwrap();
+        prop_assert!(recovered.max_abs_diff(&x).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn lu_solve_residual_is_small(
+        (a, x) in (2usize..6).prop_flat_map(|n| (
+            proptest::collection::vec(-3.0f64..3.0, n * n)
+                .prop_map(move |d| {
+                    // Diagonally dominate to keep the system well conditioned.
+                    let mut m = Mat::from_vec(n, n, d);
+                    for i in 0..n {
+                        let v = m.get(i, i) + 10.0;
+                        m.set(i, i, v);
+                    }
+                    m
+                }),
+            proptest::collection::vec(-3.0f64..3.0, n),
+        )))
+    {
+        let mut b = vec![0.0; x.len()];
+        for i in 0..x.len() {
+            for j in 0..x.len() {
+                b[i] += a.get(i, j) * x[j];
+            }
+        }
+        let got = solve::lu_solve(&a, &b).unwrap();
+        for (g, w) in got.iter().zip(&x) {
+            prop_assert!((g - w).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn vstack_row_block_roundtrip(
+        (top, bottom) in (1usize..5, 1usize..5, 1usize..5).prop_flat_map(|(r1, r2, c)| (
+            proptest::collection::vec(-5.0f64..5.0, r1 * c)
+                .prop_map(move |d| Mat::from_vec(r1, c, d)),
+            proptest::collection::vec(-5.0f64..5.0, r2 * c)
+                .prop_map(move |d| Mat::from_vec(r2, c, d)),
+        )))
+    {
+        let stacked = Mat::vstack(&[&top, &bottom]);
+        prop_assert_eq!(stacked.row_block(0, top.rows()), top.clone());
+        prop_assert_eq!(stacked.row_block(top.rows(), bottom.rows()), bottom);
+    }
+}

@@ -1,0 +1,129 @@
+//! Hadoop-style job counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters accumulated across a job's mappers and reducers.
+///
+/// Shared between worker threads; all updates are relaxed atomics (exact
+/// totals matter, ordering does not).
+#[derive(Debug, Default)]
+pub struct JobCounters {
+    /// Input records consumed by mappers.
+    pub map_input_records: AtomicU64,
+    /// Key/value pairs emitted by mappers.
+    pub map_output_records: AtomicU64,
+    /// Encoded bytes that crossed the shuffle (the "network" traffic).
+    pub shuffle_bytes: AtomicU64,
+    /// Bytes spilled to disk during the map phase.
+    pub spill_bytes: AtomicU64,
+    /// Number of spill files created.
+    pub spill_files: AtomicU64,
+    /// Distinct keys reduced.
+    pub reduce_groups: AtomicU64,
+    /// Records emitted by reducers.
+    pub reduce_output_records: AtomicU64,
+}
+
+impl JobCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plain-value snapshot for reporting.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            map_input_records: self.map_input_records.load(Ordering::Relaxed),
+            map_output_records: self.map_output_records.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            spill_files: self.spill_files.load(Ordering::Relaxed),
+            reduce_groups: self.reduce_groups.load(Ordering::Relaxed),
+            reduce_output_records: self.reduce_output_records.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn add(&self, field: CounterField, n: u64) {
+        let target = match field {
+            CounterField::MapInput => &self.map_input_records,
+            CounterField::MapOutput => &self.map_output_records,
+            CounterField::ShuffleBytes => &self.shuffle_bytes,
+            CounterField::SpillBytes => &self.spill_bytes,
+            CounterField::SpillFiles => &self.spill_files,
+            CounterField::ReduceGroups => &self.reduce_groups,
+            CounterField::ReduceOutput => &self.reduce_output_records,
+        };
+        target.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[derive(Clone, Copy)]
+pub(crate) enum CounterField {
+    MapInput,
+    MapOutput,
+    ShuffleBytes,
+    SpillBytes,
+    SpillFiles,
+    ReduceGroups,
+    ReduceOutput,
+}
+
+/// Immutable counter values (see [`JobCounters::snapshot`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Input records consumed by mappers.
+    pub map_input_records: u64,
+    /// Key/value pairs emitted by mappers.
+    pub map_output_records: u64,
+    /// Encoded bytes that crossed the shuffle.
+    pub shuffle_bytes: u64,
+    /// Bytes spilled to disk during the map phase.
+    pub spill_bytes: u64,
+    /// Number of spill files created.
+    pub spill_files: u64,
+    /// Distinct keys reduced.
+    pub reduce_groups: u64,
+    /// Records emitted by reducers.
+    pub reduce_output_records: u64,
+}
+
+impl std::fmt::Display for CounterSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "map_in={} map_out={} shuffle={}B spill={}B/{} files groups={} reduce_out={}",
+            self.map_input_records,
+            self.map_output_records,
+            self.shuffle_bytes,
+            self.spill_bytes,
+            self.spill_files,
+            self.reduce_groups,
+            self.reduce_output_records
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_adds() {
+        let c = JobCounters::new();
+        c.add(CounterField::MapInput, 10);
+        c.add(CounterField::MapInput, 5);
+        c.add(CounterField::ShuffleBytes, 1024);
+        let s = c.snapshot();
+        assert_eq!(s.map_input_records, 15);
+        assert_eq!(s.shuffle_bytes, 1024);
+        assert_eq!(s.reduce_groups, 0);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let c = JobCounters::new();
+        c.add(CounterField::MapOutput, 2);
+        let line = c.snapshot().to_string();
+        assert!(line.contains("map_out=2"));
+    }
+}

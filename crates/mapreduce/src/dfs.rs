@@ -1,0 +1,156 @@
+//! A simulated distributed file system for chaining jobs.
+//!
+//! Real HaTen2 materialises every intermediate between its MapReduce jobs
+//! on HDFS; the cost of those reads and writes is the core of the paper's
+//! Table I argument. [`SimDfs`] materialises record files on local disk
+//! with byte accounting so the harness can report the same quantity.
+
+use crate::record::decode_all;
+use crate::{MrError, Record, Result};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Simulated DFS rooted at a local directory.
+pub struct SimDfs {
+    root: PathBuf,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl SimDfs {
+    /// Opens (creating if needed) a DFS rooted at `root`.
+    ///
+    /// # Errors
+    /// I/O failure creating the directory.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(SimDfs {
+            root: root.as_ref().to_path_buf(),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.rec"))
+    }
+
+    /// Materialises `records` under `name` (overwrites).
+    ///
+    /// # Errors
+    /// I/O failure writing the file.
+    pub fn store<R: Record>(&self, name: &str, records: &[R]) -> Result<()> {
+        let mut buf = Vec::new();
+        for r in records {
+            r.encode(&mut buf);
+        }
+        let path = self.path_of(name);
+        let mut f = std::io::BufWriter::new(fs::File::create(&path)?);
+        f.write_all(&buf)?;
+        f.flush()?;
+        self.bytes_written.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Loads the records stored under `name`.
+    ///
+    /// # Errors
+    /// Missing file, I/O failure, or a malformed stream.
+    pub fn load<R: Record>(&self, name: &str) -> Result<Vec<R>> {
+        let bytes = fs::read(self.path_of(name))?;
+        self.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        decode_all(&bytes).ok_or_else(|| MrError::Decode {
+            context: format!("dfs file {name}"),
+        })
+    }
+
+    /// Whether `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.path_of(name).exists()
+    }
+
+    /// Removes `name` if present.
+    pub fn remove(&self, name: &str) {
+        let _ = fs::remove_file(self.path_of(name));
+    }
+
+    /// Total bytes written ("HDFS write traffic").
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read ("HDFS read traffic").
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tpcp_dfs_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let dir = tmp("roundtrip");
+        let dfs = SimDfs::open(&dir).unwrap();
+        let records: Vec<(u32, f64)> = (0..100).map(|i| (i, i as f64 * 0.5)).collect();
+        dfs.store("factors_mode0", &records).unwrap();
+        assert!(dfs.contains("factors_mode0"));
+        let back: Vec<(u32, f64)> = dfs.load("factors_mode0").unwrap();
+        assert_eq!(back, records);
+        assert_eq!(dfs.bytes_written(), 100 * 12);
+        assert_eq!(dfs.bytes_read(), 100 * 12);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let dir = tmp("missing");
+        let dfs = SimDfs::open(&dir).unwrap();
+        assert!(dfs.load::<u32>("nope").is_err());
+        assert!(!dfs.contains("nope"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overwrite_and_remove() {
+        let dir = tmp("overwrite");
+        let dfs = SimDfs::open(&dir).unwrap();
+        dfs.store("x", &[1u32, 2]).unwrap();
+        dfs.store("x", &[9u32]).unwrap();
+        assert_eq!(dfs.load::<u32>("x").unwrap(), vec![9]);
+        dfs.remove("x");
+        assert!(!dfs.contains("x"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_stream_detected() {
+        let dir = tmp("corrupt");
+        let dfs = SimDfs::open(&dir).unwrap();
+        dfs.store("y", &[(1u32, 2.0f64)]).unwrap();
+        // Append a stray byte.
+        let path = dfs.path_of("y");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.push(0xAB);
+        fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            dfs.load::<(u32, f64)>("y"),
+            Err(MrError::Decode { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

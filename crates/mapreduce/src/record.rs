@@ -1,0 +1,180 @@
+//! Self-delimiting binary record encoding for shuffle and DFS traffic.
+
+/// A value that can cross the shuffle or be materialised on the simulated
+/// DFS.
+///
+/// Encoding must be self-delimiting (decode consumes exactly what encode
+/// produced) so that records can be streamed back from concatenated spill
+/// files. All integers are little-endian.
+pub trait Record: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes one record from the front of `buf`, advancing it.
+    /// Returns `None` on truncation/corruption.
+    fn decode(buf: &mut &[u8]) -> Option<Self>;
+}
+
+macro_rules! int_record {
+    ($t:ty) => {
+        impl Record for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(buf: &mut &[u8]) -> Option<Self> {
+                const N: usize = std::mem::size_of::<$t>();
+                if buf.len() < N {
+                    return None;
+                }
+                let (head, rest) = buf.split_at(N);
+                *buf = rest;
+                Some(<$t>::from_le_bytes(head.try_into().ok()?))
+            }
+        }
+    };
+}
+
+int_record!(u16);
+int_record!(u32);
+int_record!(u64);
+int_record!(i64);
+int_record!(f64);
+
+impl Record for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(_buf: &mut &[u8]) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl<A: Record, B: Record> Record for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Record, B: Record, C: Record> Record for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+impl<A: Record, B: Record, C: Record, D: Record> Record for (A, B, C, D) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+        self.3.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?, D::decode(buf)?))
+    }
+}
+
+impl<T: Record> Record for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Option<Self> {
+        let len = u64::decode(buf)? as usize;
+        // Defensive cap: a corrupt length must not trigger a huge alloc.
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Some(out)
+    }
+}
+
+/// Decodes a whole byte stream into records (consumes it entirely).
+/// Returns `None` if the stream is malformed or has trailing bytes.
+pub(crate) fn decode_all<T: Record>(mut buf: &[u8]) -> Option<Vec<T>> {
+    let mut out = Vec::new();
+    while !buf.is_empty() {
+        out.push(T::decode(&mut buf)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Record + PartialEq + std::fmt::Debug + Clone>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut cur = buf.as_slice();
+        let back = T::decode(&mut cur).expect("decode");
+        assert_eq!(back, v);
+        assert!(cur.is_empty(), "decode must consume everything");
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(123456789u64);
+        roundtrip(-42i64);
+        roundtrip(3.5f64);
+        roundtrip(f64::MIN_POSITIVE);
+        roundtrip(7u16);
+    }
+
+    #[test]
+    fn tuple_roundtrips() {
+        roundtrip((1u32, 2.5f64));
+        roundtrip((1u32, 2u32, 3.5f64));
+        roundtrip((1u64, 2u32, 3u32, 4.5f64));
+    }
+
+    #[test]
+    fn vec_roundtrips() {
+        roundtrip(Vec::<f64>::new());
+        roundtrip(vec![1.0f64, -2.0, 3.0]);
+        roundtrip(vec![(1u32, 1.5f64), (2, 2.5)]);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        (1u64, 2.5f64).encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut cur = &buf[..cut];
+            assert!(<(u64, f64)>::decode(&mut cur).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn decode_all_streams() {
+        let mut buf = Vec::new();
+        for i in 0..10u32 {
+            (i, i as f64).encode(&mut buf);
+        }
+        let all: Vec<(u32, f64)> = decode_all(&buf).unwrap();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[7], (7, 7.0));
+        // Trailing garbage fails.
+        buf.push(0xff);
+        assert!(decode_all::<(u32, f64)>(&buf).is_none());
+    }
+
+    #[test]
+    fn corrupt_vec_length_does_not_allocate_absurdly() {
+        let mut buf = Vec::new();
+        (u64::MAX).encode(&mut buf);
+        let mut cur = buf.as_slice();
+        assert!(Vec::<f64>::decode(&mut cur).is_none());
+    }
+}

@@ -1,0 +1,20 @@
+//! Grid partitioning of tensors into blocks (sub-tensors) and slabs.
+//!
+//! The paper partitions an N-mode tensor `X ∈ R^{I₁×…×I_N}` into a grid of
+//! sub-tensors `X = {X_k | k ∈ K}` where mode `i` is split into `Kᵢ` equal
+//! partitions (§III-C). [`Grid`] captures that partitioning pattern and
+//! provides:
+//!
+//! * block coordinate ⇄ linear id mapping (row-major over the grid),
+//! * per-mode partition ranges (supporting the uneven tail the paper's
+//!   "equal partitions" assumption glosses over),
+//! * *slab* enumeration — the set `[∗,…,∗,kᵢ,∗,…,∗]` of blocks sharing
+//!   partition `kᵢ` on mode `i`, which is the unit the update rules sum
+//!   over and the granularity of the paper's data-access units (Def. 4),
+//! * dense and sparse tensor splitting/reassembly.
+
+mod grid;
+mod split;
+
+pub use grid::{Grid, SlabIter};
+pub use split::{assemble_dense, split_dense, split_sparse};

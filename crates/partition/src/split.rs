@@ -1,0 +1,172 @@
+//! Splitting tensors into grid blocks and reassembling them.
+
+use crate::Grid;
+use tpcp_tensor::{DenseTensor, SparseBuilder, SparseTensor};
+
+/// Splits a dense tensor into its grid blocks, returned in linear block-id
+/// order.
+///
+/// # Panics
+/// Panics when the grid was built for different dimensions.
+pub fn split_dense(t: &DenseTensor, grid: &Grid) -> Vec<DenseTensor> {
+    assert_eq!(t.dims(), grid.dims(), "grid/tensor dimension mismatch");
+    let mut out = Vec::with_capacity(grid.num_blocks());
+    for coords in grid.iter_blocks() {
+        let ranges = grid.block_ranges(&coords);
+        out.push(t.slice(&ranges).expect("in-bounds by construction"));
+    }
+    out
+}
+
+/// Splits a sparse tensor into its grid blocks (coordinates re-based to each
+/// block origin), returned in linear block-id order.
+///
+/// Runs in a single pass over the non-zeros: each entry is routed to its
+/// block by per-mode partition lookup tables, the bucketing strategy the
+/// paper's Phase-1 MapReduce mapper uses (`map: ⟨b, i, j, k, X(i,j,k)⟩ on b`).
+///
+/// # Panics
+/// Panics when the grid was built for different dimensions.
+pub fn split_sparse(t: &SparseTensor, grid: &Grid) -> Vec<SparseTensor> {
+    assert_eq!(t.dims(), grid.dims(), "grid/tensor dimension mismatch");
+    let order = grid.order();
+    // part_of[m][row] = (partition index, offset within partition).
+    let mut part_of: Vec<Vec<(u32, u32)>> = Vec::with_capacity(order);
+    for m in 0..order {
+        let mut table = vec![(0u32, 0u32); grid.dims()[m]];
+        for k in 0..grid.parts()[m] {
+            let r = grid.part_range(m, k);
+            for (off, slot) in table[r.clone()].iter_mut().enumerate() {
+                *slot = (k as u32, off as u32);
+            }
+        }
+        part_of.push(table);
+    }
+
+    let mut builders: Vec<SparseBuilder> = grid
+        .iter_blocks()
+        .map(|c| SparseBuilder::new(&grid.block_dims(&c)))
+        .collect();
+
+    let mut local = vec![0usize; order];
+    for e in 0..t.nnz() {
+        let mut lin_block = 0usize;
+        for m in 0..order {
+            let (k, off) = part_of[m][t.mode_coords(m)[e] as usize];
+            lin_block = lin_block * grid.parts()[m] + k as usize;
+            local[m] = off as usize;
+        }
+        builders[lin_block].push(&local, t.values()[e]);
+    }
+    builders.into_iter().map(SparseBuilder::build).collect()
+}
+
+/// Reassembles dense blocks (in linear block-id order) into the full tensor.
+///
+/// Inverse of [`split_dense`]; used by tests and by reconstruction-based
+/// accuracy checks.
+///
+/// # Panics
+/// Panics when the number of blocks disagrees with the grid.
+pub fn assemble_dense(blocks: &[DenseTensor], grid: &Grid) -> DenseTensor {
+    assert_eq!(blocks.len(), grid.num_blocks(), "block count mismatch");
+    let mut out = DenseTensor::zeros(grid.dims());
+    for (lin, block) in blocks.iter().enumerate() {
+        let coords = grid.block_coords(lin);
+        let offsets: Vec<usize> = grid
+            .block_ranges(&coords)
+            .into_iter()
+            .map(|r| r.start)
+            .collect();
+        out.paste(block, &offsets).expect("block fits by construction");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcp_tensor::num_elements;
+
+    fn seq_tensor(dims: &[usize]) -> DenseTensor {
+        let n = num_elements(dims);
+        DenseTensor::from_vec(dims, (0..n).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn dense_split_assemble_roundtrip_even() {
+        let t = seq_tensor(&[4, 4, 4]);
+        let g = Grid::uniform(t.dims(), 2);
+        let blocks = split_dense(&t, &g);
+        assert_eq!(blocks.len(), 8);
+        assert!(blocks.iter().all(|b| b.dims() == [2, 2, 2]));
+        assert_eq!(assemble_dense(&blocks, &g), t);
+    }
+
+    #[test]
+    fn dense_split_assemble_roundtrip_uneven() {
+        let t = seq_tensor(&[5, 7, 3]);
+        let g = Grid::new(t.dims(), &[2, 3, 2]);
+        let blocks = split_dense(&t, &g);
+        assert_eq!(blocks.len(), 12);
+        assert_eq!(assemble_dense(&blocks, &g), t);
+    }
+
+    #[test]
+    fn dense_block_content_matches_source() {
+        let t = seq_tensor(&[4, 4]);
+        let g = Grid::uniform(t.dims(), 2);
+        let blocks = split_dense(&t, &g);
+        // Block [1,0] covers rows 2..4, cols 0..2.
+        let b = &blocks[g.block_linear(&[1, 0])];
+        assert_eq!(b.get(&[0, 0]).unwrap(), t.get(&[2, 0]).unwrap());
+        assert_eq!(b.get(&[1, 1]).unwrap(), t.get(&[3, 1]).unwrap());
+    }
+
+    #[test]
+    fn sparse_split_matches_dense_split() {
+        let t = seq_tensor(&[6, 5, 4]);
+        let s = SparseTensor::from_dense(&t, 0.5); // drop the zero cell
+        let g = Grid::new(t.dims(), &[3, 2, 2]);
+        let dense_blocks = split_dense(&t, &g);
+        let sparse_blocks = split_sparse(&s, &g);
+        assert_eq!(sparse_blocks.len(), dense_blocks.len());
+        for (sb, db) in sparse_blocks.iter().zip(&dense_blocks) {
+            assert_eq!(sb.dims(), db.dims());
+            assert_eq!(&sb.to_dense().unwrap(), db);
+        }
+    }
+
+    #[test]
+    fn sparse_split_conserves_nnz_and_norm() {
+        let t = seq_tensor(&[7, 7]);
+        let s = SparseTensor::from_dense(&t, 0.0);
+        let g = Grid::new(t.dims(), &[3, 2]);
+        let blocks = split_sparse(&s, &g);
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let norm_sq: f64 = blocks.iter().map(|b| b.fro_norm_sq()).sum();
+        assert_eq!(nnz, s.nnz());
+        assert!((norm_sq - s.fro_norm_sq()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_sparse_blocks_exist() {
+        // One nonzero => all but one block empty, but every block present.
+        let mut b = tpcp_tensor::SparseBuilder::new(&[4, 4]);
+        b.push(&[0, 0], 1.0);
+        let s = b.build();
+        let g = Grid::uniform(&[4, 4], 2);
+        let blocks = split_sparse(&s, &g);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[0].nnz(), 1);
+        assert!(blocks[1..].iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn split_rejects_wrong_grid() {
+        let t = seq_tensor(&[4, 4]);
+        let g = Grid::uniform(&[8, 8], 2);
+        let _ = split_dense(&t, &g);
+    }
+}

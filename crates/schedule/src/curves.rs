@@ -1,0 +1,312 @@
+//! Space-filling curve indices: Morton (Z-order) and Hilbert.
+//!
+//! Both functions map an N-dimensional block coordinate to a scalar curve
+//! position; schedules are obtained by *sorting* the grid's blocks by that
+//! position. Sorting (rather than walking the padded curve and skipping
+//! out-of-range cells) handles non-power-of-two partition counts without
+//! enumerating the padding.
+
+/// Morton (Z-order) index of `coords`, interleaving `bits` bits per mode
+/// with mode 0 occupying the most significant bit of each group.
+///
+/// This matches the paper's definition (§VI-C1):
+/// `zvalue(k).base2((m−j)N + i) = kᵢ.base2(j)` — e.g. block `[2, 3]` with
+/// `m = 3` maps to `0b001101 = 13`, the example of Figure 9(b).
+///
+/// # Panics
+/// Panics if the result would not fit 128 bits or a coordinate needs more
+/// than `bits` bits.
+pub fn morton_index(coords: &[usize], bits: u32) -> u128 {
+    let n = coords.len() as u32;
+    assert!(bits * n <= 128, "morton index exceeds 128 bits");
+    for &c in coords {
+        assert!(
+            bits == 0 || (c >> bits) == 0,
+            "coordinate {c} needs more than {bits} bits"
+        );
+    }
+    let mut z: u128 = 0;
+    for j in (0..bits).rev() {
+        for &c in coords {
+            z = (z << 1) | ((c as u128 >> j) & 1);
+        }
+    }
+    z
+}
+
+/// Hilbert curve index of `coords`, `bits` bits per mode, using Skilling's
+/// axes-to-transpose algorithm (J. Skilling, "Programming the Hilbert
+/// curve", AIP 2004) followed by bit interleaving of the transposed form.
+///
+/// The resulting order has the property the paper exploits (§VI-C2):
+/// consecutive curve positions differ in exactly one coordinate by ±1
+/// ("U"-shaped segments, no jumps), so neighbouring steps share `N−1` of
+/// their `N` data units.
+///
+/// # Panics
+/// Panics if the result would not fit 128 bits or a coordinate needs more
+/// than `bits` bits.
+pub fn hilbert_index(coords: &[usize], bits: u32) -> u128 {
+    let n = coords.len();
+    assert!(bits as usize * n <= 128, "hilbert index exceeds 128 bits");
+    for &c in coords {
+        assert!(
+            bits == 0 || (c >> bits) == 0,
+            "coordinate {c} needs more than {bits} bits"
+        );
+    }
+    if bits == 0 || n == 0 {
+        return 0;
+    }
+    let mut x: Vec<u64> = coords.iter().map(|&c| c as u64).collect();
+
+    // Axes -> transpose (Skilling). After this, the Hilbert index is the
+    // bit-interleave of x[0..n] (x[0] most significant within each group).
+    let mut q: u64 = 1 << (bits - 1);
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of x[0]
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t: u64 = 0;
+    q = 1 << (bits - 1);
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in &mut x {
+        *xi ^= t;
+    }
+
+    // Interleave the transposed form into a single integer.
+    let mut h: u128 = 0;
+    for j in (0..bits).rev() {
+        for &xi in &x {
+            h = (h << 1) | ((xi as u128 >> j) & 1);
+        }
+    }
+    h
+}
+
+/// Inverse of [`hilbert_index`]: recovers coordinates from a curve position
+/// (Skilling's transpose-to-axes). Used by tests to establish bijectivity.
+pub fn hilbert_coords(index: u128, n: usize, bits: u32) -> Vec<usize> {
+    if n == 0 || bits == 0 {
+        return vec![0; n];
+    }
+    // De-interleave into the transposed form.
+    let mut x = vec![0u64; n];
+    let total_bits = bits as usize * n;
+    for b in 0..total_bits {
+        let bit = (index >> (total_bits - 1 - b)) & 1;
+        let j = bits - 1 - (b / n) as u32;
+        let i = b % n;
+        x[i] |= (bit as u64) << j;
+    }
+
+    // Gray decode.
+    let mut t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+
+    // Undo excess work.
+    let mut q: u64 = 2;
+    while q != 1 << bits {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+    x.into_iter().map(|v| v as usize).collect()
+}
+
+/// Number of bits needed to address `parts` partitions.
+fn bits_for(parts: &[usize]) -> u32 {
+    parts
+        .iter()
+        .map(|&p| usize::BITS - p.saturating_sub(1).leading_zeros())
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
+/// Linear block ids of `grid` sorted by Morton curve position.
+pub fn morton_rank_blocks(grid: &tpcp_partition::Grid) -> Vec<usize> {
+    rank_by(grid, morton_index)
+}
+
+/// Linear block ids of `grid` sorted by Hilbert curve position.
+pub fn hilbert_rank_blocks(grid: &tpcp_partition::Grid) -> Vec<usize> {
+    rank_by(grid, hilbert_index)
+}
+
+fn rank_by(grid: &tpcp_partition::Grid, key: fn(&[usize], u32) -> u128) -> Vec<usize> {
+    let bits = bits_for(grid.parts());
+    let mut ids: Vec<(u128, usize)> = (0..grid.num_blocks())
+        .map(|lin| (key(&grid.block_coords(lin), bits), lin))
+        .collect();
+    ids.sort_unstable();
+    ids.into_iter().map(|(_, lin)| lin).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcp_partition::Grid;
+
+    #[test]
+    fn morton_matches_paper_example() {
+        // Figure 9(b): block [2, 3] in an 8x8 grid has Z-value 13.
+        assert_eq!(morton_index(&[2, 3], 3), 0b001101);
+        assert_eq!(morton_index(&[2, 3], 3), 13);
+    }
+
+    #[test]
+    fn morton_2d_first_quad() {
+        // Classic 2x2 "Z": (0,0) (0,1) (1,0) (1,1).
+        let order: Vec<u128> = [[0, 0], [0, 1], [1, 0], [1, 1]]
+            .iter()
+            .map(|c| morton_index(c, 1))
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn morton_is_injective_8x8() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..8usize {
+            for j in 0..8usize {
+                assert!(seen.insert(morton_index(&[i, j], 3)));
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn hilbert_2x2_is_the_u_shape() {
+        // Order-1 2D Hilbert curve: (0,0) (0,1) (1,1) (1,0).
+        let path: Vec<Vec<usize>> = (0..4).map(|h| hilbert_coords(h, 2, 1)).collect();
+        assert_eq!(
+            path,
+            vec![vec![0, 0], vec![0, 1], vec![1, 1], vec![1, 0]]
+        );
+    }
+
+    #[test]
+    fn hilbert_roundtrip_and_unit_steps_2d() {
+        let bits = 3;
+        let side = 1usize << bits;
+        let mut prev: Option<Vec<usize>> = None;
+        for h in 0..(side * side) as u128 {
+            let c = hilbert_coords(h, 2, bits);
+            assert_eq!(hilbert_index(&c, bits), h, "roundtrip at {h}");
+            if let Some(p) = prev {
+                let dist: usize = p
+                    .iter()
+                    .zip(&c)
+                    .map(|(a, b)| a.abs_diff(*b))
+                    .sum();
+                assert_eq!(dist, 1, "non-unit step {p:?} -> {c:?}");
+            }
+            prev = Some(c);
+        }
+    }
+
+    #[test]
+    fn hilbert_roundtrip_and_unit_steps_3d() {
+        let bits = 2;
+        let side = 1usize << bits;
+        let mut prev: Option<Vec<usize>> = None;
+        for h in 0..(side * side * side) as u128 {
+            let c = hilbert_coords(h, 3, bits);
+            assert_eq!(hilbert_index(&c, bits), h, "roundtrip at {h}");
+            if let Some(p) = prev {
+                let dist: usize = p
+                    .iter()
+                    .zip(&c)
+                    .map(|(a, b)| a.abs_diff(*b))
+                    .sum();
+                assert_eq!(dist, 1, "non-unit step {p:?} -> {c:?}");
+            }
+            prev = Some(c);
+        }
+    }
+
+    #[test]
+    fn hilbert_visits_every_cell_4d() {
+        let bits = 1;
+        let cells = 1u128 << 4;
+        let mut seen = std::collections::HashSet::new();
+        for h in 0..cells {
+            let c = hilbert_coords(h, 4, bits);
+            assert!(c.iter().all(|&v| v < 2));
+            assert!(seen.insert(c));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn rank_blocks_cover_grid_once() {
+        let g = Grid::uniform(&[8, 8, 8], 4);
+        for ranks in [morton_rank_blocks(&g), hilbert_rank_blocks(&g)] {
+            let mut sorted = ranks.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..g.num_blocks()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn rank_blocks_non_power_of_two() {
+        let g = Grid::new(&[9, 6, 10], &[3, 2, 5]);
+        for ranks in [morton_rank_blocks(&g), hilbert_rank_blocks(&g)] {
+            let mut sorted = ranks.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..g.num_blocks()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn hilbert_rank_follows_curve_on_pow2_grid() {
+        // On a full power-of-two grid the sorted order must equal the curve
+        // walk, hence consecutive blocks at Manhattan distance 1.
+        let g = Grid::uniform(&[8, 8], 4);
+        let ranks = hilbert_rank_blocks(&g);
+        for w in ranks.windows(2) {
+            let a = g.block_coords(w[0]);
+            let b = g.block_coords(w[1]);
+            let dist: usize = a.iter().zip(&b).map(|(x, y)| x.abs_diff(*y)).sum();
+            assert_eq!(dist, 1);
+        }
+    }
+
+    #[test]
+    fn bits_for_handles_edge_cases() {
+        assert_eq!(bits_for(&[1]), 1);
+        assert_eq!(bits_for(&[2]), 1);
+        assert_eq!(bits_for(&[3]), 2);
+        assert_eq!(bits_for(&[8, 2]), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Mixed-radix reflected Gray-code traversal (extension schedule).
+//!
+//! Not part of the paper's evaluated set — included as an ablation: the
+//! reflected Gray code over the block grid changes **exactly one**
+//! coordinate (by ±1) per step like the Hilbert curve, so consecutive
+//! steps share `N−1` of their `N` data units; unlike Hilbert it is defined
+//! natively for arbitrary (non-power-of-two, per-mode different) partition
+//! counts and its rank mapping is a handful of divisions.
+//!
+//! The construction is the standard mixed-radix reflected Gray code: digit
+//! `m` of the `rank`-th codeword counts up `0,1,…,Kₘ−1` or down depending
+//! on the parity of the more-significant prefix.
+
+/// Coordinates of position `rank` on the mixed-radix reflected Gray walk
+/// over a grid with per-mode sizes `radices` (row-major digit order, mode
+/// 0 most significant).
+///
+/// # Panics
+/// Panics when `rank >= Π radices` or a radix is zero.
+pub fn gray_coords(mut rank: usize, radices: &[usize]) -> Vec<usize> {
+    let total: usize = radices.iter().product();
+    assert!(
+        radices.iter().all(|&r| r > 0) && rank < total,
+        "gray rank {rank} out of range for radices {radices:?}"
+    );
+    // Plain mixed-radix digits, most significant first.
+    let mut digits = vec![0usize; radices.len()];
+    for m in (0..radices.len()).rev() {
+        digits[m] = rank % radices[m];
+        rank /= radices[m];
+    }
+    // Reflect: digit m runs backwards whenever the *plain value* of the
+    // more significant prefix is odd (each advance of the prefix reverses
+    // the whole inner sweep once).
+    let mut out = vec![0usize; radices.len()];
+    let mut prefix = 0usize;
+    for (m, &r) in radices.iter().enumerate() {
+        let d = digits[m];
+        out[m] = if prefix.is_multiple_of(2) { d } else { r - 1 - d };
+        prefix = prefix * r + d;
+    }
+    out
+}
+
+/// Inverse of [`gray_coords`]: the walk position of `coords`.
+///
+/// # Panics
+/// Panics when a coordinate is out of range.
+pub fn gray_rank(coords: &[usize], radices: &[usize]) -> usize {
+    assert_eq!(coords.len(), radices.len());
+    let mut rank = 0usize;
+    for (m, (&c, &r)) in coords.iter().zip(radices).enumerate() {
+        assert!(c < r, "coordinate {c} out of range for radix {r} (mode {m})");
+        let d = if rank.is_multiple_of(2) { c } else { r - 1 - c };
+        rank = rank * r + d;
+    }
+    rank
+}
+
+/// Linear block ids of `grid` in Gray-walk order.
+pub fn gray_rank_blocks(grid: &tpcp_partition::Grid) -> Vec<usize> {
+    let radices = grid.parts();
+    (0..grid.num_blocks())
+        .map(|rank| grid.block_linear(&gray_coords(rank, radices)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcp_partition::Grid;
+
+    #[test]
+    fn binary_gray_matches_classic_sequence() {
+        // Radix-2 over 3 digits is the classic binary reflected Gray code.
+        let radices = [2usize, 2, 2];
+        let expect = [
+            [0, 0, 0],
+            [0, 0, 1],
+            [0, 1, 1],
+            [0, 1, 0],
+            [1, 1, 0],
+            [1, 1, 1],
+            [1, 0, 1],
+            [1, 0, 0],
+        ];
+        for (rank, want) in expect.iter().enumerate() {
+            assert_eq!(gray_coords(rank, &radices), want.to_vec(), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn rank_roundtrip_mixed_radices() {
+        let radices = [3usize, 2, 4];
+        for rank in 0..24 {
+            let c = gray_coords(rank, &radices);
+            assert_eq!(gray_rank(&c, &radices), rank, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn consecutive_positions_differ_by_unit_step() {
+        let radices = [3usize, 5, 2, 3];
+        let total: usize = radices.iter().product();
+        let mut prev = gray_coords(0, &radices);
+        for rank in 1..total {
+            let cur = gray_coords(rank, &radices);
+            let dist: usize = prev
+                .iter()
+                .zip(&cur)
+                .map(|(a, b)| a.abs_diff(*b))
+                .sum();
+            assert_eq!(dist, 1, "jump at rank {rank}: {prev:?} -> {cur:?}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn visits_every_cell_exactly_once() {
+        let radices = [4usize, 3, 3];
+        let total: usize = radices.iter().product();
+        let mut seen = std::collections::HashSet::new();
+        for rank in 0..total {
+            assert!(seen.insert(gray_coords(rank, &radices)));
+        }
+        assert_eq!(seen.len(), total);
+    }
+
+    #[test]
+    fn rank_blocks_is_a_permutation() {
+        let g = Grid::new(&[9, 6, 10], &[3, 2, 5]);
+        let order = gray_rank_blocks(&g);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.num_blocks()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rank_panics() {
+        let _ = gray_coords(8, &[2, 2, 2]);
+    }
+}

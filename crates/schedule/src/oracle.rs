@@ -1,0 +1,190 @@
+//! Forward-looking next-use oracle over a cyclic schedule.
+//!
+//! §VII-B: "thanks to the regular natures of fiber-, Z-, and Hilbert-order
+//! traversals, it is possible to compute in advance precisely how far in
+//! the future a given data unit … will be needed again". [`CycleOracle`]
+//! precomputes, per data unit, the sorted positions within one cycle at
+//! which the unit is touched; a next-use query is then a binary search plus
+//! cyclic wrap-around.
+
+use crate::steps::{Step, UnitId};
+use tpcp_partition::Grid;
+
+/// Answers "at which global step will `unit` next be needed?".
+///
+/// Implemented by [`CycleOracle`]; the forward-looking buffer replacement
+/// policy ranks eviction victims by this quantity (largest = least urgent).
+pub trait NextUseOracle {
+    /// The first global step index `>= now` at which `unit` is accessed.
+    ///
+    /// Schedules are infinite cyclic repetitions, so a unit that appears in
+    /// the cycle always has a next use. Units that never appear return
+    /// `u64::MAX`.
+    fn next_use(&self, unit: UnitId, now: u64) -> u64;
+}
+
+/// Precomputed next-use index for one schedule cycle.
+pub struct CycleOracle {
+    cycle_len: u64,
+    /// For each unit (dense-linearised), the sorted in-cycle positions at
+    /// which it is accessed.
+    positions: Vec<Vec<u32>>,
+}
+
+impl CycleOracle {
+    /// Builds the oracle for `cycle` over `grid`'s units.
+    ///
+    /// # Panics
+    /// Panics on an empty cycle or one longer than `u32::MAX` steps.
+    pub fn new(grid: &Grid, cycle: &[Step]) -> Self {
+        assert!(!cycle.is_empty(), "empty schedule cycle");
+        assert!(cycle.len() <= u32::MAX as usize, "cycle too long");
+        let mut positions = vec![Vec::new(); grid.num_units()];
+        for (pos, step) in cycle.iter().enumerate() {
+            for unit in step.units(grid) {
+                positions[unit.linear(grid)].push(pos as u32);
+            }
+        }
+        CycleOracle {
+            cycle_len: cycle.len() as u64,
+            positions: positions
+                .into_iter()
+                .map(|mut v| {
+                    v.dedup();
+                    v
+                })
+                .collect(),
+        }
+    }
+
+    /// Length of the underlying cycle in steps.
+    pub fn cycle_len(&self) -> u64 {
+        self.cycle_len
+    }
+
+    /// Looks up the position list via a grid-independent linear unit index.
+    fn next_from_linear(&self, unit_lin: usize, now: u64) -> u64 {
+        let Some(list) = self.positions.get(unit_lin) else {
+            return u64::MAX;
+        };
+        if list.is_empty() {
+            return u64::MAX;
+        }
+        let base = now - (now % self.cycle_len);
+        let offset = (now % self.cycle_len) as u32;
+        match list.binary_search(&offset) {
+            Ok(_) => now,
+            Err(insert) => {
+                if insert < list.len() {
+                    base + u64::from(list[insert])
+                } else {
+                    // Wraps into the next cycle repetition.
+                    base + self.cycle_len + u64::from(list[0])
+                }
+            }
+        }
+    }
+}
+
+/// A `CycleOracle` paired with the grid it indexes; implements the public
+/// trait without the caller having to thread the grid around.
+pub struct GridOracle<'a> {
+    grid: &'a Grid,
+    oracle: &'a CycleOracle,
+}
+
+impl NextUseOracle for GridOracle<'_> {
+    fn next_use(&self, unit: UnitId, now: u64) -> u64 {
+        self.oracle.next_from_linear(unit.linear(self.grid), now)
+    }
+}
+
+impl CycleOracle {
+    /// Borrows this oracle as a [`NextUseOracle`] bound to `grid`.
+    pub fn bind<'a>(&'a self, grid: &'a Grid) -> GridOracle<'a> {
+        GridOracle { grid, oracle: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steps::{build_cycle, ScheduleKind};
+
+    #[test]
+    fn next_use_on_mode_centric_cycle() {
+        let g = Grid::uniform(&[8, 8], 2);
+        let cycle = build_cycle(&g, ScheduleKind::ModeCentric);
+        // Steps: (0,0) (0,1) (1,0) (1,1).
+        let oracle = CycleOracle::new(&g, &cycle);
+        let bound = oracle.bind(&g);
+        assert_eq!(bound.next_use(UnitId::new(0, 0), 0), 0);
+        assert_eq!(bound.next_use(UnitId::new(0, 1), 0), 1);
+        assert_eq!(bound.next_use(UnitId::new(1, 1), 0), 3);
+        // After its position, the unit's next use wraps into the next cycle.
+        assert_eq!(bound.next_use(UnitId::new(0, 0), 1), 4);
+        assert_eq!(bound.next_use(UnitId::new(1, 1), 4), 7);
+    }
+
+    #[test]
+    fn next_use_counts_block_steps() {
+        let g = Grid::uniform(&[8, 8], 2);
+        let cycle = build_cycle(&g, ScheduleKind::FiberOrder);
+        // Blocks row-major: (0,0) (0,1) (1,0) (1,1).
+        let oracle = CycleOracle::new(&g, &cycle);
+        let bound = oracle.bind(&g);
+        // Unit <0,0> (mode 0, part 0) is used by blocks 0 and 1.
+        assert_eq!(bound.next_use(UnitId::new(0, 0), 0), 0);
+        assert_eq!(bound.next_use(UnitId::new(0, 0), 2), 4); // wraps
+        // Unit <1,0> (mode 1, part 0) is used by blocks (0,0) and (1,0).
+        assert_eq!(bound.next_use(UnitId::new(1, 0), 1), 2);
+        assert_eq!(bound.next_use(UnitId::new(1, 0), 3), 4);
+    }
+
+    #[test]
+    fn next_use_exactly_now_counts() {
+        let g = Grid::uniform(&[8, 8], 2);
+        let cycle = build_cycle(&g, ScheduleKind::FiberOrder);
+        let oracle = CycleOracle::new(&g, &cycle);
+        let bound = oracle.bind(&g);
+        // At step 2 (block (1,0)) unit <0,1> is in use right now.
+        assert_eq!(bound.next_use(UnitId::new(0, 1), 2), 2);
+    }
+
+    #[test]
+    fn oracle_consistent_far_into_the_future() {
+        let g = Grid::uniform(&[16, 16, 16], 4);
+        let cycle = build_cycle(&g, ScheduleKind::HilbertOrder);
+        let oracle = CycleOracle::new(&g, &cycle);
+        let bound = oracle.bind(&g);
+        let clen = cycle.len() as u64;
+        for probe in [0u64, 17, clen - 1, clen, 5 * clen + 3] {
+            for unit_lin in 0..g.num_units() {
+                let unit = UnitId::from_linear(&g, unit_lin);
+                let nu = bound.next_use(unit, probe);
+                assert!(nu >= probe);
+                // Verify against a brute-force scan of the cyclic schedule.
+                let mut expect = None;
+                for delta in 0..2 * clen {
+                    let pos = probe + delta;
+                    let step = cycle[(pos % clen) as usize];
+                    if step.units(&g).contains(&unit) {
+                        expect = Some(pos);
+                        break;
+                    }
+                }
+                assert_eq!(nu, expect.unwrap(), "unit {unit} at {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_unit_is_never_used() {
+        // Build an oracle over a truncated cycle missing some units.
+        let g = Grid::uniform(&[8, 8], 2);
+        let cycle = vec![Step::ModeUpdate { mode: 0, part: 0 }];
+        let oracle = CycleOracle::new(&g, &cycle);
+        let bound = oracle.bind(&g);
+        assert_eq!(bound.next_use(UnitId::new(1, 1), 0), u64::MAX);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for curves, schedules and the next-use oracle.
+
+use proptest::prelude::*;
+use tpcp_partition::Grid;
+use tpcp_schedule::{
+    build_cycle, hilbert_index, morton_index, CycleOracle, NextUseOracle, ScheduleKind, Step,
+    UnitId,
+};
+
+proptest! {
+    #[test]
+    fn morton_is_bijective(bits in 1u32..5, n in 1usize..4, pick in 0u64..10_000) {
+        let cells: u64 = 1u64 << (bits as u64 * n as u64);
+        let a = pick % cells;
+        let b = (pick / 7) % cells;
+        // Decode by scanning is overkill; instead check injectivity through
+        // encode of distinct coords.
+        let coords_of = |mut v: u64| -> Vec<usize> {
+            let side = 1usize << bits;
+            let mut c = vec![0usize; n];
+            for m in (0..n).rev() {
+                c[m] = (v % side as u64) as usize;
+                v /= side as u64;
+            }
+            c
+        };
+        let ca = coords_of(a);
+        let cb = coords_of(b);
+        if ca != cb {
+            prop_assert_ne!(morton_index(&ca, bits), morton_index(&cb, bits));
+        } else {
+            prop_assert_eq!(morton_index(&ca, bits), morton_index(&cb, bits));
+        }
+    }
+
+    #[test]
+    fn hilbert_is_injective(bits in 1u32..4, n in 2usize..4, pick in 0u64..10_000) {
+        let side = 1usize << bits;
+        let cells: u64 = (side as u64).pow(n as u32);
+        let coords_of = |mut v: u64| -> Vec<usize> {
+            let mut c = vec![0usize; n];
+            for m in (0..n).rev() {
+                c[m] = (v % side as u64) as usize;
+                v /= side as u64;
+            }
+            c
+        };
+        let ca = coords_of(pick % cells);
+        let cb = coords_of((pick / 3) % cells);
+        if ca != cb {
+            prop_assert_ne!(hilbert_index(&ca, bits), hilbert_index(&cb, bits));
+        }
+    }
+
+    #[test]
+    fn every_cycle_is_tensor_filling(
+        parts in proptest::collection::vec(1usize..5, 2..4),
+        kind_idx in 0usize..4,
+    ) {
+        let dims: Vec<usize> = parts.iter().map(|&p| p * 3).collect();
+        let grid = Grid::new(&dims, &parts);
+        let kind = ScheduleKind::ALL[kind_idx];
+        let cycle = build_cycle(&grid, kind);
+        match kind {
+            ScheduleKind::ModeCentric => {
+                prop_assert_eq!(cycle.len(), grid.num_units());
+                // Every unit exactly once.
+                let mut seen = vec![false; grid.num_units()];
+                for s in &cycle {
+                    let units = s.units(&grid);
+                    prop_assert_eq!(units.len(), 1);
+                    let lin = units[0].linear(&grid);
+                    prop_assert!(!seen[lin]);
+                    seen[lin] = true;
+                }
+                prop_assert!(seen.iter().all(|&s| s));
+            }
+            _ => {
+                prop_assert_eq!(cycle.len(), grid.num_blocks());
+                let mut seen = vec![false; grid.num_blocks()];
+                for s in &cycle {
+                    if let Step::Block(l) = s {
+                        prop_assert!(!seen[*l]);
+                        seen[*l] = true;
+                    } else {
+                        prop_assert!(false, "mode step in block-centric cycle");
+                    }
+                }
+                prop_assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_matches_bruteforce(
+        parts in proptest::collection::vec(2usize..4, 2..4),
+        kind_idx in 0usize..4,
+        now in 0u64..200,
+    ) {
+        let dims: Vec<usize> = parts.iter().map(|&p| p * 2).collect();
+        let grid = Grid::new(&dims, &parts);
+        let kind = ScheduleKind::ALL[kind_idx];
+        let cycle = build_cycle(&grid, kind);
+        let oracle = CycleOracle::new(&grid, &cycle);
+        let bound = oracle.bind(&grid);
+        let clen = cycle.len() as u64;
+        for unit_lin in 0..grid.num_units() {
+            let unit = UnitId::from_linear(&grid, unit_lin);
+            let got = bound.next_use(unit, now);
+            let mut expect = u64::MAX;
+            for delta in 0..2 * clen {
+                let pos = now + delta;
+                if cycle[(pos % clen) as usize].units(&grid).contains(&unit) {
+                    expect = pos;
+                    break;
+                }
+            }
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn hilbert_shares_more_than_fiber_on_pow2(grid_pow in 1u32..3) {
+        // Desideratum 1: HO should promote at least as much unit sharing
+        // between consecutive steps as FO.
+        let p = 1usize << grid_pow;
+        let grid = Grid::uniform(&[p * 2, p * 2, p * 2], p);
+        let shared = |kind: ScheduleKind| -> usize {
+            let cycle = build_cycle(&grid, kind);
+            let mut total = 0usize;
+            for w in cycle.windows(2) {
+                let u1 = w[0].units(&grid);
+                let u2 = w[1].units(&grid);
+                total += u1.iter().filter(|u| u2.contains(u)).count();
+            }
+            total
+        };
+        prop_assert!(shared(ScheduleKind::HilbertOrder) >= shared(ScheduleKind::FiberOrder));
+    }
+}

@@ -1,0 +1,492 @@
+//! The byte-budgeted buffer pool over a unit store.
+
+use crate::policy::{PolicyKind, ReplacementPolicy};
+use crate::stats::IoStats;
+use crate::store::{UnitData, UnitStore};
+use crate::{Result, StorageError};
+use std::collections::{HashMap, HashSet};
+use tpcp_schedule::{NextUseOracle, UnitId};
+
+/// Buffer capacity for a fraction of the total space requirement — the
+/// paper expresses buffer sizes as 1/3, 1/2 or 2/3 of
+/// `Σᵢ Σ_kᵢ bytes(⟨i,kᵢ⟩)` (Table III).
+pub fn capacity_for_fraction(total_bytes: usize, fraction: f64) -> usize {
+    assert!(fraction > 0.0, "buffer fraction must be positive");
+    ((total_bytes as f64) * fraction).floor() as usize
+}
+
+struct Entry {
+    data: UnitData,
+    bytes: usize,
+    dirty: bool,
+}
+
+/// A buffer pool caching [`UnitData`] pages over a [`UnitStore`].
+///
+/// * Capacity is a byte budget (units may have different sizes when the
+///   tensor or the grid is non-uniform).
+/// * A step's working set is `acquire`d — loaded and *pinned* — before use,
+///   so the units of the current step never evict one another, then
+///   `release`d.
+/// * Eviction consults the configured [`ReplacementPolicy`]; the
+///   forward-looking policy additionally receives the schedule position set
+///   via [`BufferPool::set_position`] and the [`NextUseOracle`].
+/// * All traffic is tallied in [`IoStats`]; a *swap* (the paper's metric)
+///   is a fetch from the store.
+pub struct BufferPool<'o, S: UnitStore> {
+    store: S,
+    capacity: usize,
+    used: usize,
+    entries: HashMap<UnitId, Entry>,
+    pinned: HashSet<UnitId>,
+    policy: Box<dyn ReplacementPolicy>,
+    oracle: Option<&'o dyn NextUseOracle>,
+    position: u64,
+    tick: u64,
+    stats: IoStats,
+}
+
+impl<'o, S: UnitStore> BufferPool<'o, S> {
+    /// Creates a pool with the given byte capacity and policy.
+    pub fn new(store: S, capacity: usize, policy: PolicyKind) -> Self {
+        BufferPool {
+            store,
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            pinned: HashSet::new(),
+            policy: policy.build(),
+            oracle: None,
+            position: 0,
+            tick: 0,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Attaches the schedule's next-use oracle (enables the exact
+    /// forward-looking policy of §VII-B).
+    pub fn with_oracle(mut self, oracle: &'o dyn NextUseOracle) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Updates the current schedule position (global step index); consulted
+    /// by the forward-looking policy.
+    pub fn set_position(&mut self, position: u64) {
+        self.position = position;
+    }
+
+    /// Byte capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Number of resident units.
+    pub fn resident_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether `unit` is resident right now.
+    pub fn is_resident(&self, unit: UnitId) -> bool {
+        self.entries.contains_key(&unit)
+    }
+
+    /// Snapshot of the I/O statistics.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Mutable access to the backing store (setup/inspection).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Shared access to the backing store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Flushes dirty entries and dissolves the pool into its store.
+    ///
+    /// # Errors
+    /// Propagates store write failures from the final flush.
+    pub fn into_store(mut self) -> Result<S> {
+        self.flush()?;
+        Ok(self.store)
+    }
+
+    /// Loads (if needed) and pins every unit in `units`.
+    ///
+    /// Pinned units are never chosen for eviction; the caller must
+    /// [`release`](Self::release) them when the step completes. On error the
+    /// pins taken by this call are rolled back.
+    ///
+    /// # Errors
+    /// Store failures, or [`StorageError::BufferTooSmall`] when the pinned
+    /// working set alone exceeds capacity.
+    pub fn acquire(&mut self, units: &[UnitId]) -> Result<()> {
+        let newly_pinned: Vec<UnitId> = units
+            .iter()
+            .filter(|u| self.pinned.insert(**u))
+            .copied()
+            .collect();
+        let result = self.acquire_inner(units);
+        if result.is_err() {
+            for u in &newly_pinned {
+                self.pinned.remove(u);
+            }
+        }
+        result
+    }
+
+    fn acquire_inner(&mut self, units: &[UnitId]) -> Result<()> {
+        for &unit in units {
+            self.tick += 1;
+            if self.entries.contains_key(&unit) {
+                self.stats.hits += 1;
+                self.policy.on_access(unit, self.tick);
+            } else {
+                let data = self.store.read(unit)?;
+                let bytes = data.payload_bytes();
+                self.stats.fetches += 1;
+                self.stats.bytes_read += bytes as u64;
+                self.used += bytes;
+                self.entries.insert(
+                    unit,
+                    Entry {
+                        data,
+                        bytes,
+                        dirty: false,
+                    },
+                );
+                self.policy.on_access(unit, self.tick);
+            }
+        }
+        self.shrink_to_capacity()
+    }
+
+    /// Unpins units previously [`acquire`](Self::acquire)d.
+    pub fn release(&mut self, units: &[UnitId]) {
+        for u in units {
+            self.pinned.remove(u);
+        }
+    }
+
+    /// Drops every pin (error recovery).
+    pub fn release_all(&mut self) {
+        self.pinned.clear();
+    }
+
+    /// Borrows a resident unit.
+    ///
+    /// # Errors
+    /// [`StorageError::NotFound`] when the unit is not resident (callers
+    /// must `acquire` first — the pool never does hidden I/O on reads).
+    pub fn get(&self, unit: UnitId) -> Result<&UnitData> {
+        self.entries
+            .get(&unit)
+            .map(|e| &e.data)
+            .ok_or(StorageError::NotFound(unit))
+    }
+
+    /// Mutably borrows a resident unit, marking it dirty.
+    ///
+    /// # Errors
+    /// [`StorageError::NotFound`] when the unit is not resident.
+    pub fn get_mut(&mut self, unit: UnitId) -> Result<&mut UnitData> {
+        let entry = self
+            .entries
+            .get_mut(&unit)
+            .ok_or(StorageError::NotFound(unit))?;
+        entry.dirty = true;
+        Ok(&mut entry.data)
+    }
+
+    /// Writes every dirty resident unit back to the store (without
+    /// evicting).
+    ///
+    /// # Errors
+    /// Propagates store write failures.
+    pub fn flush(&mut self) -> Result<()> {
+        for entry in self.entries.values_mut() {
+            if entry.dirty {
+                self.store.write(&entry.data)?;
+                self.stats.bytes_written += entry.bytes as u64;
+                entry.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes and drops every resident unit (end of a run).
+    ///
+    /// # Errors
+    /// Propagates store write failures.
+    pub fn flush_and_clear(&mut self) -> Result<()> {
+        self.flush()?;
+        for unit in self.entries.keys().copied().collect::<Vec<_>>() {
+            self.policy.on_remove(unit);
+        }
+        self.entries.clear();
+        self.pinned.clear();
+        self.used = 0;
+        Ok(())
+    }
+
+    fn shrink_to_capacity(&mut self) -> Result<()> {
+        while self.used > self.capacity {
+            let candidates: Vec<UnitId> = self
+                .entries
+                .keys()
+                .filter(|u| !self.pinned.contains(u))
+                .copied()
+                .collect();
+            if candidates.is_empty() {
+                return Err(StorageError::BufferTooSmall {
+                    needed: self.used,
+                    capacity: self.capacity,
+                });
+            }
+            let victim =
+                self.policy
+                    .choose_victim(&candidates, self.position, self.oracle);
+            let entry = self.entries.remove(&victim).expect("victim is resident");
+            self.policy.on_remove(victim);
+            self.used -= entry.bytes;
+            self.stats.evictions += 1;
+            if entry.dirty {
+                self.store.write(&entry.data)?;
+                self.stats.write_backs += 1;
+                self.stats.bytes_written += entry.bytes as u64;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use std::collections::HashMap as Map;
+    use tpcp_linalg::Mat;
+
+    /// A store seeded with `n` units of identical size; returns the size.
+    fn seeded_store(n: usize) -> (MemStore, usize) {
+        let mut store = MemStore::new();
+        let mut size = 0;
+        for p in 0..n {
+            let data = UnitData {
+                unit: UnitId::new(0, p),
+                factor: Mat::filled(4, 2, p as f64),
+                sub_factors: vec![(p as u64, Mat::filled(2, 2, 1.0))],
+            };
+            size = data.payload_bytes();
+            store.write(&data).unwrap();
+        }
+        (store, size)
+    }
+
+    fn u(part: usize) -> UnitId {
+        UnitId::new(0, part)
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let (store, size) = seeded_store(3);
+        let mut pool = BufferPool::new(store, size * 3, PolicyKind::Lru);
+        pool.acquire(&[u(0), u(1)]).unwrap();
+        pool.release(&[u(0), u(1)]);
+        pool.acquire(&[u(0)]).unwrap();
+        pool.release(&[u(0)]);
+        let s = pool.stats();
+        assert_eq!(s.fetches, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn capacity_is_enforced_via_eviction() {
+        let (store, size) = seeded_store(4);
+        let mut pool = BufferPool::new(store, size * 2, PolicyKind::Lru);
+        for p in 0..4 {
+            pool.acquire(&[u(p)]).unwrap();
+            pool.release(&[u(p)]);
+            assert!(pool.used_bytes() <= pool.capacity());
+        }
+        assert_eq!(pool.stats().fetches, 4);
+        assert_eq!(pool.stats().evictions, 2);
+        assert_eq!(pool.resident_len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (store, size) = seeded_store(3);
+        let mut pool = BufferPool::new(store, size * 2, PolicyKind::Lru);
+        pool.acquire(&[u(0)]).unwrap();
+        pool.release(&[u(0)]);
+        pool.acquire(&[u(1)]).unwrap();
+        pool.release(&[u(1)]);
+        pool.acquire(&[u(0)]).unwrap(); // refresh 0
+        pool.release(&[u(0)]);
+        pool.acquire(&[u(2)]).unwrap(); // evicts 1 (least recent)
+        pool.release(&[u(2)]);
+        assert!(pool.is_resident(u(0)));
+        assert!(!pool.is_resident(u(1)));
+        assert!(pool.is_resident(u(2)));
+    }
+
+    #[test]
+    fn mru_evicts_most_recent() {
+        let (store, size) = seeded_store(3);
+        let mut pool = BufferPool::new(store, size * 2, PolicyKind::Mru);
+        pool.acquire(&[u(0)]).unwrap();
+        pool.release(&[u(0)]);
+        pool.acquire(&[u(1)]).unwrap();
+        pool.release(&[u(1)]);
+        pool.acquire(&[u(2)]).unwrap(); // evicts 1 (most recent unpinned)
+        pool.release(&[u(2)]);
+        assert!(pool.is_resident(u(0)));
+        assert!(!pool.is_resident(u(1)));
+        assert!(pool.is_resident(u(2)));
+    }
+
+    struct MapOracle(Map<UnitId, u64>);
+    impl NextUseOracle for MapOracle {
+        fn next_use(&self, unit: UnitId, _now: u64) -> u64 {
+            self.0.get(&unit).copied().unwrap_or(u64::MAX)
+        }
+    }
+
+    #[test]
+    fn forward_evicts_furthest_next_use() {
+        let (store, size) = seeded_store(3);
+        let oracle = MapOracle(Map::from([(u(0), 2), (u(1), 50), (u(2), 3)]));
+        let mut pool =
+            BufferPool::new(store, size * 2, PolicyKind::Forward).with_oracle(&oracle);
+        pool.acquire(&[u(0)]).unwrap();
+        pool.release(&[u(0)]);
+        pool.acquire(&[u(1)]).unwrap();
+        pool.release(&[u(1)]);
+        pool.acquire(&[u(2)]).unwrap(); // evicts 1 (next use 50)
+        pool.release(&[u(2)]);
+        assert!(pool.is_resident(u(0)));
+        assert!(!pool.is_resident(u(1)));
+    }
+
+    #[test]
+    fn pinned_units_are_never_evicted() {
+        let (store, size) = seeded_store(3);
+        let mut pool = BufferPool::new(store, size * 2, PolicyKind::Lru);
+        pool.acquire(&[u(0), u(1)]).unwrap(); // both pinned
+        let err = pool.acquire(&[u(2)]).unwrap_err();
+        assert!(matches!(err, StorageError::BufferTooSmall { .. }));
+        // Failed acquire rolled its pin back; after releasing, it works.
+        pool.release(&[u(0), u(1)]);
+        pool.acquire(&[u(2)]).unwrap();
+        assert!(pool.is_resident(u(2)));
+    }
+
+    #[test]
+    fn dirty_units_are_written_back_on_eviction() {
+        let (store, size) = seeded_store(2);
+        let mut pool = BufferPool::new(store, size, PolicyKind::Lru);
+        pool.acquire(&[u(0)]).unwrap();
+        pool.get_mut(u(0)).unwrap().factor.set(0, 0, 123.0);
+        pool.release(&[u(0)]);
+        pool.acquire(&[u(1)]).unwrap(); // evicts dirty 0
+        pool.release(&[u(1)]);
+        assert_eq!(pool.stats().write_backs, 1);
+        let back = pool.store_mut().read(u(0)).unwrap();
+        assert_eq!(back.factor.get(0, 0), 123.0);
+    }
+
+    #[test]
+    fn clean_evictions_skip_write_back() {
+        let (store, size) = seeded_store(2);
+        let mut pool = BufferPool::new(store, size, PolicyKind::Lru);
+        pool.acquire(&[u(0)]).unwrap();
+        pool.release(&[u(0)]);
+        pool.acquire(&[u(1)]).unwrap();
+        pool.release(&[u(1)]);
+        assert_eq!(pool.stats().evictions, 1);
+        assert_eq!(pool.stats().write_backs, 0);
+    }
+
+    #[test]
+    fn get_requires_residency() {
+        let (store, _) = seeded_store(1);
+        let pool = BufferPool::new(store, 1 << 20, PolicyKind::Lru);
+        assert!(matches!(pool.get(u(0)), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn flush_writes_dirty_without_eviction() {
+        let (store, size) = seeded_store(1);
+        let mut pool = BufferPool::new(store, size * 4, PolicyKind::Lru);
+        pool.acquire(&[u(0)]).unwrap();
+        pool.get_mut(u(0)).unwrap().factor.set(1, 1, -7.0);
+        pool.flush().unwrap();
+        assert!(pool.is_resident(u(0)));
+        let back = pool.store_mut().read(u(0)).unwrap();
+        assert_eq!(back.factor.get(1, 1), -7.0);
+        // Second flush is a no-op (entry now clean).
+        let written_before = pool.stats().bytes_written;
+        pool.flush().unwrap();
+        assert_eq!(pool.stats().bytes_written, written_before);
+    }
+
+    #[test]
+    fn flush_and_clear_resets_residency() {
+        let (store, size) = seeded_store(2);
+        let mut pool = BufferPool::new(store, size * 2, PolicyKind::Lru);
+        pool.acquire(&[u(0), u(1)]).unwrap();
+        pool.get_mut(u(1)).unwrap().factor.set(0, 0, 5.0);
+        pool.flush_and_clear().unwrap();
+        assert_eq!(pool.resident_len(), 0);
+        assert_eq!(pool.used_bytes(), 0);
+        assert_eq!(pool.store_mut().read(u(1)).unwrap().factor.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn store_read_errors_propagate_and_rollback_pins() {
+        let dir = std::env::temp_dir().join(format!("tpcp_pool_fault_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut disk = crate::DiskStore::open(&dir).unwrap();
+        disk.write(&UnitData {
+            unit: u(0),
+            factor: Mat::filled(2, 2, 1.0),
+            sub_factors: vec![],
+        })
+        .unwrap();
+        disk.inject_read_failures(1);
+        let mut pool = BufferPool::new(disk, 1 << 20, PolicyKind::Lru);
+        assert!(matches!(pool.acquire(&[u(0)]), Err(StorageError::Injected)));
+        // Pin was rolled back; the retry succeeds.
+        pool.acquire(&[u(0)]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn capacity_for_fraction_matches_paper_settings() {
+        // Exact at representable fractions; within one byte of the ideal at
+        // the paper's 1/3 and 2/3 settings (floating-point floor).
+        assert_eq!(capacity_for_fraction(300, 0.5), 150);
+        assert_eq!(capacity_for_fraction(1 << 20, 0.25), 1 << 18);
+        let third = capacity_for_fraction(300, 1.0 / 3.0);
+        assert!((99..=100).contains(&third));
+        let two_thirds = capacity_for_fraction(300, 2.0 / 3.0);
+        assert!((199..=200).contains(&two_thirds));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fraction_rejected() {
+        let _ = capacity_for_fraction(100, 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The on-disk page format for data-access units.
+//!
+//! An explicit, versioned, checksummed binary layout (little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "2PCPUNIT"
+//! 8       4     format version (currently 1)
+//! 12      4     unit mode  (u32)
+//! 16      4     unit part  (u32)
+//! 20      4     factor rows
+//! 24      4     factor cols
+//! 28      8r·c  factor data, row-major f64
+//! …       4     number of sub-factors
+//! per sub-factor:
+//!         8     block linear id (u64)
+//!         4     rows
+//!         4     cols
+//!         8r·c  data, row-major f64
+//! trailer 8     FNV-1a 64 checksum of everything before it
+//! ```
+//!
+//! Hand-rolled (rather than serde) to keep the storage engine transparent:
+//! page sizes are exactly the paper's `8 × #doubles` accounting plus a
+//! fixed small header, and corruption is detected before any payload is
+//! trusted.
+
+use crate::store::UnitData;
+use crate::{Result, StorageError};
+use bytes::{Buf, BufMut, BytesMut};
+use tpcp_linalg::Mat;
+use tpcp_schedule::UnitId;
+
+/// Page magic bytes.
+pub const MAGIC: &[u8; 8] = b"2PCPUNIT";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash (stable, dependency-free integrity check).
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn put_mat(buf: &mut BytesMut, m: &Mat) {
+    buf.put_u32_le(m.rows() as u32);
+    buf.put_u32_le(m.cols() as u32);
+    for &v in m.as_slice() {
+        buf.put_f64_le(v);
+    }
+}
+
+fn get_mat(buf: &mut &[u8]) -> Result<Mat> {
+    if buf.remaining() < 8 {
+        return Err(corrupt("truncated matrix header"));
+    }
+    let rows = buf.get_u32_le() as usize;
+    let cols = buf.get_u32_le() as usize;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| corrupt("matrix size overflow"))?;
+    if buf.remaining() < n * 8 {
+        return Err(corrupt("truncated matrix payload"));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f64_le());
+    }
+    Ok(Mat::from_vec(rows, cols, data))
+}
+
+fn corrupt(reason: &str) -> StorageError {
+    StorageError::Corrupt {
+        reason: reason.to_string(),
+    }
+}
+
+/// Serialises a unit into its page representation.
+pub fn encode(data: &UnitData) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(data.payload_bytes() + 64);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(u32::from(data.unit.mode));
+    buf.put_u32_le(data.unit.part);
+    put_mat(&mut buf, &data.factor);
+    buf.put_u32_le(data.sub_factors.len() as u32);
+    for (block, m) in &data.sub_factors {
+        buf.put_u64_le(*block);
+        put_mat(&mut buf, m);
+    }
+    let checksum = fnv1a(&buf);
+    buf.put_u64_le(checksum);
+    buf.to_vec()
+}
+
+/// Deserialises a page, verifying magic, version and checksum.
+///
+/// # Errors
+/// [`StorageError::Corrupt`] on any structural or integrity failure.
+pub fn decode(page: &[u8]) -> Result<UnitData> {
+    if page.len() < MAGIC.len() + 4 + 8 + 8 {
+        return Err(corrupt("page too small"));
+    }
+    let (body, trailer) = page.split_at(page.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(corrupt(&format!(
+            "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+        )));
+    }
+    let mut cur = body;
+    if &cur[..8] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    cur.advance(8);
+    let version = cur.get_u32_le();
+    if version != VERSION {
+        return Err(corrupt(&format!("unsupported version {version}")));
+    }
+    if cur.remaining() < 8 {
+        return Err(corrupt("truncated unit id"));
+    }
+    let mode = cur.get_u32_le();
+    let part = cur.get_u32_le();
+    let factor = get_mat(&mut cur)?;
+    if cur.remaining() < 4 {
+        return Err(corrupt("truncated sub-factor count"));
+    }
+    let count = cur.get_u32_le() as usize;
+    let mut sub_factors = Vec::with_capacity(count);
+    for _ in 0..count {
+        if cur.remaining() < 8 {
+            return Err(corrupt("truncated block id"));
+        }
+        let block = cur.get_u64_le();
+        sub_factors.push((block, get_mat(&mut cur)?));
+    }
+    if cur.has_remaining() {
+        return Err(corrupt("trailing bytes after payload"));
+    }
+    Ok(UnitData {
+        unit: UnitId {
+            mode: mode as u16,
+            part,
+        },
+        factor,
+        sub_factors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_unit() -> UnitData {
+        UnitData {
+            unit: UnitId::new(1, 3),
+            factor: Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]),
+            sub_factors: vec![
+                (0, Mat::from_rows(&[&[0.5, -1.0]])),
+                (7, Mat::from_rows(&[&[9.0, 8.0], &[7.0, 6.0]])),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let unit = sample_unit();
+        let page = encode(&unit);
+        let back = decode(&page).unwrap();
+        assert_eq!(back.unit, unit.unit);
+        assert_eq!(back.factor, unit.factor);
+        assert_eq!(back.sub_factors, unit.sub_factors);
+    }
+
+    #[test]
+    fn roundtrip_empty_subfactors() {
+        let unit = UnitData {
+            unit: UnitId::new(0, 0),
+            factor: Mat::zeros(0, 0),
+            sub_factors: vec![],
+        };
+        let back = decode(&encode(&unit)).unwrap();
+        assert_eq!(back.sub_factors.len(), 0);
+        assert_eq!(back.factor.shape(), (0, 0));
+    }
+
+    #[test]
+    fn detects_bit_flip_anywhere() {
+        let page = encode(&sample_unit());
+        // Flip one byte in a handful of positions spanning header, payload
+        // and trailer.
+        for pos in [0, 9, 20, 40, page.len() / 2, page.len() - 1] {
+            let mut bad = page.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                decode(&bad).is_err(),
+                "flip at {pos} was not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let page = encode(&sample_unit());
+        for cut in [1, 8, 16, page.len() - 9, page.len() - 1] {
+            assert!(decode(&page[..cut]).is_err(), "truncation to {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_version() {
+        let unit = sample_unit();
+        let mut page = encode(&unit);
+        page[0] = b'X';
+        // Fix up the checksum so only the magic is wrong.
+        let body_len = page.len() - 8;
+        let sum = fnv1a(&page[..body_len]);
+        page[body_len..].copy_from_slice(&sum.to_le_bytes());
+        let err = decode(&page).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }));
+
+        let mut page2 = encode(&unit);
+        page2[8] = 99; // version
+        let sum2 = fnv1a(&page2[..body_len]);
+        page2[body_len..].copy_from_slice(&sum2.to_le_bytes());
+        assert!(decode(&page2).is_err());
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn page_size_matches_accounting() {
+        let unit = sample_unit();
+        let page = encode(&unit);
+        // header 20 + factor hdr 8 + 6 doubles + count 4
+        // + (8 + 8 + 2 doubles) + (8 + 8 + 4 doubles) + trailer 8
+        let expect = 20 + 8 + 48 + 4 + (16 + 16) + (16 + 32) + 8;
+        assert_eq!(page.len(), expect);
+    }
+}

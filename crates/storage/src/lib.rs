@@ -1,0 +1,86 @@
+//! Out-of-core storage for 2PCP's iterative-refinement phase.
+//!
+//! Phase 2 of the paper runs on a single worker whose buffer memory cannot
+//! hold all intermediary data (§IV, Observation #4). The swappable
+//! granularity is the *data-access unit* `⟨i, kᵢ⟩` (Def. 4): the global
+//! sub-factor `A(i)(kᵢ)` together with the mode-`i` sub-factors of every
+//! block in the slab. This crate provides:
+//!
+//! * [`UnitData`] — the in-memory representation of one unit;
+//! * [`codec`] — an explicit, checksummed binary page format (no serde);
+//! * [`UnitStore`] implementations: [`DiskStore`] (one page file per unit,
+//!   buffered I/O, fault injection for tests), [`SingleFileStore`] (all
+//!   units packed into one append-only, crash-tolerant container file —
+//!   the layout of a chunked array store) and [`MemStore`];
+//! * [`BufferPool`] — a byte-budgeted cache over a store with pluggable
+//!   [`ReplacementPolicy`]: LRU, MRU and the paper's forward-looking (FOR)
+//!   schedule-aware policy (§VII), plus pinning so a step's working set
+//!   cannot evict itself;
+//! * [`IoStats`] — swap accounting (the paper's evaluation metric:
+//!   "the amount of I/O (i.e., data swaps) between the disk and memory
+//!   buffer").
+
+pub mod codec;
+
+mod buffer;
+mod policy;
+mod single_file;
+mod stats;
+mod store;
+
+pub use buffer::{capacity_for_fraction, BufferPool};
+pub use policy::{ForwardPolicy, LruPolicy, MruPolicy, PolicyKind, ReplacementPolicy};
+pub use single_file::SingleFileStore;
+pub use stats::IoStats;
+pub use store::{DiskStore, MemStore, UnitData, UnitStore};
+
+use tpcp_schedule::UnitId;
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file-system failure.
+    Io(std::io::Error),
+    /// A page failed structural validation or checksum verification.
+    Corrupt {
+        /// Explanation of the corruption.
+        reason: String,
+    },
+    /// The requested unit does not exist in the store.
+    NotFound(UnitId),
+    /// The buffer cannot hold the pinned working set of a single step.
+    BufferTooSmall {
+        /// Bytes that must be simultaneously resident.
+        needed: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// Deliberately injected fault (test harness).
+    Injected,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt { reason } => write!(f, "corrupt page: {reason}"),
+            StorageError::NotFound(u) => write!(f, "unit {u} not found"),
+            StorageError::BufferTooSmall { needed, capacity } => write!(
+                f,
+                "buffer too small: step needs {needed} bytes, capacity {capacity}"
+            ),
+            StorageError::Injected => write!(f, "injected fault"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,273 @@
+//! Buffer replacement policies: LRU, MRU and forward-looking (§VII).
+
+use std::collections::HashMap;
+use tpcp_schedule::{NextUseOracle, UnitId};
+
+/// The replacement policies evaluated in the paper (Table III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Least-recently-used — the conventional default (e.g. SciDB's buffer
+    /// manager under TensorDB), which §VII argues is mismatched with cyclic
+    /// tensor traversals.
+    Lru,
+    /// Most-recently-used — exploits the *temporal a-locality* of looping
+    /// traversals (§VII-A).
+    Mru,
+    /// Forward-looking, schedule-aware replacement (§VII-B): evict the unit
+    /// whose next use lies furthest in the future (Belady's rule, made
+    /// exact by the deterministic update schedule).
+    Forward,
+}
+
+impl PolicyKind {
+    /// All policies in the paper's presentation order.
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::Lru, PolicyKind::Mru, PolicyKind::Forward];
+
+    /// The paper's abbreviation (LRU/MRU/FOR).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::Mru => "MRU",
+            PolicyKind::Forward => "FOR",
+        }
+    }
+
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(LruPolicy::default()),
+            PolicyKind::Mru => Box::new(MruPolicy::default()),
+            PolicyKind::Forward => Box::new(ForwardPolicy::default()),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "LRU" => Ok(PolicyKind::Lru),
+            "MRU" => Ok(PolicyKind::Mru),
+            "FOR" | "FORWARD" => Ok(PolicyKind::Forward),
+            other => Err(format!("unknown replacement policy: {other}")),
+        }
+    }
+}
+
+/// Strategy interface consulted by the buffer pool.
+///
+/// `on_access` is called with a monotonically increasing access tick;
+/// `choose_victim` receives the evictable candidates (resident, unpinned —
+/// never empty), the current *schedule position* and, when the schedule is
+/// known, the next-use oracle.
+pub trait ReplacementPolicy {
+    /// Which family this policy belongs to.
+    fn kind(&self) -> PolicyKind;
+
+    /// Records an access to `unit` at internal tick `tick`.
+    fn on_access(&mut self, unit: UnitId, tick: u64);
+
+    /// Forgets `unit` (it left the buffer).
+    fn on_remove(&mut self, unit: UnitId);
+
+    /// Picks the victim among `candidates`.
+    fn choose_victim(
+        &mut self,
+        candidates: &[UnitId],
+        now: u64,
+        oracle: Option<&dyn NextUseOracle>,
+    ) -> UnitId;
+}
+
+/// Classic least-recently-used.
+#[derive(Default)]
+pub struct LruPolicy {
+    last_access: HashMap<UnitId, u64>,
+}
+
+impl ReplacementPolicy for LruPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lru
+    }
+
+    fn on_access(&mut self, unit: UnitId, tick: u64) {
+        self.last_access.insert(unit, tick);
+    }
+
+    fn on_remove(&mut self, unit: UnitId) {
+        self.last_access.remove(&unit);
+    }
+
+    fn choose_victim(
+        &mut self,
+        candidates: &[UnitId],
+        _now: u64,
+        _oracle: Option<&dyn NextUseOracle>,
+    ) -> UnitId {
+        *candidates
+            .iter()
+            .min_by_key(|u| (self.last_access.get(u).copied().unwrap_or(0), **u))
+            .expect("choose_victim requires candidates")
+    }
+}
+
+/// Most-recently-used.
+#[derive(Default)]
+pub struct MruPolicy {
+    last_access: HashMap<UnitId, u64>,
+}
+
+impl ReplacementPolicy for MruPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Mru
+    }
+
+    fn on_access(&mut self, unit: UnitId, tick: u64) {
+        self.last_access.insert(unit, tick);
+    }
+
+    fn on_remove(&mut self, unit: UnitId) {
+        self.last_access.remove(&unit);
+    }
+
+    fn choose_victim(
+        &mut self,
+        candidates: &[UnitId],
+        _now: u64,
+        _oracle: Option<&dyn NextUseOracle>,
+    ) -> UnitId {
+        *candidates
+            .iter()
+            .max_by_key(|u| (self.last_access.get(u).copied().unwrap_or(0), **u))
+            .expect("choose_victim requires candidates")
+    }
+}
+
+/// Forward-looking, schedule-aware replacement (paper Figure 10): evict the
+/// unit the traversal "will cross furthest in the future". Falls back to
+/// LRU ordering when no oracle is available (irregular access patterns,
+/// which §VII-B notes make forward-looking policies impractical).
+#[derive(Default)]
+pub struct ForwardPolicy {
+    last_access: HashMap<UnitId, u64>,
+}
+
+impl ReplacementPolicy for ForwardPolicy {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Forward
+    }
+
+    fn on_access(&mut self, unit: UnitId, tick: u64) {
+        self.last_access.insert(unit, tick);
+    }
+
+    fn on_remove(&mut self, unit: UnitId) {
+        self.last_access.remove(&unit);
+    }
+
+    fn choose_victim(
+        &mut self,
+        candidates: &[UnitId],
+        now: u64,
+        oracle: Option<&dyn NextUseOracle>,
+    ) -> UnitId {
+        match oracle {
+            Some(oracle) => *candidates
+                .iter()
+                .max_by_key(|u| (oracle.next_use(**u, now), **u))
+                .expect("choose_victim requires candidates"),
+            None => *candidates
+                .iter()
+                .min_by_key(|u| (self.last_access.get(u).copied().unwrap_or(0), **u))
+                .expect("choose_victim requires candidates"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct MapOracle(HashMap<UnitId, u64>);
+
+    impl NextUseOracle for MapOracle {
+        fn next_use(&self, unit: UnitId, _now: u64) -> u64 {
+            self.0.get(&unit).copied().unwrap_or(u64::MAX)
+        }
+    }
+
+    fn u(part: usize) -> UnitId {
+        UnitId::new(0, part)
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut p = LruPolicy::default();
+        p.on_access(u(0), 1);
+        p.on_access(u(1), 2);
+        p.on_access(u(0), 3); // refresh 0
+        let v = p.choose_victim(&[u(0), u(1)], 0, None);
+        assert_eq!(v, u(1));
+    }
+
+    #[test]
+    fn mru_evicts_newest() {
+        let mut p = MruPolicy::default();
+        p.on_access(u(0), 1);
+        p.on_access(u(1), 2);
+        let v = p.choose_victim(&[u(0), u(1)], 0, None);
+        assert_eq!(v, u(1));
+    }
+
+    #[test]
+    fn forward_uses_oracle() {
+        let mut p = ForwardPolicy::default();
+        let oracle = MapOracle(HashMap::from([(u(0), 5), (u(1), 100), (u(2), 7)]));
+        let v = p.choose_victim(&[u(0), u(1), u(2)], 0, Some(&oracle));
+        assert_eq!(v, u(1), "furthest next use must be evicted");
+    }
+
+    #[test]
+    fn forward_without_oracle_degrades_to_lru() {
+        let mut p = ForwardPolicy::default();
+        p.on_access(u(0), 1);
+        p.on_access(u(1), 2);
+        assert_eq!(p.choose_victim(&[u(0), u(1)], 0, None), u(0));
+    }
+
+    #[test]
+    fn on_remove_forgets_history() {
+        let mut p = LruPolicy::default();
+        p.on_access(u(0), 10);
+        p.on_remove(u(0));
+        // With no recorded access, unit 0 sorts as oldest again.
+        p.on_access(u(1), 11);
+        assert_eq!(p.choose_victim(&[u(0), u(1)], 0, None), u(0));
+    }
+
+    #[test]
+    fn kind_parsing_roundtrip() {
+        use std::str::FromStr;
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::from_str(kind.abbrev()).unwrap(), kind);
+            assert_eq!(kind.build().kind(), kind);
+        }
+        assert!(PolicyKind::from_str("belady").is_err());
+    }
+
+    #[test]
+    fn never_used_units_lose_ties_deterministically() {
+        let mut p = ForwardPolicy::default();
+        let oracle = MapOracle(HashMap::new());
+        // All next_use == MAX: highest UnitId wins the tie, deterministic.
+        let v = p.choose_victim(&[u(0), u(1)], 0, Some(&oracle));
+        assert_eq!(v, u(1));
+    }
+}

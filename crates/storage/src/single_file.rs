@@ -1,0 +1,430 @@
+//! A paged single-file unit store.
+//!
+//! [`crate::DiskStore`] keeps one file per unit — simple and robust, but a
+//! real array store (SciDB under TensorDB, §VIII-B) packs chunks into one
+//! container file. [`SingleFileStore`] provides that layout:
+//!
+//! ```text
+//! file := file_header , page*
+//! file_header := magic "2PCPSEGM" (8) , version u32 , reserved u32
+//! page := page_header , payload (codec page) , padding to PAGE_ALIGN
+//! page_header := live u8 , reserved [u8;3] , payload_len u32
+//! ```
+//!
+//! Writes are append-only: overwriting a unit appends a fresh page and
+//! marks the old one dead, so a crash mid-write never corrupts committed
+//! data (the codec checksum covers the payload; a torn tail page simply
+//! fails validation and is ignored at open). [`SingleFileStore::compact`]
+//! rewrites the file without dead pages.
+
+use crate::store::{UnitData, UnitStore};
+use crate::{codec, Result, StorageError};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use tpcp_schedule::UnitId;
+
+const FILE_MAGIC: &[u8; 8] = b"2PCPSEGM";
+const FILE_VERSION: u32 = 1;
+const FILE_HEADER_LEN: u64 = 16;
+const PAGE_HEADER_LEN: u64 = 8;
+/// Pages start at multiples of this (buffered-I/O friendly).
+const PAGE_ALIGN: u64 = 64;
+
+const LIVE: u8 = 1;
+const DEAD: u8 = 0;
+
+struct PageRef {
+    /// Offset of the page header.
+    offset: u64,
+    /// Payload (codec page) length.
+    payload_len: u32,
+}
+
+/// All units in one append-only, checksummed container file.
+pub struct SingleFileStore {
+    path: PathBuf,
+    file: File,
+    /// Live page per unit.
+    index: HashMap<UnitId, PageRef>,
+    /// End-of-file write cursor (aligned).
+    cursor: u64,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+fn align_up(v: u64) -> u64 {
+    v.div_ceil(PAGE_ALIGN) * PAGE_ALIGN
+}
+
+impl SingleFileStore {
+    /// Opens (creating if needed) the container at `path`, rebuilding the
+    /// live-page index by scanning existing pages.
+    ///
+    /// # Errors
+    /// I/O failures; [`StorageError::Corrupt`] for a bad file header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path.as_ref())?;
+        let len = file.metadata()?.len();
+        let mut store = SingleFileStore {
+            path: path.as_ref().to_path_buf(),
+            file,
+            index: HashMap::new(),
+            cursor: FILE_HEADER_LEN,
+            bytes_written: 0,
+            bytes_read: 0,
+        };
+        if len == 0 {
+            let mut header = Vec::with_capacity(FILE_HEADER_LEN as usize);
+            header.extend_from_slice(FILE_MAGIC);
+            header.extend_from_slice(&FILE_VERSION.to_le_bytes());
+            header.extend_from_slice(&[0u8; 4]);
+            store.file.write_all(&header)?;
+            store.file.flush()?;
+            return Ok(store);
+        }
+        store.scan()?;
+        Ok(store)
+    }
+
+    /// Scans the file, validating the header and indexing live pages.
+    fn scan(&mut self) -> Result<()> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut header = [0u8; FILE_HEADER_LEN as usize];
+        self.file.read_exact(&mut header).map_err(|_| StorageError::Corrupt {
+            reason: "single-file store: truncated file header".into(),
+        })?;
+        if &header[..8] != FILE_MAGIC {
+            return Err(StorageError::Corrupt {
+                reason: "single-file store: bad magic".into(),
+            });
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if version != FILE_VERSION {
+            return Err(StorageError::Corrupt {
+                reason: format!("single-file store: unsupported version {version}"),
+            });
+        }
+        let len = self.file.metadata()?.len();
+        let mut offset = FILE_HEADER_LEN;
+        while offset + PAGE_HEADER_LEN <= len {
+            self.file.seek(SeekFrom::Start(offset))?;
+            let mut ph = [0u8; PAGE_HEADER_LEN as usize];
+            if self.file.read_exact(&mut ph).is_err() {
+                break; // torn tail: ignore
+            }
+            let live = ph[0];
+            let payload_len = u32::from_le_bytes(ph[4..8].try_into().expect("4 bytes"));
+            let next = align_up(offset + PAGE_HEADER_LEN + u64::from(payload_len));
+            if payload_len == 0 || offset + PAGE_HEADER_LEN + u64::from(payload_len) > len {
+                break; // torn tail page: everything before it is intact
+            }
+            if live == LIVE {
+                // Decode just enough to identify the unit; full validation
+                // happens on read.
+                let mut payload = vec![0u8; payload_len as usize];
+                self.file.read_exact(&mut payload)?;
+                match codec::decode(&payload) {
+                    Ok(data) => {
+                        self.index.insert(
+                            data.unit,
+                            PageRef {
+                                offset,
+                                payload_len,
+                            },
+                        );
+                    }
+                    Err(_) => break, // torn tail
+                }
+            }
+            offset = next;
+        }
+        self.cursor = offset;
+        Ok(())
+    }
+
+    /// The container file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of live units.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no units are stored.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Container file size in bytes (live + dead pages).
+    ///
+    /// # Errors
+    /// I/O failure reading metadata.
+    pub fn file_len(&self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    fn mark_dead(&mut self, offset: u64) -> Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(&[DEAD])?;
+        Ok(())
+    }
+
+    /// Rewrites the container without dead pages, reclaiming space.
+    ///
+    /// # Errors
+    /// I/O failures; the original file is replaced atomically via rename.
+    pub fn compact(&mut self) -> Result<()> {
+        let tmp_path = self.path.with_extension("compact");
+        {
+            let mut out = std::io::BufWriter::new(File::create(&tmp_path)?);
+            let mut header = Vec::with_capacity(FILE_HEADER_LEN as usize);
+            header.extend_from_slice(FILE_MAGIC);
+            header.extend_from_slice(&FILE_VERSION.to_le_bytes());
+            header.extend_from_slice(&[0u8; 4]);
+            out.write_all(&header)?;
+            let mut cursor = FILE_HEADER_LEN;
+            let mut new_index = HashMap::new();
+            let units: Vec<UnitId> = self.index.keys().copied().collect();
+            for unit in units {
+                let page = self.read_payload(unit)?;
+                let mut ph = [0u8; PAGE_HEADER_LEN as usize];
+                ph[0] = LIVE;
+                ph[4..8].copy_from_slice(&(page.len() as u32).to_le_bytes());
+                out.write_all(&ph)?;
+                out.write_all(&page)?;
+                let end = cursor + PAGE_HEADER_LEN + page.len() as u64;
+                let padded = align_up(end);
+                out.write_all(&vec![0u8; (padded - end) as usize])?;
+                new_index.insert(
+                    unit,
+                    PageRef {
+                        offset: cursor,
+                        payload_len: page.len() as u32,
+                    },
+                );
+                cursor = padded;
+            }
+            out.flush()?;
+            self.index = new_index;
+            self.cursor = cursor;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        Ok(())
+    }
+
+    fn read_payload(&mut self, unit: UnitId) -> Result<Vec<u8>> {
+        let page = self
+            .index
+            .get(&unit)
+            .ok_or(StorageError::NotFound(unit))?;
+        self.file
+            .seek(SeekFrom::Start(page.offset + PAGE_HEADER_LEN))?;
+        let mut payload = vec![0u8; page.payload_len as usize];
+        self.file.read_exact(&mut payload)?;
+        Ok(payload)
+    }
+}
+
+impl UnitStore for SingleFileStore {
+    fn write(&mut self, data: &UnitData) -> Result<()> {
+        let payload = codec::encode(data);
+        let offset = self.cursor;
+        let mut ph = [0u8; PAGE_HEADER_LEN as usize];
+        ph[0] = LIVE;
+        ph[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(&ph)?;
+        self.file.write_all(&payload)?;
+        let end = offset + PAGE_HEADER_LEN + payload.len() as u64;
+        let padded = align_up(end);
+        if padded > end {
+            self.file.write_all(&vec![0u8; (padded - end) as usize])?;
+        }
+        self.file.flush()?;
+        // Commit point: only after the new page is durable is the old one
+        // retired and the index switched.
+        let old = self.index.insert(
+            data.unit,
+            PageRef {
+                offset,
+                payload_len: payload.len() as u32,
+            },
+        );
+        if let Some(old) = old {
+            self.mark_dead(old.offset)?;
+        }
+        self.cursor = padded;
+        self.bytes_written += data.payload_bytes() as u64;
+        Ok(())
+    }
+
+    fn read(&mut self, unit: UnitId) -> Result<UnitData> {
+        let payload = self.read_payload(unit)?;
+        let data = codec::decode(&payload)?;
+        if data.unit != unit {
+            return Err(StorageError::Corrupt {
+                reason: format!("page for {} indexed under {unit}", data.unit),
+            });
+        }
+        self.bytes_read += data.payload_bytes() as u64;
+        Ok(data)
+    }
+
+    fn contains(&self, unit: UnitId) -> bool {
+        self.index.contains_key(&unit)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcp_linalg::Mat;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tpcp_sfs_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.join("store.seg")
+    }
+
+    fn unit(part: usize, seed: f64) -> UnitData {
+        UnitData {
+            unit: UnitId::new(0, part),
+            factor: Mat::filled(3, 2, seed),
+            sub_factors: vec![(part as u64, Mat::filled(2, 2, seed + 1.0))],
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = tmpfile("roundtrip");
+        let mut s = SingleFileStore::open(&path).unwrap();
+        for p in 0..5 {
+            s.write(&unit(p, p as f64)).unwrap();
+        }
+        assert_eq!(s.len(), 5);
+        for p in 0..5 {
+            assert_eq!(s.read(UnitId::new(0, p)).unwrap(), unit(p, p as f64));
+        }
+        assert!(!s.contains(UnitId::new(1, 0)));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn reopen_rebuilds_index() {
+        let path = tmpfile("reopen");
+        {
+            let mut s = SingleFileStore::open(&path).unwrap();
+            s.write(&unit(0, 1.0)).unwrap();
+            s.write(&unit(1, 2.0)).unwrap();
+            s.write(&unit(0, 9.0)).unwrap(); // overwrite
+        }
+        let mut s = SingleFileStore::open(&path).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), unit(0, 9.0));
+        assert_eq!(s.read(UnitId::new(0, 1)).unwrap(), unit(1, 2.0));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn overwrites_grow_file_and_compact_reclaims() {
+        let path = tmpfile("compact");
+        let mut s = SingleFileStore::open(&path).unwrap();
+        for _ in 0..10 {
+            s.write(&unit(0, 1.0)).unwrap();
+        }
+        let before = s.file_len().unwrap();
+        s.compact().unwrap();
+        let after = s.file_len().unwrap();
+        assert!(after < before, "compact {before} -> {after}");
+        assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), unit(0, 1.0));
+        // Still usable after compaction (writes go to the new tail).
+        s.write(&unit(3, 3.0)).unwrap();
+        assert_eq!(s.read(UnitId::new(0, 3)).unwrap(), unit(3, 3.0));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_page_is_ignored_on_open() {
+        let path = tmpfile("torn");
+        {
+            let mut s = SingleFileStore::open(&path).unwrap();
+            s.write(&unit(0, 1.0)).unwrap();
+            s.write(&unit(1, 2.0)).unwrap();
+        }
+        // Truncate into the middle of the last page's payload (pages are
+        // padded to 64-byte alignment, so cut deep enough to pass the
+        // padding and bite into the checksummed payload).
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 100).unwrap();
+        drop(f);
+        let mut s = SingleFileStore::open(&path).unwrap();
+        // First unit intact, the torn one is gone.
+        assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), unit(0, 1.0));
+        assert!(!s.contains(UnitId::new(0, 1)));
+        // And the store accepts new writes.
+        s.write(&unit(1, 5.0)).unwrap();
+        assert_eq!(s.read(UnitId::new(0, 1)).unwrap(), unit(1, 5.0));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let path = tmpfile("badheader");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, b"NOTASEGMENT_FILE").unwrap();
+        assert!(matches!(
+            SingleFileStore::open(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn works_under_the_buffer_pool() {
+        use crate::{BufferPool, PolicyKind};
+        let path = tmpfile("pool");
+        let mut s = SingleFileStore::open(&path).unwrap();
+        for p in 0..4 {
+            s.write(&unit(p, p as f64)).unwrap();
+        }
+        let size = unit(0, 0.0).payload_bytes();
+        let mut pool = BufferPool::new(s, size * 2, PolicyKind::Lru);
+        for p in 0..4 {
+            let id = UnitId::new(0, p);
+            pool.acquire(&[id]).unwrap();
+            pool.get_mut(id).unwrap().factor.set(0, 0, 100.0 + p as f64);
+            pool.release(&[id]);
+        }
+        pool.flush_and_clear().unwrap();
+        let mut s = pool.into_store().unwrap();
+        for p in 0..4 {
+            assert_eq!(
+                s.read(UnitId::new(0, p)).unwrap().factor.get(0, 0),
+                100.0 + p as f64
+            );
+        }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

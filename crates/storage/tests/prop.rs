@@ -1,0 +1,159 @@
+//! Property-based tests: the buffer pool against a reference model, and
+//! codec roundtrips under arbitrary payload shapes.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tpcp_linalg::Mat;
+use tpcp_schedule::UnitId;
+use tpcp_storage::{codec, BufferPool, MemStore, PolicyKind, UnitData, UnitStore};
+
+fn unit_data(part: usize, rows: usize, value: f64) -> UnitData {
+    UnitData {
+        unit: UnitId::new(0, part),
+        factor: Mat::filled(rows, 2, value),
+        sub_factors: vec![(part as u64, Mat::filled(1, 2, value + 0.5))],
+    }
+}
+
+/// One step of a random pool workload.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Acquire, optionally mutate (making the unit dirty), release.
+    Touch { part: usize, mutate: bool },
+    /// Flush all dirty entries.
+    Flush,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..6, any::<bool>()).prop_map(|(part, mutate)| Op::Touch { part, mutate }),
+            Just(Op::Flush),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    /// Under any workload and policy, the pool (a) never exceeds its
+    /// capacity after an operation, (b) always returns the latest written
+    /// value, and (c) leaves the store holding exactly the latest values
+    /// after a final flush — i.e. caching is semantically invisible.
+    #[test]
+    fn pool_is_semantically_invisible(
+        ops in ops(),
+        policy_idx in 0usize..3,
+        capacity_units in 1usize..7,
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        let mut store = MemStore::new();
+        for part in 0..6 {
+            store.write(&unit_data(part, 3, part as f64)).unwrap();
+        }
+        let unit_bytes = unit_data(0, 3, 0.0).payload_bytes();
+        let mut pool = BufferPool::new(store, unit_bytes * capacity_units, policy);
+
+        // Reference model: latest value per unit.
+        let mut model: HashMap<usize, f64> = (0..6).map(|p| (p, p as f64)).collect();
+        let mut version = 100.0;
+
+        for op in &ops {
+            match op {
+                Op::Touch { part, mutate } => {
+                    let id = UnitId::new(0, *part);
+                    pool.acquire(&[id]).unwrap();
+                    let expect = model[part];
+                    let got = pool.get(id).unwrap().factor.get(0, 0);
+                    prop_assert_eq!(got, expect, "stale read of unit {}", part);
+                    if *mutate {
+                        version += 1.0;
+                        let data = pool.get_mut(id).unwrap();
+                        *data = unit_data(*part, 3, version);
+                        model.insert(*part, version);
+                    }
+                    pool.release(&[id]);
+                }
+                Op::Flush => pool.flush().unwrap(),
+            }
+            prop_assert!(
+                pool.used_bytes() <= pool.capacity(),
+                "capacity exceeded: {} > {}",
+                pool.used_bytes(),
+                pool.capacity()
+            );
+            prop_assert!(pool.resident_len() <= capacity_units);
+        }
+
+        // Final flush: the store must hold exactly the model.
+        pool.flush_and_clear().unwrap();
+        let mut store = pool.into_store().unwrap();
+        for (part, expect) in model {
+            let got = store.read(UnitId::new(0, part)).unwrap().factor.get(0, 0);
+            prop_assert_eq!(got, expect, "store lost write to unit {}", part);
+        }
+    }
+
+    /// Accounting identity: every access is either a hit or a fetch, and
+    /// evictions never exceed fetches.
+    #[test]
+    fn pool_accounting_identities(
+        parts in proptest::collection::vec(0usize..5, 1..40),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        let mut store = MemStore::new();
+        for part in 0..5 {
+            store.write(&unit_data(part, 2, part as f64)).unwrap();
+        }
+        let unit_bytes = unit_data(0, 2, 0.0).payload_bytes();
+        let mut pool = BufferPool::new(store, unit_bytes * 2, policy);
+        for &part in &parts {
+            let id = UnitId::new(0, part);
+            pool.acquire(&[id]).unwrap();
+            pool.release(&[id]);
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.hits + s.fetches, parts.len() as u64);
+        prop_assert!(s.evictions <= s.fetches);
+        prop_assert_eq!(s.write_backs, 0, "no mutation => no write-backs");
+        prop_assert_eq!(s.bytes_read, s.fetches * unit_bytes as u64);
+    }
+
+    /// The page codec roundtrips arbitrary unit shapes exactly.
+    #[test]
+    fn codec_roundtrips_arbitrary_units(
+        mode in 0usize..4,
+        part in 0usize..100,
+        rows in 0usize..6,
+        cols in 0usize..6,
+        subs in proptest::collection::vec((0u64..64, 1usize..4, 1usize..4), 0..5),
+        seed in -100.0f64..100.0,
+    ) {
+        let data = UnitData {
+            unit: UnitId::new(mode, part),
+            factor: Mat::filled(rows, cols, seed),
+            sub_factors: subs
+                .iter()
+                .map(|&(b, r, c)| (b, Mat::filled(r, c, seed * 0.5)))
+                .collect(),
+        };
+        let page = codec::encode(&data);
+        let back = codec::decode(&page).unwrap();
+        prop_assert_eq!(back.unit, data.unit);
+        prop_assert_eq!(back.factor, data.factor);
+        prop_assert_eq!(back.sub_factors, data.sub_factors);
+    }
+
+    /// Any single-byte corruption of a page is detected.
+    #[test]
+    fn codec_detects_any_single_byte_flip(
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let data = unit_data(3, 4, 7.0);
+        let mut page = codec::encode(&data);
+        let pos = ((page.len() - 1) as f64 * pos_frac) as usize;
+        page[pos] ^= 1 << bit;
+        prop_assert!(codec::decode(&page).is_err(), "flip at {pos} undetected");
+    }
+}

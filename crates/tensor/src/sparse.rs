@@ -1,0 +1,365 @@
+//! Coordinate-format (COO) sparse tensors.
+
+use crate::shape::linear_index;
+use crate::{DenseTensor, Result, TensorError};
+
+/// A sparse tensor in coordinate format, struct-of-arrays layout.
+///
+/// Each non-zero `e` is described by `coords[m][e]` for every mode `m` plus
+/// `values[e]`. Coordinates are stored as `u32` (the paper's largest mode is
+/// 100K wide; `u32` halves the index footprint vs `usize` per the type-size
+/// guidance). Entries are kept sorted by row-major linear index and
+/// deduplicated (last write wins) by [`SparseBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseTensor {
+    dims: Vec<usize>,
+    coords: Vec<Vec<u32>>,
+    values: Vec<f64>,
+}
+
+impl SparseTensor {
+    /// Creates an empty sparse tensor with the given dimensions.
+    pub fn empty(dims: &[usize]) -> Self {
+        SparseTensor {
+            dims: dims.to_vec(),
+            coords: vec![Vec::new(); dims.len()],
+            values: Vec::new(),
+        }
+    }
+
+    /// Tensor dimensions.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of modes (tensor order).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no non-zeros are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Fraction of cells that are non-zero.
+    pub fn density(&self) -> f64 {
+        let total = crate::shape::num_elements(&self.dims);
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// Mode-`m` coordinates of every non-zero.
+    #[inline]
+    pub fn mode_coords(&self, m: usize) -> &[u32] {
+        &self.coords[m]
+    }
+
+    /// Values of every non-zero.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The multi-index of non-zero `e` (allocates; test/debug convenience).
+    pub fn coord_of(&self, e: usize) -> Vec<usize> {
+        self.coords.iter().map(|c| c[e] as usize).collect()
+    }
+
+    /// Iterates `(multi_index_per_mode, value)` without allocating per entry:
+    /// the callback receives a closure-visible slice of mode coordinates.
+    pub fn for_each_entry(&self, mut f: impl FnMut(&[u32], f64)) {
+        let order = self.order();
+        let mut idx = vec![0u32; order];
+        for e in 0..self.nnz() {
+            for (m, slot) in idx.iter_mut().enumerate() {
+                *slot = self.coords[m][e];
+            }
+            f(&idx, self.values[e]);
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.fro_norm_sq().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn fro_norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Materialises the tensor densely.
+    ///
+    /// # Errors
+    /// [`TensorError::ShapeMismatch`] if the dense form would overflow
+    /// `usize` cells (guard for misuse on paper-scale shapes).
+    pub fn to_dense(&self) -> Result<DenseTensor> {
+        let mut total: usize = 1;
+        for &d in &self.dims {
+            total = total.checked_mul(d).ok_or_else(|| TensorError::ShapeMismatch {
+                op: "to_dense",
+                expected: vec![usize::MAX],
+                actual: self.dims.clone(),
+            })?;
+        }
+        let _ = total;
+        let mut out = DenseTensor::zeros(&self.dims);
+        let mut idx = vec![0usize; self.order()];
+        for e in 0..self.nnz() {
+            for (m, slot) in idx.iter_mut().enumerate() {
+                *slot = self.coords[m][e] as usize;
+            }
+            let lin = linear_index(&self.dims, &idx);
+            out.as_mut_slice()[lin] = self.values[e];
+        }
+        Ok(out)
+    }
+
+    /// Extracts all non-zeros falling within dense `ranges` and re-bases
+    /// their coordinates to the block origin.
+    ///
+    /// # Errors
+    /// [`TensorError::ShapeMismatch`] on a malformed range list.
+    pub fn slice(&self, ranges: &[std::ops::Range<usize>]) -> Result<SparseTensor> {
+        if ranges.len() != self.order()
+            || ranges
+                .iter()
+                .zip(&self.dims)
+                .any(|(r, &d)| r.start > r.end || r.end > d)
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "sparse slice",
+                expected: self.dims.clone(),
+                actual: ranges.iter().map(|r| r.end).collect(),
+            });
+        }
+        let block_dims: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+        let mut out = SparseTensor::empty(&block_dims);
+        'entry: for e in 0..self.nnz() {
+            for (m, r) in ranges.iter().enumerate() {
+                let c = self.coords[m][e] as usize;
+                if c < r.start || c >= r.end {
+                    continue 'entry;
+                }
+            }
+            for (m, r) in ranges.iter().enumerate() {
+                out.coords[m].push(self.coords[m][e] - r.start as u32);
+            }
+            out.values.push(self.values[e]);
+        }
+        Ok(out)
+    }
+
+    /// Builds a sparse view of a dense tensor, keeping cells with
+    /// `|value| > threshold`.
+    pub fn from_dense(t: &DenseTensor, threshold: f64) -> SparseTensor {
+        let mut b = SparseBuilder::new(t.dims());
+        let dims = t.dims().to_vec();
+        let mut idx = vec![0usize; dims.len()];
+        for (lin, &v) in t.as_slice().iter().enumerate() {
+            if v.abs() > threshold {
+                let mut rem = lin;
+                for m in (0..dims.len()).rev() {
+                    idx[m] = rem % dims[m];
+                    rem /= dims[m];
+                }
+                b.push(&idx, v);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Accumulates entries for a [`SparseTensor`], then sorts and deduplicates.
+#[derive(Clone, Debug)]
+pub struct SparseBuilder {
+    dims: Vec<usize>,
+    entries: Vec<(u64, f64)>,
+    coords_tmp: Vec<Vec<u32>>,
+}
+
+impl SparseBuilder {
+    /// Starts a builder for the given dimensions.
+    ///
+    /// # Panics
+    /// Panics if any dimension exceeds `u32::MAX` or the row-major linear
+    /// index space exceeds `u64` (neither occurs at paper scale).
+    pub fn new(dims: &[usize]) -> Self {
+        let mut space: u64 = 1;
+        for &d in dims {
+            assert!(d <= u32::MAX as usize, "dimension too large for u32 coords");
+            space = space
+                .checked_mul(d as u64)
+                .expect("index space exceeds u64");
+        }
+        SparseBuilder {
+            dims: dims.to_vec(),
+            entries: Vec::new(),
+            coords_tmp: vec![Vec::new(); dims.len()],
+        }
+    }
+
+    /// Appends one entry (later duplicates of a coordinate win).
+    ///
+    /// # Panics
+    /// Debug-asserts the index is in bounds.
+    pub fn push(&mut self, idx: &[usize], value: f64) {
+        debug_assert_eq!(idx.len(), self.dims.len());
+        let mut lin: u64 = 0;
+        for (&d, &i) in self.dims.iter().zip(idx) {
+            debug_assert!(i < d, "builder index out of bounds");
+            lin = lin * d as u64 + i as u64;
+        }
+        self.entries.push((lin, value));
+    }
+
+    /// Number of pushed (pre-dedup) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Finalises into a sorted, deduplicated [`SparseTensor`].
+    #[allow(clippy::needless_range_loop)]
+    pub fn build(mut self) -> SparseTensor {
+        self.entries.sort_unstable_by_key(|&(lin, _)| lin);
+        // Last write wins for duplicates.
+        self.entries.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = later.1;
+                true
+            } else {
+                false
+            }
+        });
+        let order = self.dims.len();
+        let nnz = self.entries.len();
+        for c in &mut self.coords_tmp {
+            c.clear();
+            c.reserve(nnz);
+        }
+        let mut values = Vec::with_capacity(nnz);
+        for &(lin, v) in &self.entries {
+            let mut rem = lin;
+            // Decompose the linear index back into per-mode coordinates.
+            let mut idx_rev = [0u32; 16];
+            debug_assert!(order <= 16, "order > 16 unsupported by builder scratch");
+            for m in (0..order).rev() {
+                let d = self.dims[m] as u64;
+                idx_rev[m] = (rem % d) as u32;
+                rem /= d;
+            }
+            for m in 0..order {
+                self.coords_tmp[m].push(idx_rev[m]);
+            }
+            values.push(v);
+        }
+        SparseTensor {
+            dims: self.dims,
+            coords: self.coords_tmp,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sorts_and_dedups() {
+        let mut b = SparseBuilder::new(&[3, 3]);
+        b.push(&[2, 2], 1.0);
+        b.push(&[0, 1], 2.0);
+        b.push(&[2, 2], 5.0); // overwrites
+        let t = b.build();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.coord_of(0), vec![0, 1]);
+        assert_eq!(t.values()[0], 2.0);
+        assert_eq!(t.coord_of(1), vec![2, 2]);
+        assert_eq!(t.values()[1], 5.0);
+    }
+
+    #[test]
+    fn density_and_norms() {
+        let mut b = SparseBuilder::new(&[2, 2]);
+        b.push(&[0, 0], 3.0);
+        b.push(&[1, 1], 4.0);
+        let t = b.build();
+        assert!((t.density() - 0.5).abs() < 1e-12);
+        assert!((t.fro_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let mut b = SparseBuilder::new(&[2, 3, 2]);
+        b.push(&[0, 2, 1], 7.0);
+        b.push(&[1, 0, 0], -2.0);
+        let s = b.build();
+        let d = s.to_dense().unwrap();
+        assert_eq!(d.get(&[0, 2, 1]).unwrap(), 7.0);
+        assert_eq!(d.get(&[1, 0, 0]).unwrap(), -2.0);
+        assert_eq!(d.nnz(), 2);
+        let s2 = SparseTensor::from_dense(&d, 0.0);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn slice_rebases_coordinates() {
+        let mut b = SparseBuilder::new(&[4, 4]);
+        b.push(&[1, 2], 1.0);
+        b.push(&[3, 3], 2.0);
+        b.push(&[0, 0], 3.0);
+        let t = b.build();
+        let blk = t.slice(&[1..4, 2..4]).unwrap();
+        assert_eq!(blk.dims(), &[3, 2]);
+        assert_eq!(blk.nnz(), 2);
+        assert_eq!(blk.coord_of(0), vec![0, 0]); // was (1,2)
+        assert_eq!(blk.coord_of(1), vec![2, 1]); // was (3,3)
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // arity mismatch is the point
+    fn slice_bad_ranges() {
+        let t = SparseTensor::empty(&[2, 2]);
+        assert!(t.slice(&[0..3, 0..2]).is_err());
+        assert!(t.slice(&[0..2]).is_err());
+    }
+
+    #[test]
+    fn for_each_entry_order() {
+        let mut b = SparseBuilder::new(&[2, 2]);
+        b.push(&[1, 0], 1.0);
+        b.push(&[0, 1], 2.0);
+        let t = b.build();
+        let mut seen = Vec::new();
+        t.for_each_entry(|idx, v| seen.push((idx.to_vec(), v)));
+        assert_eq!(seen, vec![(vec![0, 1], 2.0), (vec![1, 0], 1.0)]);
+    }
+
+    #[test]
+    fn empty_tensor_behaviour() {
+        let t = SparseTensor::empty(&[5, 5, 5]);
+        assert!(t.is_empty());
+        assert_eq!(t.density(), 0.0);
+        assert_eq!(t.fro_norm(), 0.0);
+        assert_eq!(t.to_dense().unwrap().nnz(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for tensor shape math, unfolding and COO storage.
+
+use proptest::prelude::*;
+use tpcp_tensor::{
+    linear_index, multi_index, num_elements, DenseTensor, SparseBuilder, SparseTensor,
+};
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    #[test]
+    fn linear_multi_index_roundtrip(dims in small_dims(), frac in 0.0f64..1.0) {
+        let total = num_elements(&dims);
+        let lin = ((total as f64 - 1.0) * frac) as usize;
+        let idx = multi_index(&dims, lin);
+        prop_assert_eq!(linear_index(&dims, &idx), lin);
+        for (i, d) in idx.iter().zip(&dims) {
+            prop_assert!(i < d);
+        }
+    }
+
+    #[test]
+    fn unfold_fold_roundtrip(dims in small_dims(), seed in 0u64..1000) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..num_elements(&dims)).map(|_| rng.random::<f64>()).collect();
+        let t = DenseTensor::from_vec(&dims, data);
+        for n in 0..dims.len() {
+            let m = t.unfold(n).unwrap();
+            prop_assert_eq!(m.rows(), dims[n]);
+            let back = DenseTensor::fold(&m, n, &dims).unwrap();
+            prop_assert_eq!(&back, &t);
+        }
+    }
+
+    #[test]
+    fn unfold_preserves_frobenius_norm(dims in small_dims(), seed in 0u64..1000) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..num_elements(&dims)).map(|_| rng.random::<f64>()).collect();
+        let t = DenseTensor::from_vec(&dims, data);
+        for n in 0..dims.len() {
+            let m = t.unfold(n).unwrap();
+            prop_assert!((m.fro_norm() - t.fro_norm()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sparse_dense_roundtrip(
+        dims in small_dims(),
+        entries in proptest::collection::vec((0.0f64..1.0, 0.1f64..10.0), 0..20),
+    ) {
+        let mut b = SparseBuilder::new(&dims);
+        let total = num_elements(&dims);
+        for (pos, v) in &entries {
+            let lin = ((total as f64 - 1.0).max(0.0) * pos) as usize;
+            let idx = multi_index(&dims, lin.min(total - 1));
+            b.push(&idx, *v);
+        }
+        let s = b.build();
+        let d = s.to_dense().unwrap();
+        prop_assert_eq!(d.nnz(), s.nnz());
+        let s2 = SparseTensor::from_dense(&d, 0.0);
+        prop_assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn sparse_slice_preserves_values(
+        seed in 0u64..500,
+    ) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dims = [6usize, 6, 6];
+        let mut b = SparseBuilder::new(&dims);
+        for _ in 0..30 {
+            let idx = [
+                rng.random_range(0..6usize),
+                rng.random_range(0..6usize),
+                rng.random_range(0..6usize),
+            ];
+            b.push(&idx, rng.random::<f64>() + 0.1);
+        }
+        let t = b.build();
+        // Slice into 2x2x2 half-open octants and check total nnz conserved.
+        let mut total = 0usize;
+        let mut norm_sq = 0.0;
+        for i in [0..3usize, 3..6] {
+            for j in [0..3usize, 3..6] {
+                for k in [0..3usize, 3..6] {
+                    let blk = t.slice(&[i.clone(), j.clone(), k.clone()]).unwrap();
+                    total += blk.nnz();
+                    norm_sq += blk.fro_norm_sq();
+                }
+            }
+        }
+        prop_assert_eq!(total, t.nnz());
+        prop_assert!((norm_sq - t.fro_norm_sq()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_slice_paste_partition_roundtrip(seed in 0u64..500) {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dims = [4usize, 5, 3];
+        let data: Vec<f64> = (0..num_elements(&dims)).map(|_| rng.random::<f64>()).collect();
+        let t = DenseTensor::from_vec(&dims, data);
+        let mut rebuilt = DenseTensor::zeros(&dims);
+        // Partition mode 0 into [0,2) and [2,4), mode 1 into [0,3) and [3,5).
+        for r0 in [0..2usize, 2..4] {
+            for r1 in [0..3usize, 3..5] {
+                let blk = t.slice(&[r0.clone(), r1.clone(), 0..3]).unwrap();
+                rebuilt.paste(&blk, &[r0.start, r1.start, 0]).unwrap();
+            }
+        }
+        prop_assert_eq!(rebuilt, t);
+    }
+}

@@ -1,0 +1,53 @@
+//! Out-of-core decomposition: disk-backed unit store, constrained buffer,
+//! and the effect of the replacement policy on I/O.
+//!
+//! ```sh
+//! cargo run --release --example out_of_core
+//! ```
+
+use tpcp_datasets::dense_uniform;
+use tpcp_schedule::ScheduleKind;
+use tpcp_storage::PolicyKind;
+use twopcp::{TwoPcp, TwoPcpConfig};
+
+fn main() {
+    // A 48³ tensor of density 0.49 — the Table II workload, scaled down.
+    let x = dense_uniform(&[48, 48, 48], 0.49, 7);
+    let scratch = std::env::temp_dir().join(format!("tpcp_example_ooc_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!("decomposing {:?} out-of-core (buffer = 1/3 of working set)\n", x.dims());
+    println!(
+        "{:<10} {:>8} {:>8} {:>12} {:>12} {:>8}",
+        "policy", "swaps", "hits", "bytes read", "written", "fit"
+    );
+    for policy in PolicyKind::ALL {
+        let config = TwoPcpConfig::new(8)
+            .parts(vec![4])
+            .schedule(ScheduleKind::HilbertOrder)
+            .policy(policy)
+            .buffer_fraction(1.0 / 3.0)
+            .max_virtual_iters(30)
+            .tol(1e-3)
+            .work_dir(scratch.join(policy.abbrev()));
+        let outcome = TwoPcp::new(config)
+            .decompose_dense(&x)
+            .expect("decomposition failed");
+        let io = outcome.phase2.io;
+        println!(
+            "{:<10} {:>8} {:>8} {:>12} {:>12} {:>8.4}",
+            policy.abbrev(),
+            io.fetches,
+            io.hits,
+            io.bytes_read,
+            io.bytes_written,
+            outcome.fit,
+        );
+    }
+    println!(
+        "\nSame schedule, same math — only the eviction decisions differ.\n\
+         The forward-looking (FOR) policy knows the Hilbert traversal and\n\
+         evicts the unit needed furthest in the future (paper §VII-B)."
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}

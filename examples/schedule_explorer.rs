@@ -1,0 +1,66 @@
+//! Schedule explorer: visualise the block traversal orders and compare
+//! their I/O behaviour with the swap simulator.
+//!
+//! ```sh
+//! cargo run --release --example schedule_explorer
+//! ```
+
+use tpcp_partition::Grid;
+use tpcp_schedule::{build_cycle, ScheduleKind, Step};
+use tpcp_storage::PolicyKind;
+use twopcp::{simulate_swaps, SwapSimConfig};
+
+/// Prints the visit order of an 8×8 grid under a schedule (the layout of
+/// the paper's Figure 9).
+fn print_walk(kind: ScheduleKind) {
+    let grid = Grid::new(&[8, 8], &[8, 8]);
+    let cycle = build_cycle(&grid, kind);
+    let mut order = vec![0usize; grid.num_blocks()];
+    for (step_no, step) in cycle.iter().enumerate() {
+        if let Step::Block(lin) = step {
+            order[*lin] = step_no;
+        }
+    }
+    println!("{kind} walk of an 8x8 block grid (numbers = visit order):");
+    for r in 0..8 {
+        let row: Vec<String> = (0..8)
+            .map(|c| format!("{:>3}", order[grid.block_linear(&[r, c])]))
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+    println!();
+}
+
+fn main() {
+    for kind in [
+        ScheduleKind::FiberOrder,
+        ScheduleKind::ZOrder,
+        ScheduleKind::HilbertOrder,
+        ScheduleKind::GrayOrder, // extension: boustrophedon walk
+    ] {
+        print_walk(kind);
+    }
+
+    println!("steady-state data swaps per virtual iteration (8x8x8 grid):\n");
+    println!("{:<10} {:>8} {:>8} {:>8}", "schedule", "LRU", "MRU", "FOR");
+    for schedule in ScheduleKind::ALL_EXTENDED {
+        let mut row = format!("{:<10}", schedule.abbrev());
+        for policy in PolicyKind::ALL {
+            let report = simulate_swaps(&SwapSimConfig {
+                parts: vec![8; 3],
+                schedule,
+                policy,
+                buffer_fraction: 1.0 / 3.0,
+                virtual_iters: 200,
+            })
+            .expect("simulation failed");
+            row.push_str(&format!(" {:>8.2}", report.steady_swaps));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nThe Hilbert walk shares N-1 of its N data units between any two\n\
+         consecutive blocks, so with a forward-looking policy almost every\n\
+         access hits the buffer — the paper's headline result (Figure 12)."
+    );
+}

@@ -1,0 +1,140 @@
+//! Property-based tests over the whole pipeline.
+
+use proptest::prelude::*;
+use tpcp_datasets::low_rank_dense;
+use tpcp_schedule::ScheduleKind;
+use tpcp_storage::PolicyKind;
+use twopcp::{simulate_swaps, SwapSimConfig, TwoPcp, TwoPcpConfig};
+
+fn schedules() -> impl Strategy<Value = ScheduleKind> {
+    prop_oneof![
+        Just(ScheduleKind::ModeCentric),
+        Just(ScheduleKind::FiberOrder),
+        Just(ScheduleKind::ZOrder),
+        Just(ScheduleKind::HilbertOrder),
+    ]
+}
+
+fn policies() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Lru),
+        Just(PolicyKind::Mru),
+        Just(PolicyKind::Forward),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (small) configuration must produce a valid model: correct
+    /// shape, finite weights, fit ≤ 1.
+    #[test]
+    fn pipeline_always_produces_valid_models(
+        seed in 0u64..1000,
+        parts in 2usize..4,
+        schedule in schedules(),
+        policy in policies(),
+        rank in 1usize..4,
+    ) {
+        let dims = [parts * 3, parts * 2, parts * 3];
+        let x = low_rank_dense(&dims, rank, 0.1, seed);
+        let outcome = TwoPcp::new(
+            TwoPcpConfig::new(rank)
+                .parts(vec![parts])
+                .schedule(schedule)
+                .policy(policy)
+                .buffer_fraction(0.5)
+                .max_virtual_iters(10)
+                .tol(1e-3)
+                .seed(seed),
+        )
+        .decompose_dense(&x)
+        .unwrap();
+        prop_assert_eq!(outcome.model.dims(), dims.to_vec());
+        prop_assert!(outcome.model.weights.iter().all(|w| w.is_finite()));
+        prop_assert!(outcome.fit <= 1.0 + 1e-9);
+        prop_assert!(outcome.fit.is_finite());
+    }
+
+    /// The swap simulator is deterministic and never beats the
+    /// information-theoretic floor: each unit must be fetched at least
+    /// once, and the total never exceeds one fetch per unit access.
+    #[test]
+    fn swap_counts_are_bounded(
+        parts in 2usize..6,
+        schedule in schedules(),
+        policy in policies(),
+        frac_idx in 0usize..3,
+    ) {
+        let fraction = [1.0 / 3.0, 0.5, 2.0 / 3.0][frac_idx];
+        let cfg = SwapSimConfig {
+            parts: vec![parts; 3],
+            schedule,
+            policy,
+            buffer_fraction: fraction,
+            virtual_iters: 20,
+        };
+        let a = simulate_swaps(&cfg).unwrap();
+        let b = simulate_swaps(&cfg).unwrap();
+        prop_assert_eq!(&a.swaps_per_iteration, &b.swaps_per_iteration);
+
+        let units = 3 * parts as u64;
+        prop_assert!(a.io.fetches >= units, "every unit read at least once");
+        // 20 virtual iterations × ΣK updates, 1 unit per update.
+        let accesses = 20 * units;
+        prop_assert!(a.io.fetches <= accesses);
+        prop_assert_eq!(a.io.fetches + a.io.hits, accesses);
+    }
+
+    /// Forward-looking replacement (exact Belady on the known schedule)
+    /// never loses to LRU or MRU in total fetches.
+    #[test]
+    fn forward_policy_is_optimal(
+        parts in 2usize..6,
+        schedule in schedules(),
+        frac_idx in 0usize..3,
+    ) {
+        let fraction = [1.0 / 3.0, 0.5, 2.0 / 3.0][frac_idx];
+        let run = |policy| {
+            simulate_swaps(&SwapSimConfig {
+                parts: vec![parts; 3],
+                schedule,
+                policy,
+                buffer_fraction: fraction,
+                virtual_iters: 30,
+            })
+            .unwrap()
+            .io
+            .fetches
+        };
+        let fwd = run(PolicyKind::Forward);
+        prop_assert!(fwd <= run(PolicyKind::Lru));
+        prop_assert!(fwd <= run(PolicyKind::Mru));
+    }
+
+    /// Larger buffers never increase total fetches under the forward
+    /// policy (monotonicity; Belady caches are inclusion-monotone).
+    #[test]
+    fn bigger_buffer_never_hurts_forward(
+        parts in 2usize..6,
+        schedule in schedules(),
+    ) {
+        let run = |fraction| {
+            simulate_swaps(&SwapSimConfig {
+                parts: vec![parts; 3],
+                schedule,
+                policy: PolicyKind::Forward,
+                buffer_fraction: fraction,
+                virtual_iters: 25,
+            })
+            .unwrap()
+            .io
+            .fetches
+        };
+        let small = run(1.0 / 3.0);
+        let mid = run(0.5);
+        let large = run(2.0 / 3.0);
+        prop_assert!(mid <= small, "1/2 buffer fetched {mid} > 1/3 buffer {small}");
+        prop_assert!(large <= mid, "2/3 buffer fetched {large} > 1/2 buffer {mid}");
+    }
+}
