@@ -63,7 +63,10 @@ fn bench_mttkrp(c: &mut Criterion) {
     let dims = [24usize, 24, 24];
     let f = 8;
     let x = tpcp_tensor::random_dense(&dims, &mut rng);
-    let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
+    let factors: Vec<Mat> = dims
+        .iter()
+        .map(|&d| random_factor(d, f, &mut rng))
+        .collect();
     let refs: Vec<&Mat> = factors.iter().collect();
 
     group.bench_function("fused_3mode", |b| {
@@ -88,14 +91,21 @@ fn bench_pq(c: &mut Criterion) {
     // Prime the cache and build the slab's U and A.
     let a = random_factor(16, f, &mut rng);
     let slab: Vec<usize> = grid.slab(0, 0).collect();
-    let us: Vec<Mat> = slab.iter().map(|_| random_factor(16, f, &mut rng)).collect();
+    let us: Vec<Mat> = slab
+        .iter()
+        .map(|_| random_factor(16, f, &mut rng))
+        .collect();
     for block in 0..grid.num_blocks() {
         for mode in 0..3 {
             pq.set_p(block, mode, random_factor(f, f, &mut rng));
         }
     }
     for unit in 0..grid.num_units() {
-        pq.set_q(&grid, UnitId::from_linear(&grid, unit), random_factor(f, f, &mut rng));
+        pq.set_q(
+            &grid,
+            UnitId::from_linear(&grid, unit),
+            random_factor(f, f, &mut rng),
+        );
     }
 
     // Observation #2 ablation: with the in-place cache, a mode-0 update
@@ -131,7 +141,10 @@ fn bench_fit(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let dims = [32usize, 32, 32];
     let f = 8;
-    let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
+    let factors: Vec<Mat> = dims
+        .iter()
+        .map(|&d| random_factor(d, f, &mut rng))
+        .collect();
     let model = CpModel::new(vec![1.0; f], factors).unwrap();
     let x: DenseTensor = model.reconstruct_dense();
 
@@ -147,7 +160,11 @@ fn bench_fit(c: &mut Criterion) {
         }
     }
     for unit in 0..grid.num_units() {
-        pq.set_q(&grid, UnitId::from_linear(&grid, unit), random_factor(f, f, &mut rng));
+        pq.set_q(
+            &grid,
+            UnitId::from_linear(&grid, unit),
+            random_factor(f, f, &mut rng),
+        );
     }
     let u_norms = vec![1.0; grid.num_blocks()];
     group.bench_function("surrogate_fit", |b| {

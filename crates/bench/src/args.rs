@@ -20,9 +20,7 @@ pub fn value(name: &str) -> Option<String> {
 
 /// Parsed value of `--name`, falling back to `default`.
 pub fn value_or<T: std::str::FromStr>(name: &str, default: T) -> T {
-    value(name)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    value(name).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// A fresh scratch directory under the system temp dir.

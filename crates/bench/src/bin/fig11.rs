@@ -11,7 +11,10 @@ fn main() {
     } else {
         table1::Table1Config::scaled(dir.clone())
     };
-    eprintln!("running Figure 11 sweep (Table I data): sides {:?}…", cfg.sides);
+    eprintln!(
+        "running Figure 11 sweep (Table I data): sides {:?}…",
+        cfg.sides
+    );
     let rows = table1::run(&cfg);
     println!("{}", table1::render_fig11(&rows));
     let _ = std::fs::remove_dir_all(&dir);

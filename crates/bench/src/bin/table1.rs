@@ -11,7 +11,10 @@ fn main() {
     } else {
         table1::Table1Config::scaled(dir.clone())
     };
-    eprintln!("running Table I sweep: sides {:?} (this runs both systems per size)…", cfg.sides);
+    eprintln!(
+        "running Table I sweep: sides {:?} (this runs both systems per size)…",
+        cfg.sides
+    );
     let rows = table1::run(&cfg);
     println!("{}", table1::render(&cfg, &rows));
     let _ = std::fs::remove_dir_all(&dir);

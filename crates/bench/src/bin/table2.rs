@@ -13,7 +13,10 @@ fn main() {
     };
     eprintln!(
         "running Table II: {0}^3 density {1} rank {2} (naive CP + {3} partitionings x 2 policies)…",
-        cfg.side, cfg.density, cfg.rank, cfg.parts.len()
+        cfg.side,
+        cfg.density,
+        cfg.rank,
+        cfg.parts.len()
     );
     let result = table2::run(&cfg);
     println!("{}", table2::render(&cfg, &result));

@@ -64,9 +64,7 @@ pub fn render(cells: &[Fig12Cell]) -> String {
         ("(b) buffer = 1/2 of total requirement", 0.5),
         ("(c) buffer = 2/3 of total requirement", 2.0 / 3.0),
     ] {
-        out.push_str(&format!(
-            "Figure 12 {label} — per-iteration data swaps\n"
-        ));
+        out.push_str(&format!("Figure 12 {label} — per-iteration data swaps\n"));
         let mut body = Vec::new();
         for &parts in &[2usize, 4, 8] {
             for schedule in ScheduleKind::ALL {
@@ -118,9 +116,8 @@ pub fn render_bytes_example(cells: &[Fig12Cell]) -> String {
 
     let mc_mru = pick(ScheduleKind::ModeCentric, PolicyKind::Mru, 2.0 / 3.0);
     let ho_for = pick(ScheduleKind::HilbertOrder, PolicyKind::Forward, 2.0 / 3.0);
-    let mut out = String::from(
-        "Worked example (paper §VIII-C1): 100K^3 tensor, 8x8x8 grid, rank 100\n",
-    );
+    let mut out =
+        String::from("Worked example (paper §VIII-C1): 100K^3 tensor, 8x8x8 grid, rank 100\n");
     out.push_str(&format!("  one data unit = {}\n", fmt_bytes(unit as u64)));
     out.push_str(&format!(
         "  MC + MRU : {mc_mru:.2} swaps/iter = {} per iteration (paper: ~6 GB at 8.32 swaps)\n",

@@ -117,6 +117,9 @@ mod tests {
         assert!(t.contains("| name      | value |"));
         assert!(t.contains("| long-name | 2     |"));
         let widths: Vec<usize> = t.lines().map(str::len).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{t}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{t}"
+        );
     }
 }

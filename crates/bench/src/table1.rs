@@ -173,9 +173,7 @@ pub fn render(cfg: &Table1Config, rows: &[Table1Row]) -> String {
 
 /// Renders the Figure 11 series (execution time vs non-zeros).
 pub fn render_fig11(rows: &[Table1Row]) -> String {
-    let mut out = String::from(
-        "Figure 11 — 2PCP execution time vs number of non-zero elements\n",
-    );
+    let mut out = String::from("Figure 11 — 2PCP execution time vs number of non-zero elements\n");
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -165,8 +165,7 @@ pub fn run(cfg: &Table2Config) -> Table2Result {
     let mut rows = Vec::new();
     for &parts in &cfg.parts {
         let (p1_lru, p2_lru, swaps_lru, _, _) = run_variant(&x, cfg, parts, PolicyKind::Lru);
-        let (_, p2_for, swaps_for, bytes_for, _) =
-            run_variant(&x, cfg, parts, PolicyKind::Forward);
+        let (_, p2_for, swaps_for, bytes_for, _) = run_variant(&x, cfg, parts, PolicyKind::Forward);
         let blocks = parts.pow(3) as u32;
         rows.push(Table2Row {
             parts,

@@ -56,11 +56,7 @@ pub fn block_sub_model(model: &CpModel, grid: &Grid, block: usize) -> CpModel {
 ///
 /// # Errors
 /// Shape mismatches between the model slices and the blocks.
-pub fn blockwise_fit_dense(
-    model: &CpModel,
-    grid: &Grid,
-    blocks: &[DenseTensor],
-) -> Result<f64> {
+pub fn blockwise_fit_dense(model: &CpModel, grid: &Grid, blocks: &[DenseTensor]) -> Result<f64> {
     let mut err_sq = 0.0;
     let mut x_sq = 0.0;
     for (lin, block) in blocks.iter().enumerate() {
@@ -72,7 +68,11 @@ pub fn blockwise_fit_dense(
         x_sq += b_sq;
     }
     if x_sq <= 0.0 {
-        return Ok(if err_sq <= 1e-30 { 1.0 } else { f64::NEG_INFINITY });
+        return Ok(if err_sq <= 1e-30 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        });
     }
     Ok(1.0 - (err_sq.sqrt() / x_sq.sqrt()))
 }
@@ -86,7 +86,10 @@ mod tests {
 
     fn model_and_tensor(dims: &[usize], f: usize, seed: u64) -> (CpModel, DenseTensor) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, f, &mut rng))
+            .collect();
         let model = CpModel::new(vec![1.0; f], factors).unwrap();
         let t = model.reconstruct_dense();
         (model, t)

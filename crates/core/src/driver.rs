@@ -1,9 +1,7 @@
 //! The top-level two-phase driver.
 
 use crate::config::TwoPcpConfig;
-use crate::phase1::{
-    run_phase1_dense, run_phase1_mapreduce, run_phase1_sparse, Phase1Result,
-};
+use crate::phase1::{run_phase1_dense, run_phase1_mapreduce, run_phase1_sparse, Phase1Result};
 use crate::phase2::{refine, RefineStats};
 use crate::Result;
 use std::time::{Duration, Instant};
@@ -91,9 +89,7 @@ impl TwoPcp {
                 .unwrap_or_else(std::env::temp_dir)
                 .join(format!("shuffle_{}", std::process::id()));
             match input {
-                Input::Sparse(x) => {
-                    run_phase1_mapreduce(x, cfg, &mut store, &mr_dir, &counters)?
-                }
+                Input::Sparse(x) => run_phase1_mapreduce(x, cfg, &mut store, &mr_dir, &counters)?,
                 Input::Dense(x) => {
                     // The MapReduce formulation streams non-zeros; a dense
                     // tensor is fed through its sparse (COO) view.
@@ -144,8 +140,13 @@ mod tests {
 
     fn low_rank(dims: &[usize], f: usize, seed: u64) -> DenseTensor {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
-        CpModel::new(vec![1.0; f], factors).unwrap().reconstruct_dense()
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, f, &mut rng))
+            .collect();
+        CpModel::new(vec![1.0; f], factors)
+            .unwrap()
+            .reconstruct_dense()
     }
 
     #[test]

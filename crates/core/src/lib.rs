@@ -56,7 +56,7 @@ mod update;
 pub use config::{InitKind, Phase1Options, TwoPcpConfig};
 pub use driver::{TwoPcp, TwoPcpOutcome};
 pub use naive::{naive_cp_out_of_core, NaiveOocOptions, NaiveOocReport};
-pub use phase1::{Phase1Result, run_phase1_dense, run_phase1_mapreduce, run_phase1_sparse};
+pub use phase1::{run_phase1_dense, run_phase1_mapreduce, run_phase1_sparse, Phase1Result};
 pub use phase2::{refine, RefineOutcome, RefineStats};
 pub use pq::PqCache;
 pub use swapsim::{simulate_swaps, unit_bytes, SwapReport, SwapSimConfig};

@@ -79,8 +79,7 @@ fn block_path(dir: &Path, lin: usize) -> PathBuf {
 }
 
 fn write_block(dir: &Path, lin: usize, block: &DenseTensor) -> Result<u64> {
-    let mut buf: Vec<u8> =
-        Vec::with_capacity(16 + block.dims().len() * 8 + block.len() * 8 + 8);
+    let mut buf: Vec<u8> = Vec::with_capacity(16 + block.dims().len() * 8 + block.len() * 8 + 8);
     buf.extend_from_slice(BLOCK_MAGIC);
     buf.extend_from_slice(&(block.dims().len() as u32).to_le_bytes());
     buf.extend_from_slice(&[0u8; 4]);
@@ -118,9 +117,7 @@ fn read_block(dir: &Path, lin: usize) -> Result<(DenseTensor, u64)> {
     let mut off = 16;
     let mut dims = Vec::with_capacity(order);
     for _ in 0..order {
-        dims.push(u64::from_le_bytes(
-            body[off..off + 8].try_into().expect("8 bytes"),
-        ) as usize);
+        dims.push(u64::from_le_bytes(body[off..off + 8].try_into().expect("8 bytes")) as usize);
         off += 8;
     }
     let cells: usize = dims.iter().product();
@@ -139,10 +136,7 @@ fn read_block(dir: &Path, lin: usize) -> Result<(DenseTensor, u64)> {
 ///
 /// # Errors
 /// Configuration, I/O or numerical failures.
-pub fn naive_cp_out_of_core(
-    x: &DenseTensor,
-    options: &NaiveOocOptions,
-) -> Result<NaiveOocReport> {
+pub fn naive_cp_out_of_core(x: &DenseTensor, options: &NaiveOocOptions) -> Result<NaiveOocReport> {
     if options.rank == 0 {
         return Err(TwoPcpError::Config {
             reason: "rank must be positive".into(),
@@ -209,7 +203,10 @@ pub fn naive_cp_out_of_core(
                     }
                 }
             }
-            let other: Vec<&Mat> = (0..order).filter(|&h| h != mode).map(|h| &grams[h]).collect();
+            let other: Vec<&Mat> = (0..order)
+                .filter(|&h| h != mode)
+                .map(|h| &grams[h])
+                .collect();
             let s = hadamard_all(&other)?;
             let a = solve::solve_gram_system(&m, &s, options.ridge)?;
             grams[mode] = a.gram();
@@ -262,8 +259,13 @@ mod tests {
 
     fn low_rank(dims: &[usize], f: usize, seed: u64) -> DenseTensor {
         let mut rng = StdRng::seed_from_u64(seed);
-        let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
-        CpModel::new(vec![1.0; f], factors).unwrap().reconstruct_dense()
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, f, &mut rng))
+            .collect();
+        CpModel::new(vec![1.0; f], factors)
+            .unwrap()
+            .reconstruct_dense()
     }
 
     #[test]

@@ -83,7 +83,13 @@ fn balance_weights(model: &mut CpModel) {
     let root: Vec<f64> = model
         .weights
         .iter()
-        .map(|&l| if l > 0.0 { l.powf(1.0 / order as f64) } else { 0.0 })
+        .map(|&l| {
+            if l > 0.0 {
+                l.powf(1.0 / order as f64)
+            } else {
+                0.0
+            }
+        })
         .collect();
     for factor in &mut model.factors {
         factor.scale_columns(&root);
@@ -106,26 +112,30 @@ where
     .min(items.len().max(1));
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<Option<Result<T>>>> =
-        (0..items.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<std::sync::Mutex<Option<Result<T>>>> = (0..items.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let result = f(i, &items[i]);
-                *slots[i].lock() = Some(result);
+                *slots[i].lock().expect("phase-1 slot poisoned") = Some(result);
             });
         }
-    })
-    .expect("phase-1 worker panicked");
+    });
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("slot filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("phase-1 slot poisoned")
+                .expect("slot filled")
+        })
         .collect()
 }
 
@@ -150,9 +160,8 @@ fn assemble_units<S: UnitStore>(
                 .collect();
             let factor = match cfg.init {
                 InitKind::Random => {
-                    let mut rng = StdRng::seed_from_u64(
-                        cfg.seed ^ ((mode as u64) << 32) ^ part as u64,
-                    );
+                    let mut rng =
+                        StdRng::seed_from_u64(cfg.seed ^ ((mode as u64) << 32) ^ part as u64);
                     random_factor(rows, cfg.rank, &mut rng)
                 }
                 InitKind::SlabMean => {
@@ -298,12 +307,7 @@ impl MapReduceJob for Phase1Job<'_> {
         emit(block, (local, v));
     }
 
-    fn reduce(
-        &self,
-        block: u64,
-        values: Vec<(Vec<u32>, f64)>,
-        emit: &mut dyn FnMut(BlockOut),
-    ) {
+    fn reduce(&self, block: u64, values: Vec<(Vec<u32>, f64)>, emit: &mut dyn FnMut(BlockOut)) {
         let coords = self.grid.block_coords(block as usize);
         let dims = self.grid.block_dims(&coords);
         let mut builder = SparseBuilder::new(&dims);
@@ -400,8 +404,13 @@ mod tests {
 
     fn low_rank(dims: &[usize], f: usize, seed: u64) -> DenseTensor {
         let mut rng = StdRng::seed_from_u64(seed);
-        let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
-        CpModel::new(vec![1.0; f], factors).unwrap().reconstruct_dense()
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, f, &mut rng))
+            .collect();
+        CpModel::new(vec![1.0; f], factors)
+            .unwrap()
+            .reconstruct_dense()
     }
 
     fn cfg(rank: usize, parts: Vec<usize>) -> TwoPcpConfig {
@@ -546,8 +555,8 @@ mod tests {
     fn too_many_partitions_is_a_config_error() {
         let x = low_rank(&[3, 3], 1, 0);
         let mut store = MemStore::new();
-        let err = run_phase1_dense(&x, &TwoPcpConfig::new(1).parts(vec![4]), &mut store)
-            .unwrap_err();
+        let err =
+            run_phase1_dense(&x, &TwoPcpConfig::new(1).parts(vec![4]), &mut store).unwrap_err();
         assert!(matches!(err, TwoPcpError::Config { .. }));
     }
 }

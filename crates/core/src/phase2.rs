@@ -229,8 +229,13 @@ mod tests {
 
     fn low_rank(dims: &[usize], f: usize, seed: u64) -> DenseTensor {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
-        CpModel::new(vec![1.0; f], factors).unwrap().reconstruct_dense()
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, f, &mut rng))
+            .collect();
+        CpModel::new(vec![1.0; f], factors)
+            .unwrap()
+            .reconstruct_dense()
     }
 
     fn run(cfg: TwoPcpConfig, x: &DenseTensor) -> (RefineOutcome<MemStore>, f64) {
@@ -282,7 +287,11 @@ mod tests {
             .tol(0.0);
         let (outcome, _) = run(cfg, &x);
         let trace = &outcome.stats.fit_trace;
-        assert!(trace.last().unwrap() > &0.95, "surrogate {:?}", trace.last());
+        assert!(
+            trace.last().unwrap() > &0.95,
+            "surrogate {:?}",
+            trace.last()
+        );
         // Allow small dips but require overall improvement.
         assert!(trace.last().unwrap() >= &(trace[0] - 1e-6));
     }

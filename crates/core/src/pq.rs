@@ -34,7 +34,9 @@ impl PqCache {
             p: (0..grid.num_blocks())
                 .map(|_| (0..grid.order()).map(|_| Mat::zeros(rank, rank)).collect())
                 .collect(),
-            q: (0..grid.num_units()).map(|_| Mat::zeros(rank, rank)).collect(),
+            q: (0..grid.num_units())
+                .map(|_| Mat::zeros(rank, rank))
+                .collect(),
         }
     }
 
@@ -84,12 +86,7 @@ impl PqCache {
     ///
     /// # Errors
     /// Propagates shape mismatches (impossible for a well-formed cache).
-    pub fn q_hadamard_excluding(
-        &self,
-        grid: &Grid,
-        coords: &[usize],
-        mode: usize,
-    ) -> Result<Mat> {
+    pub fn q_hadamard_excluding(&self, grid: &Grid, coords: &[usize], mode: usize) -> Result<Mat> {
         let mats: Vec<&Mat> = (0..self.order)
             .filter(|&h| h != mode)
             .map(|h| &self.q[UnitId::new(h, coords[h]).linear(grid)])

@@ -11,9 +11,7 @@
 use crate::{Result, TwoPcpError};
 use tpcp_linalg::Mat;
 use tpcp_partition::Grid;
-use tpcp_schedule::{
-    build_cycle, virtual_iteration_len, CycleOracle, ScheduleKind, UnitId,
-};
+use tpcp_schedule::{build_cycle, virtual_iteration_len, CycleOracle, ScheduleKind, UnitId};
 use tpcp_storage::{
     capacity_for_fraction, BufferPool, IoStats, MemStore, PolicyKind, UnitData, UnitStore,
 };
@@ -156,12 +154,7 @@ pub fn simulate_swaps(cfg: &SwapSimConfig) -> Result<SwapReport> {
 mod tests {
     use super::*;
 
-    fn sim(
-        parts: usize,
-        schedule: ScheduleKind,
-        policy: PolicyKind,
-        fraction: f64,
-    ) -> SwapReport {
+    fn sim(parts: usize, schedule: ScheduleKind, policy: PolicyKind, fraction: f64) -> SwapReport {
         simulate_swaps(&SwapSimConfig {
             parts: vec![parts; 3],
             schedule,
@@ -178,7 +171,10 @@ mod tests {
             let r = sim(4, kind, PolicyKind::Lru, 1.0);
             assert_eq!(r.io.fetches, 12, "{kind}: one fetch per unit");
             assert_eq!(r.io.evictions, 0, "{kind}");
-            assert_eq!(r.steady_swaps, 0.0, "{kind}: cold misses all fall in warmup");
+            assert_eq!(
+                r.steady_swaps, 0.0,
+                "{kind}: cold misses all fall in warmup"
+            );
         }
     }
 
@@ -211,7 +207,12 @@ mod tests {
     fn hilbert_forward_is_best() {
         // The paper's headline: HO+FOR ⪅ 1.1 swaps/iter at 8³ with 1/3
         // buffer, far below MC/LRU's ~24.
-        let ho_for = sim(8, ScheduleKind::HilbertOrder, PolicyKind::Forward, 1.0 / 3.0);
+        let ho_for = sim(
+            8,
+            ScheduleKind::HilbertOrder,
+            PolicyKind::Forward,
+            1.0 / 3.0,
+        );
         let mc_lru = sim(8, ScheduleKind::ModeCentric, PolicyKind::Lru, 1.0 / 3.0);
         assert!(
             ho_for.steady_swaps < 1.5,

@@ -96,8 +96,14 @@ mod tests {
         let grid = Grid::new(&dims, &[1, 1, 1]);
 
         // Block model U (the Phase-1 output) and current global guess A.
-        let u: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
-        let a: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
+        let u: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, f, &mut rng))
+            .collect();
+        let a: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, f, &mut rng))
+            .collect();
 
         // Prime the caches.
         let mut pq = PqCache::new(&grid, f);

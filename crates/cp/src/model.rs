@@ -28,10 +28,7 @@ impl CpModel {
         for (h, m) in factors.iter().enumerate() {
             if m.cols() != f {
                 return Err(CpError::BadFactors {
-                    reason: format!(
-                        "factor {h} has {} columns, expected rank {f}",
-                        m.cols()
-                    ),
+                    reason: format!("factor {h} has {} columns, expected rank {f}", m.cols()),
                 });
             }
         }
@@ -218,7 +215,11 @@ impl CpModel {
 pub(crate) fn fit_from_parts(x_sq: f64, inner: f64, model_sq: f64) -> f64 {
     let err_sq = (x_sq - 2.0 * inner + model_sq).max(0.0);
     if x_sq <= 0.0 {
-        return if model_sq <= 1e-30 { 1.0 } else { f64::NEG_INFINITY };
+        return if model_sq <= 1e-30 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     1.0 - (err_sq.sqrt() / x_sq.sqrt())
 }
@@ -275,9 +276,7 @@ mod tests {
         let m = sample_model();
         let recon = m.reconstruct_dense();
         let sp = SparseTensor::from_dense(&recon, 0.0);
-        assert!(
-            (m.inner_sparse(&sp).unwrap() - m.inner_dense(&recon).unwrap()).abs() < 1e-9
-        );
+        assert!((m.inner_sparse(&sp).unwrap() - m.inner_dense(&recon).unwrap()).abs() < 1e-9);
     }
 
     #[test]
@@ -334,9 +333,11 @@ mod tests {
         let zero = DenseTensor::zeros(&[2, 2]);
         let zero_model = CpModel::zeros(&[2, 2], 1);
         assert_eq!(zero_model.fit_dense(&zero).unwrap(), 1.0);
-        let nonzero_model =
-            CpModel::new(vec![1.0], vec![Mat::filled(2, 1, 1.0), Mat::filled(2, 1, 1.0)])
-                .unwrap();
+        let nonzero_model = CpModel::new(
+            vec![1.0],
+            vec![Mat::filled(2, 1, 1.0), Mat::filled(2, 1, 1.0)],
+        )
+        .unwrap();
         assert_eq!(nonzero_model.fit_dense(&zero).unwrap(), f64::NEG_INFINITY);
     }
 

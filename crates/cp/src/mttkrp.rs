@@ -17,11 +17,7 @@ use tpcp_tensor::{DenseTensor, SparseTensor};
 fn check_factors(dims: &[usize], factors: &[&Mat], mode: usize) -> Result<usize> {
     if factors.len() != dims.len() {
         return Err(CpError::BadFactors {
-            reason: format!(
-                "{} factors for order-{} tensor",
-                factors.len(),
-                dims.len()
-            ),
+            reason: format!("{} factors for order-{} tensor", factors.len(), dims.len()),
         });
     }
     if mode >= dims.len() {
@@ -228,11 +224,7 @@ mod tests {
         x.unfold(mode).unwrap().matmul(&kr).unwrap()
     }
 
-    fn rand_tensor_and_factors(
-        dims: &[usize],
-        f: usize,
-        seed: u64,
-    ) -> (DenseTensor, Vec<Mat>) {
+    fn rand_tensor_and_factors(dims: &[usize], f: usize, seed: u64) -> (DenseTensor, Vec<Mat>) {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let t = tpcp_tensor::random_dense(dims, &mut rng);

@@ -131,7 +131,11 @@ pub fn face_like(seed: u64, scale: usize) -> DenseTensor {
                 for r in 0..d {
                     let x = r as f64 / d as f64;
                     // Offset keeps pixel intensities positive.
-                    m.set(r, f, 0.6 + 0.4 * (freq * std::f64::consts::TAU * x + phase).sin());
+                    m.set(
+                        r,
+                        f,
+                        0.6 + 0.4 * (freq * std::f64::consts::TAU * x + phase).sin(),
+                    );
                 }
             }
             m
@@ -163,7 +167,11 @@ mod tests {
         let t = epinions_like(1);
         assert_eq!(t.dims(), &[170, 1000, 18]);
         let expect = (170.0 * 1000.0 * 18.0 * 2.4e-4) as usize; // ≈ 734
-        assert!(t.nnz() >= expect * 4 / 5 && t.nnz() <= expect * 6 / 5, "nnz {}", t.nnz());
+        assert!(
+            t.nnz() >= expect * 4 / 5 && t.nnz() <= expect * 6 / 5,
+            "nnz {}",
+            t.nnz()
+        );
         // Deterministic.
         assert_eq!(t, epinions_like(1));
         assert_ne!(t, epinions_like(2));

@@ -214,7 +214,10 @@ mod tests {
     fn biased_mode_sampling_respects_weights() {
         let mut rng = StdRng::seed_from_u64(11);
         let dims = [10usize, 10, 10];
-        let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, 2, &mut rng)).collect();
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, 2, &mut rng))
+            .collect();
         let model = CpModel::new(vec![1.0; 2], factors).unwrap();
         // All weight on rows 0..2 of mode 0.
         let mut weights = vec![0.0; 10];

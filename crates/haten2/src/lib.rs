@@ -58,7 +58,11 @@ pub enum Haten2Error {
 impl std::fmt::Display for Haten2Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Haten2Error::OutOfMemory { reducer, bytes, cap } => write!(
+            Haten2Error::OutOfMemory {
+                reducer,
+                bytes,
+                cap,
+            } => write!(
                 f,
                 "HaTen2 FAILS: reducer {reducer} needs {bytes} bytes, cap {cap}"
             ),
@@ -75,9 +79,15 @@ impl std::error::Error for Haten2Error {}
 impl From<MrError> for Haten2Error {
     fn from(e: MrError) -> Self {
         match e {
-            MrError::ReducerOutOfMemory { reducer, bytes, cap } => {
-                Haten2Error::OutOfMemory { reducer, bytes, cap }
-            }
+            MrError::ReducerOutOfMemory {
+                reducer,
+                bytes,
+                cap,
+            } => Haten2Error::OutOfMemory {
+                reducer,
+                bytes,
+                cap,
+            },
             other => Haten2Error::MapReduce(other),
         }
     }
@@ -283,7 +293,10 @@ pub fn haten2_cp(x: &SparseTensor, cfg: &Haten2Config) -> Result<Haten2Report> {
 
             // Local solve: A_mode = M · (⊛_{h≠mode} A_hᵀA_h)⁻¹.
             let grams: Vec<Mat> = factors.iter().map(Mat::gram).collect();
-            let other: Vec<&Mat> = (0..order).filter(|&h| h != mode).map(|h| &grams[h]).collect();
+            let other: Vec<&Mat> = (0..order)
+                .filter(|&h| h != mode)
+                .map(|h| &grams[h])
+                .collect();
             let s = hadamard_all(&other)?;
             let a_new = solve::solve_gram_system(&m, &s, cfg.ridge)?;
 
@@ -351,8 +364,13 @@ mod tests {
 
     fn low_rank_sparse(dims: &[usize], f: usize, seed: u64) -> SparseTensor {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let factors: Vec<Mat> = dims.iter().map(|&d| random_factor(d, f, &mut rng)).collect();
-        let dense = CpModel::new(vec![1.0; f], factors).unwrap().reconstruct_dense();
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, f, &mut rng))
+            .collect();
+        let dense = CpModel::new(vec![1.0; f], factors)
+            .unwrap()
+            .reconstruct_dense();
         SparseTensor::from_dense(&dense, 0.0)
     }
 
@@ -377,7 +395,10 @@ mod tests {
             seed: 7,
             init: Some({
                 let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-                x.dims().iter().map(|&d| random_factor(d, 2, &mut rng)).collect()
+                x.dims()
+                    .iter()
+                    .map(|&d| random_factor(d, 2, &mut rng))
+                    .collect()
             }),
         };
         let reference = tpcp_cp::cp_als_sparse(&x, &opts).unwrap();

@@ -68,7 +68,11 @@ impl Mat {
             assert_eq!(row.len(), c, "from_rows: ragged row");
             data.extend_from_slice(row);
         }
-        Mat { rows: r, cols: c, data }
+        Mat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.

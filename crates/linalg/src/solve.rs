@@ -312,7 +312,10 @@ mod tests {
     #[test]
     fn lu_solve_singular() {
         let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert_eq!(lu_solve(&a, &[1.0, 2.0]).unwrap_err(), LinalgError::Singular);
+        assert_eq!(
+            lu_solve(&a, &[1.0, 2.0]).unwrap_err(),
+            LinalgError::Singular
+        );
     }
 
     #[test]

@@ -50,7 +50,8 @@ impl SimDfs {
         let mut f = std::io::BufWriter::new(fs::File::create(&path)?);
         f.write_all(&buf)?;
         f.flush()?;
-        self.bytes_written.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -60,7 +61,8 @@ impl SimDfs {
     /// Missing file, I/O failure, or a malformed stream.
     pub fn load<R: Record>(&self, name: &str) -> Result<Vec<R>> {
         let bytes = fs::read(self.path_of(name))?;
-        self.bytes_read.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         decode_all(&bytes).ok_or_else(|| MrError::Decode {
             context: format!("dfs file {name}"),
         })

@@ -28,12 +28,7 @@ pub trait MapReduceJob: Sync {
     fn map(&self, input: Self::Input, emit: &mut dyn FnMut(Self::Key, Self::Value));
 
     /// The reduce function.
-    fn reduce(
-        &self,
-        key: Self::Key,
-        values: Vec<Self::Value>,
-        emit: &mut dyn FnMut(Self::Output),
-    );
+    fn reduce(&self, key: Self::Key, values: Vec<Self::Value>, emit: &mut dyn FnMut(Self::Output));
 }
 
 /// Engine configuration.
@@ -114,13 +109,13 @@ where
     let spill_seq = AtomicUsize::new(0);
     // (bucket -> leftover in-memory bytes) per mapper, plus spill paths.
     type MapSide = (Vec<Vec<u8>>, Vec<(usize, PathBuf)>);
-    let map_results: Vec<Result<MapSide>> = crossbeam::thread::scope(|scope| {
+    let map_results: Vec<Result<MapSide>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in chunks {
             let spill_seq = &spill_seq;
             let config = &config;
             let counters = &counters;
-            handles.push(scope.spawn(move |_| -> Result<MapSide> {
+            handles.push(scope.spawn(move || -> Result<MapSide> {
                 let mut buffers: Vec<Vec<u8>> = vec![Vec::new(); num_reducers];
                 let mut spills: Vec<(usize, PathBuf)> = Vec::new();
                 let mut key_buf = Vec::new();
@@ -164,9 +159,11 @@ where
                 Ok((buffers, spills))
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("mapper panicked")).collect()
-    })
-    .expect("map scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mapper panicked"))
+            .collect()
+    });
 
     // Gather per-bucket byte streams.
     let mut bucket_mem: Vec<Vec<Vec<u8>>> = (0..num_reducers).map(|_| Vec::new()).collect();
@@ -184,17 +181,15 @@ where
     }
 
     // ---- Shuffle + reduce -----------------------------------------------
-    let reduce_inputs: Vec<(Vec<Vec<u8>>, Vec<PathBuf>)> = bucket_mem
-        .into_iter()
-        .zip(bucket_spills)
-        .collect();
+    let reduce_inputs: Vec<(Vec<Vec<u8>>, Vec<PathBuf>)> =
+        bucket_mem.into_iter().zip(bucket_spills).collect();
 
-    let outputs: Vec<Result<Vec<J::Output>>> = crossbeam::thread::scope(|scope| {
+    let outputs: Vec<Result<Vec<J::Output>>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (reducer, (mem, spills)) in reduce_inputs.into_iter().enumerate() {
             let config = &config;
             let counters = &counters;
-            handles.push(scope.spawn(move |_| -> Result<Vec<J::Output>> {
+            handles.push(scope.spawn(move || -> Result<Vec<J::Output>> {
                 // Assemble the bucket's byte stream, enforcing the cap.
                 let mut total_bytes: u64 = mem.iter().map(|b| b.len() as u64).sum();
                 for path in &spills {
@@ -246,8 +241,7 @@ where
             .into_iter()
             .map(|h| h.join().expect("reducer panicked"))
             .collect()
-    })
-    .expect("reduce scope");
+    });
 
     let mut all = Vec::new();
     for out in outputs {

@@ -6,7 +6,7 @@
 //! here, so this crate provides the substrate both are simulated on:
 //!
 //! * [`MapReduceJob`] — user map/reduce logic over typed records;
-//! * [`run_job`] — parallel mappers (crossbeam scoped threads), a
+//! * [`run_job`] — parallel mappers (std scoped threads), a
 //!   *disk-spilled* hash-partitioned shuffle, parallel reducers;
 //! * [`Record`] — explicit binary encoding for everything that crosses the
 //!   shuffle (no serde; sizes are accounted byte-exactly);
@@ -58,7 +58,11 @@ impl std::fmt::Display for MrError {
         match self {
             MrError::Io(e) => write!(f, "I/O error: {e}"),
             MrError::Decode { context } => write!(f, "decode failure in {context}"),
-            MrError::ReducerOutOfMemory { reducer, bytes, cap } => write!(
+            MrError::ReducerOutOfMemory {
+                reducer,
+                bytes,
+                cap,
+            } => write!(
                 f,
                 "reducer {reducer} out of memory: needs {bytes} bytes, cap {cap}"
             ),

@@ -76,7 +76,12 @@ impl<A: Record, B: Record, C: Record, D: Record> Record for (A, B, C, D) {
         self.3.encode(buf);
     }
     fn decode(buf: &mut &[u8]) -> Option<Self> {
-        Some((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?, D::decode(buf)?))
+        Some((
+            A::decode(buf)?,
+            B::decode(buf)?,
+            C::decode(buf)?,
+            D::decode(buf)?,
+        ))
     }
 }
 

@@ -150,7 +150,10 @@ impl Grid {
     /// make up the data unit `⟨mode, k⟩` of paper Def. 4, and the set the
     /// update-rule sums `T`, `S` range over.
     pub fn slab(&self, mode: usize, k: usize) -> SlabIter<'_> {
-        assert!(mode < self.order() && k < self.parts[mode], "slab out of range");
+        assert!(
+            mode < self.order() && k < self.parts[mode],
+            "slab out of range"
+        );
         let others: usize = self
             .parts
             .iter()
@@ -310,9 +313,6 @@ mod tests {
     fn iter_blocks_row_major() {
         let g = Grid::new(&[4, 4], &[2, 2]);
         let blocks: Vec<Vec<usize>> = g.iter_blocks().collect();
-        assert_eq!(
-            blocks,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(blocks, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 }

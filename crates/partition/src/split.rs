@@ -78,7 +78,8 @@ pub fn assemble_dense(blocks: &[DenseTensor], grid: &Grid) -> DenseTensor {
             .into_iter()
             .map(|r| r.start)
             .collect();
-        out.paste(block, &offsets).expect("block fits by construction");
+        out.paste(block, &offsets)
+            .expect("block fits by construction");
     }
     out
 }

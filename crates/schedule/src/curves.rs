@@ -209,10 +209,7 @@ mod tests {
     fn hilbert_2x2_is_the_u_shape() {
         // Order-1 2D Hilbert curve: (0,0) (0,1) (1,1) (1,0).
         let path: Vec<Vec<usize>> = (0..4).map(|h| hilbert_coords(h, 2, 1)).collect();
-        assert_eq!(
-            path,
-            vec![vec![0, 0], vec![0, 1], vec![1, 1], vec![1, 0]]
-        );
+        assert_eq!(path, vec![vec![0, 0], vec![0, 1], vec![1, 1], vec![1, 0]]);
     }
 
     #[test]
@@ -224,11 +221,7 @@ mod tests {
             let c = hilbert_coords(h, 2, bits);
             assert_eq!(hilbert_index(&c, bits), h, "roundtrip at {h}");
             if let Some(p) = prev {
-                let dist: usize = p
-                    .iter()
-                    .zip(&c)
-                    .map(|(a, b)| a.abs_diff(*b))
-                    .sum();
+                let dist: usize = p.iter().zip(&c).map(|(a, b)| a.abs_diff(*b)).sum();
                 assert_eq!(dist, 1, "non-unit step {p:?} -> {c:?}");
             }
             prev = Some(c);
@@ -244,11 +237,7 @@ mod tests {
             let c = hilbert_coords(h, 3, bits);
             assert_eq!(hilbert_index(&c, bits), h, "roundtrip at {h}");
             if let Some(p) = prev {
-                let dist: usize = p
-                    .iter()
-                    .zip(&c)
-                    .map(|(a, b)| a.abs_diff(*b))
-                    .sum();
+                let dist: usize = p.iter().zip(&c).map(|(a, b)| a.abs_diff(*b)).sum();
                 assert_eq!(dist, 1, "non-unit step {p:?} -> {c:?}");
             }
             prev = Some(c);

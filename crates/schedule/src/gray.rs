@@ -36,7 +36,11 @@ pub fn gray_coords(mut rank: usize, radices: &[usize]) -> Vec<usize> {
     let mut prefix = 0usize;
     for (m, &r) in radices.iter().enumerate() {
         let d = digits[m];
-        out[m] = if prefix.is_multiple_of(2) { d } else { r - 1 - d };
+        out[m] = if prefix.is_multiple_of(2) {
+            d
+        } else {
+            r - 1 - d
+        };
         prefix = prefix * r + d;
     }
     out
@@ -50,7 +54,10 @@ pub fn gray_rank(coords: &[usize], radices: &[usize]) -> usize {
     assert_eq!(coords.len(), radices.len());
     let mut rank = 0usize;
     for (m, (&c, &r)) in coords.iter().zip(radices).enumerate() {
-        assert!(c < r, "coordinate {c} out of range for radix {r} (mode {m})");
+        assert!(
+            c < r,
+            "coordinate {c} out of range for radix {r} (mode {m})"
+        );
         let d = if rank.is_multiple_of(2) { c } else { r - 1 - c };
         rank = rank * r + d;
     }
@@ -105,11 +112,7 @@ mod tests {
         let mut prev = gray_coords(0, &radices);
         for rank in 1..total {
             let cur = gray_coords(rank, &radices);
-            let dist: usize = prev
-                .iter()
-                .zip(&cur)
-                .map(|(a, b)| a.abs_diff(*b))
-                .sum();
+            let dist: usize = prev.iter().zip(&cur).map(|(a, b)| a.abs_diff(*b)).sum();
             assert_eq!(dist, 1, "jump at rank {rank}: {prev:?} -> {cur:?}");
             prev = cur;
         }

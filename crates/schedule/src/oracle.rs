@@ -135,7 +135,8 @@ mod tests {
         let bound = oracle.bind(&g);
         // Unit <0,0> (mode 0, part 0) is used by blocks 0 and 1.
         assert_eq!(bound.next_use(UnitId::new(0, 0), 0), 0);
-        assert_eq!(bound.next_use(UnitId::new(0, 0), 2), 4); // wraps
+        // Wraps around the cycle:
+        assert_eq!(bound.next_use(UnitId::new(0, 0), 2), 4);
         // Unit <1,0> (mode 1, part 0) is used by blocks (0,0) and (1,0).
         assert_eq!(bound.next_use(UnitId::new(1, 0), 1), 2);
         assert_eq!(bound.next_use(UnitId::new(1, 0), 3), 4);

@@ -1,0 +1,66 @@
+//! Deterministic test-case runner state.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real crate defaults to 256; this shim has no shrinking, so it
+        // trades a little coverage for test-suite latency.
+        Config { cases: 48 }
+    }
+}
+
+/// The RNG property inputs are drawn from.
+///
+/// Seeded per (test, case) by FNV-1a over the fully-qualified test name —
+/// deterministic across runs, processes and machines.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The generator for case `case` of test `test_name`.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ (u64::from(case) << 32)))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+thread_local! {
+    /// (test name, case index) of the property case currently executing on
+    /// this thread; read by `prop_assert*` to label panic messages.
+    pub static CASE_CONTEXT: RefCell<Option<(&'static str, u32)>> = const { RefCell::new(None) };
+}
+
+/// Prefix describing the currently-running case, for assertion messages.
+pub fn case_context() -> String {
+    CASE_CONTEXT.with(|c| match *c.borrow() {
+        Some((name, case)) => format!("[{name}, case {case}] "),
+        None => String::new(),
+    })
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no registry access, so the
+//! API subset the workspace actually uses is implemented here behind the
+//! same names (`rand` 0.9 naming: `random`, `random_range`). The generator
+//! is xoshiro256++ seeded through SplitMix64 — deterministic per seed,
+//! plenty for test-data generation; this crate makes no cryptographic
+//! claims whatsoever.
+//!
+//! When network access becomes available, delete `crates/shims/rand` from
+//! the workspace and point the `rand` workspace dependency at the registry;
+//! no call sites need to change.
+
+pub mod rngs;
+
+/// A source of random `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Marker trait mirroring `rand::Rng`; blanket-implemented for every
+/// [`RngCore`] so generic bounds read the same as with the real crate.
+pub trait Rng: RngCore {}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types that can be sampled uniformly from an RNG's raw bits
+/// (the `StandardUniform` distribution of real `rand`).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 explicit mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Primitives that support uniform sampling from a bounded range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)`. Panics if the range is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Uniform sample from `[low, high]`. Panics if `high < low`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as u64).wrapping_sub(low as u64);
+                // Debiased multiply-shift (Lemire); span is tiny in practice.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                if (m as u64) < span {
+                    let t = span.wrapping_neg() % span;
+                    while (m as u64) < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                    }
+                }
+                low.wrapping_add((m >> 64) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low <= high, "cannot sample empty range");
+                if low == high {
+                    return low;
+                }
+                if high < <$t>::MAX {
+                    return Self::sample_half_open(low, high + 1, rng);
+                }
+                // Full-width inclusive range: rejection-free direct draw.
+                loop {
+                    let v = rng.next_u64() as $t;
+                    if v >= low {
+                        return v;
+                    }
+                }
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_uniform_float {
+    ($($t:ident => $shift:literal),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low < high, "cannot sample empty range");
+                let unit = <$t as Standard>::from_rng(rng);
+                low + unit * (high - low)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                assert!(low <= high, "cannot sample empty range");
+                // Unit draw over [0, 1] *inclusive*: divide the mantissa
+                // bits by (2^bits − 1) rather than 2^bits, so the upper
+                // bound is reachable (unlike the half-open case).
+                let unit = (rng.next_u64() >> $shift) as $t
+                    / (((1u64 << ($t::MANTISSA_DIGITS as u64)) - 1) as $t);
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+sample_uniform_float!(f32 => 40, f64 => 11);
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Convenience sampling methods; blanket-implemented for every RNG
+/// (`rand` 0.9 spells these `random` / `random_range` on `Rng`).
+pub trait RngExt: RngCore {
+    /// A uniform sample of `T` over its standard domain
+    /// (`[0, 1)` for floats, the full width for integers).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform sample from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1_000 {
+            let v: f64 = rng.random();
+            lo |= v < 0.1;
+            hi |= v > 0.9;
+        }
+        assert!(lo && hi, "1000 draws should hit both tails");
+    }
+
+    #[test]
+    fn int_ranges_are_uniform_enough() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 6];
+        for _ in 0..6_000 {
+            counts[rng.random_range(0..6usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "counts skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1_000 {
+            let v = rng.random_range(0.5..3.0);
+            assert!((0.5..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_hit_both_ends() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.random_range(0..=2usize)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(3..3usize);
+    }
+}

@@ -1,0 +1,58 @@
+//! Concrete generators (mirrors `rand::rngs`).
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard RNG: xoshiro256++ seeded via SplitMix64.
+///
+/// Unlike the real `rand::rngs::StdRng` (ChaCha-based) this is *not*
+/// cryptographically secure — it only promises a deterministic,
+/// well-distributed stream per seed, which is all the workspace needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        // Expand the 64-bit seed into the full 256-bit state; SplitMix64 is
+        // the expansion recommended by the xoshiro authors and guarantees a
+        // non-zero state for every seed.
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step (Blackman & Vigna).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}

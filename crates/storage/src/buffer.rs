@@ -252,9 +252,9 @@ impl<'o, S: UnitStore> BufferPool<'o, S> {
                     capacity: self.capacity,
                 });
             }
-            let victim =
-                self.policy
-                    .choose_victim(&candidates, self.position, self.oracle);
+            let victim = self
+                .policy
+                .choose_victim(&candidates, self.position, self.oracle);
             let entry = self.entries.remove(&victim).expect("victim is resident");
             self.policy.on_remove(victim);
             self.used -= entry.bytes;
@@ -367,8 +367,7 @@ mod tests {
     fn forward_evicts_furthest_next_use() {
         let (store, size) = seeded_store(3);
         let oracle = MapOracle(Map::from([(u(0), 2), (u(1), 50), (u(2), 3)]));
-        let mut pool =
-            BufferPool::new(store, size * 2, PolicyKind::Forward).with_oracle(&oracle);
+        let mut pool = BufferPool::new(store, size * 2, PolicyKind::Forward).with_oracle(&oracle);
         pool.acquire(&[u(0)]).unwrap();
         pool.release(&[u(0)]);
         pool.acquire(&[u(1)]).unwrap();

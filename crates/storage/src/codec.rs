@@ -198,10 +198,7 @@ mod tests {
         for pos in [0, 9, 20, 40, page.len() / 2, page.len() - 1] {
             let mut bad = page.clone();
             bad[pos] ^= 0x40;
-            assert!(
-                decode(&bad).is_err(),
-                "flip at {pos} was not detected"
-            );
+            assert!(decode(&bad).is_err(), "flip at {pos} was not detected");
         }
     }
 

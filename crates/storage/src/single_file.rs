@@ -100,9 +100,11 @@ impl SingleFileStore {
     fn scan(&mut self) -> Result<()> {
         self.file.seek(SeekFrom::Start(0))?;
         let mut header = [0u8; FILE_HEADER_LEN as usize];
-        self.file.read_exact(&mut header).map_err(|_| StorageError::Corrupt {
-            reason: "single-file store: truncated file header".into(),
-        })?;
+        self.file
+            .read_exact(&mut header)
+            .map_err(|_| StorageError::Corrupt {
+                reason: "single-file store: truncated file header".into(),
+            })?;
         if &header[..8] != FILE_MAGIC {
             return Err(StorageError::Corrupt {
                 reason: "single-file store: bad magic".into(),
@@ -226,10 +228,7 @@ impl SingleFileStore {
     }
 
     fn read_payload(&mut self, unit: UnitId) -> Result<Vec<u8>> {
-        let page = self
-            .index
-            .get(&unit)
-            .ok_or(StorageError::NotFound(unit))?;
+        let page = self.index.get(&unit).ok_or(StorageError::NotFound(unit))?;
         self.file
             .seek(SeekFrom::Start(page.offset + PAGE_HEADER_LEN))?;
         let mut payload = vec![0u8; page.payload_len as usize];

@@ -151,7 +151,8 @@ impl DiskStore {
 
     /// Path of the page file for `unit`.
     pub fn unit_path(&self, unit: UnitId) -> PathBuf {
-        self.dir.join(format!("unit_m{}_p{}.2pcp", unit.mode, unit.part))
+        self.dir
+            .join(format!("unit_m{}_p{}.2pcp", unit.mode, unit.part))
     }
 
     /// Makes the next `n` reads fail with [`StorageError::Injected`].
@@ -236,7 +237,8 @@ mod tests {
     }
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("tpcp_store_test_{name}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("tpcp_store_test_{name}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -315,7 +317,10 @@ mod tests {
         let mut s = DiskStore::open(&dir).unwrap();
         let u = UnitId::new(0, 0);
         s.inject_write_failures(1);
-        assert!(matches!(s.write(&sample(u, 1.0)), Err(StorageError::Injected)));
+        assert!(matches!(
+            s.write(&sample(u, 1.0)),
+            Err(StorageError::Injected)
+        ));
         s.write(&sample(u, 1.0)).unwrap();
         s.inject_read_failures(2);
         assert!(matches!(s.read(u), Err(StorageError::Injected)));

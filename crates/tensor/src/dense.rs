@@ -202,8 +202,7 @@ impl DenseTensor {
             let src_col_o = o * inner;
             for r in 0..dim_n {
                 let src = &mat.row(r)[src_col_o..src_col_o + inner];
-                out.data[dst_base_o + r * inner..dst_base_o + (r + 1) * inner]
-                    .copy_from_slice(src);
+                out.data[dst_base_o + r * inner..dst_base_o + (r + 1) * inner].copy_from_slice(src);
             }
         }
         Ok(out)
@@ -246,8 +245,7 @@ impl DenseTensor {
             for (m, &oi) in outer_idx.iter().enumerate() {
                 src_off += (ranges[m].start + oi) * src_strides[m];
             }
-            out.data[dst_off..dst_off + run]
-                .copy_from_slice(&self.data[src_off..src_off + run]);
+            out.data[dst_off..dst_off + run].copy_from_slice(&self.data[src_off..src_off + run]);
             dst_off += run;
         }
         Ok(out)
@@ -288,8 +286,7 @@ impl DenseTensor {
             for (m, &oi) in outer_idx.iter().enumerate() {
                 dst_off += (offsets[m] + oi) * dst_strides[m];
             }
-            self.data[dst_off..dst_off + run]
-                .copy_from_slice(&block.data[src_off..src_off + run]);
+            self.data[dst_off..dst_off + run].copy_from_slice(&block.data[src_off..src_off + run]);
             src_off += run;
         }
         Ok(())
@@ -434,20 +431,11 @@ mod tests {
         let t = seq_tensor(&[4, 4, 4]);
         let block = t.slice(&[1..3, 0..2, 2..4]).unwrap();
         assert_eq!(block.dims(), &[2, 2, 2]);
-        assert_eq!(
-            block.get(&[0, 0, 0]).unwrap(),
-            t.get(&[1, 0, 2]).unwrap()
-        );
-        assert_eq!(
-            block.get(&[1, 1, 1]).unwrap(),
-            t.get(&[2, 1, 3]).unwrap()
-        );
+        assert_eq!(block.get(&[0, 0, 0]).unwrap(), t.get(&[1, 0, 2]).unwrap());
+        assert_eq!(block.get(&[1, 1, 1]).unwrap(), t.get(&[2, 1, 3]).unwrap());
         let mut rebuilt = DenseTensor::zeros(&[4, 4, 4]);
         rebuilt.paste(&block, &[1, 0, 2]).unwrap();
-        assert_eq!(
-            rebuilt.get(&[2, 1, 3]).unwrap(),
-            t.get(&[2, 1, 3]).unwrap()
-        );
+        assert_eq!(rebuilt.get(&[2, 1, 3]).unwrap(), t.get(&[2, 1, 3]).unwrap());
     }
 
     #[test]

@@ -57,8 +57,15 @@ impl std::fmt::Display for TensorError {
             TensorError::IndexOutOfBounds { index, dims } => {
                 write!(f, "index {index:?} out of bounds for dims {dims:?}")
             }
-            TensorError::ShapeMismatch { op, expected, actual } => {
-                write!(f, "shape mismatch in {op}: expected {expected:?}, got {actual:?}")
+            TensorError::ShapeMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {op}: expected {expected:?}, got {actual:?}"
+                )
             }
             TensorError::InvalidMode { mode, order } => {
                 write!(f, "mode {mode} invalid for order-{order} tensor")

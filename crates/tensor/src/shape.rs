@@ -83,10 +83,7 @@ mod tests {
     fn iter_indices_visits_all_in_order() {
         let dims = [2, 2];
         let all: Vec<Vec<usize>> = iter_indices(&dims).collect();
-        assert_eq!(
-            all,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]

@@ -109,11 +109,13 @@ impl SparseTensor {
     pub fn to_dense(&self) -> Result<DenseTensor> {
         let mut total: usize = 1;
         for &d in &self.dims {
-            total = total.checked_mul(d).ok_or_else(|| TensorError::ShapeMismatch {
-                op: "to_dense",
-                expected: vec![usize::MAX],
-                actual: self.dims.clone(),
-            })?;
+            total = total
+                .checked_mul(d)
+                .ok_or_else(|| TensorError::ShapeMismatch {
+                    op: "to_dense",
+                    expected: vec![usize::MAX],
+                    actual: self.dims.clone(),
+                })?;
         }
         let _ = total;
         let mut out = DenseTensor::zeros(&self.dims);

@@ -54,9 +54,7 @@ fn main() {
                 .map(|r| (r, factor.get(r, f).abs()))
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("non-empty factor");
-            println!(
-                "  {name:<12} peaks at sample {argmax:>2}/24 (|loading| {max:.3})"
-            );
+            println!("  {name:<12} peaks at sample {argmax:>2}/24 (|loading| {max:.3})");
         }
     }
     println!(

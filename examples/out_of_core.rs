@@ -16,7 +16,10 @@ fn main() {
     let scratch = std::env::temp_dir().join(format!("tpcp_example_ooc_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
 
-    println!("decomposing {:?} out-of-core (buffer = 1/3 of working set)\n", x.dims());
+    println!(
+        "decomposing {:?} out-of-core (buffer = 1/3 of working set)\n",
+        x.dims()
+    );
     println!(
         "{:<10} {:>8} {:>8} {:>12} {:>12} {:>8}",
         "policy", "swaps", "hits", "bytes read", "written", "fit"

@@ -30,8 +30,7 @@ fn main() {
         "phase 1: {} blocks decomposed in {:?} (mean block fit {:.4})",
         outcome.phase1.grid.num_blocks(),
         outcome.phase1_time,
-        outcome.phase1.block_fits.iter().sum::<f64>()
-            / outcome.phase1.block_fits.len() as f64,
+        outcome.phase1.block_fits.iter().sum::<f64>() / outcome.phase1.block_fits.len() as f64,
     );
     println!(
         "phase 2: {} virtual iterations in {:?} (converged: {})",

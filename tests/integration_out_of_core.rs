@@ -5,9 +5,7 @@
 use tpcp_datasets::low_rank_dense;
 use tpcp_schedule::ScheduleKind;
 use tpcp_storage::PolicyKind;
-use twopcp::{
-    run_phase1_dense, simulate_swaps, SwapSimConfig, TwoPcp, TwoPcpConfig,
-};
+use twopcp::{run_phase1_dense, simulate_swaps, SwapSimConfig, TwoPcp, TwoPcpConfig};
 
 /// The decomposition result must be invariant to the buffer size, the
 /// schedule-policy pairing only affecting I/O — for a *fixed* schedule.
@@ -24,11 +22,9 @@ fn buffering_never_changes_the_math() {
     let reference = TwoPcp::new(base.clone()).decompose_dense(&x).unwrap();
     for policy in PolicyKind::ALL {
         for fraction in [1.0 / 3.0, 0.5, 2.0 / 3.0] {
-            let outcome = TwoPcp::new(
-                base.clone().policy(policy).buffer_fraction(fraction),
-            )
-            .decompose_dense(&x)
-            .unwrap();
+            let outcome = TwoPcp::new(base.clone().policy(policy).buffer_fraction(fraction))
+                .decompose_dense(&x)
+                .unwrap();
             assert_eq!(
                 outcome.fit, reference.fit,
                 "policy {policy} fraction {fraction} changed the result"
@@ -90,10 +86,7 @@ fn swap_counts_are_data_independent() {
     let b = TwoPcp::new(cfg(2))
         .decompose_dense(&low_rank_dense(&[12, 12, 12], 3, 0.0, 200))
         .unwrap();
-    assert_eq!(
-        a.phase2.swaps_per_iteration,
-        b.phase2.swaps_per_iteration
-    );
+    assert_eq!(a.phase2.swaps_per_iteration, b.phase2.swaps_per_iteration);
 }
 
 /// A corrupted unit page on disk must surface as a checksum error, not as
@@ -221,8 +214,11 @@ fn all_schedule_policy_pairs_work_under_pressure() {
                     .schedule(schedule)
                     .policy(policy)
                     .buffer_fraction(1.0 / 3.0)
-                    .max_virtual_iters(40)
-                    .tol(1e-4),
+                    // A 1e-4 tolerance lets some pairs declare convergence
+                    // at fit ≈ 0.849; the tighter tolerance checks that
+                    // every pair actually refines to a good fit.
+                    .max_virtual_iters(160)
+                    .tol(1e-6),
             )
             .decompose_dense(&x)
             .unwrap();

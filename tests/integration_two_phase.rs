@@ -60,7 +60,9 @@ fn disk_and_memory_stores_agree_bitwise() {
 
     let dir = std::env::temp_dir().join(format!("tpcp_it_disk_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let disk = TwoPcp::new(base.work_dir(&dir)).decompose_dense(&x).unwrap();
+    let disk = TwoPcp::new(base.work_dir(&dir))
+        .decompose_dense(&x)
+        .unwrap();
 
     assert_eq!(mem.fit, disk.fit);
     assert_eq!(mem.model.weights, disk.model.weights);
@@ -96,7 +98,10 @@ fn mapreduce_phase1_agrees_with_threads() {
     .decompose_dense(&x)
     .unwrap();
 
-    assert!(mr.mr_counters.map_input_records > 0, "MR path not exercised");
+    assert!(
+        mr.mr_counters.map_input_records > 0,
+        "MR path not exercised"
+    );
     assert_eq!(threaded.phase1.block_norms_sq, mr.phase1.block_norms_sq);
     assert!(
         (threaded.fit - mr.fit).abs() < 1e-9,

@@ -1,0 +1,69 @@
+//! Workspace smoke test: a tiny end-to-end 2PCP decomposition reached
+//! exclusively through the umbrella crate's re-exports.
+//!
+//! This is the canary for the Cargo workspace itself — if any crate's
+//! wiring (manifest, re-export, intra-workspace dependency) breaks, this
+//! fails before the deeper integration suites even start.
+
+use tpcp::core2pcp::{TwoPcp, TwoPcpConfig};
+use tpcp::datasets::low_rank_dense;
+use tpcp::schedule::ScheduleKind;
+use tpcp::storage::PolicyKind;
+
+#[test]
+fn tiny_end_to_end_decomposition_improves_fit() {
+    // Small synthetic rank-3 tensor with mild noise, decomposed at rank 4.
+    let x = low_rank_dense(&[10, 8, 6], 3, 0.05, 7);
+    let outcome = TwoPcp::new(
+        TwoPcpConfig::new(4)
+            .parts(vec![2])
+            .schedule(ScheduleKind::HilbertOrder)
+            .policy(PolicyKind::Forward)
+            .buffer_fraction(0.5)
+            .max_virtual_iters(30)
+            .tol(1e-6)
+            .seed(11),
+    )
+    .decompose_dense(&x)
+    .unwrap();
+
+    // The model must describe the input tensor.
+    assert_eq!(outcome.model.dims(), vec![10, 8, 6]);
+    assert!(outcome.model.weights.iter().all(|w| w.is_finite()));
+
+    // Phase 2 must actually refine: the surrogate fit improves over the
+    // virtual iterations and the final fit is sensible for this noise
+    // level.
+    let trace = &outcome.phase2.fit_trace;
+    assert!(
+        trace.len() >= 2,
+        "expected at least two virtual iterations, got {}",
+        trace.len()
+    );
+    let (first, last) = (trace[0], *trace.last().unwrap());
+    assert!(
+        last > first,
+        "fit should improve over iterations: first {first}, last {last}"
+    );
+    assert!(
+        outcome.fit > 0.8,
+        "final fit {} too low for a rank-4 model of rank-3 data",
+        outcome.fit
+    );
+    assert!(outcome.fit <= 1.0 + 1e-9, "fit {} above 1", outcome.fit);
+}
+
+#[test]
+fn umbrella_reexports_cover_every_crate() {
+    // One symbol per re-exported crate; purely a link-time/wiring check.
+    let _ = tpcp::tensor::num_elements(&[2, 3]);
+    let _ = tpcp::linalg::Mat::zeros(2, 2);
+    let _ = tpcp::cp::AlsOptions::with_rank(2);
+    let _ = tpcp::partition::Grid::new(&[4, 4], &[2, 2]);
+    let _ = tpcp::schedule::ScheduleKind::ALL;
+    let _ = tpcp::storage::PolicyKind::ALL;
+    let _ = tpcp::mapreduce::MrConfig::new(std::env::temp_dir());
+    let _ = tpcp::datasets::dense_uniform(&[2, 2, 2], 0.5, 1);
+    let _ = tpcp::haten2::Haten2Config::new(std::env::temp_dir());
+    let _ = tpcp::core2pcp::TwoPcpConfig::new(2);
+}
