@@ -2,6 +2,7 @@
 
 use crate::{Result, TwoPcpError};
 use std::path::PathBuf;
+use tpcp_par::ParConfig;
 use tpcp_schedule::ScheduleKind;
 use tpcp_storage::PolicyKind;
 
@@ -16,15 +17,15 @@ pub enum InitKind {
 }
 
 /// Options for Phase 1 (per-block CP-ALS).
+///
+/// The worker-thread budget moved to [`TwoPcpConfig::par`], so Phase 1,
+/// Phase 2 and the kernels beneath them share one budget.
 #[derive(Clone, Debug)]
 pub struct Phase1Options {
     /// ALS iterations per block.
     pub max_iters: usize,
     /// ALS convergence tolerance per block.
     pub tol: f64,
-    /// Worker threads for parallel block decomposition
-    /// (`0` = all available cores).
-    pub threads: usize,
     /// Route Phase 1 through the MapReduce substrate (paper Observation #1)
     /// instead of in-process threads. Requires `work_dir`.
     pub use_mapreduce: bool,
@@ -35,7 +36,6 @@ impl Default for Phase1Options {
         Phase1Options {
             max_iters: 25,
             tol: 1e-4,
-            threads: 0,
             use_mapreduce: false,
         }
     }
@@ -72,6 +72,12 @@ pub struct TwoPcpConfig {
     pub init: InitKind,
     /// Phase-1 options.
     pub phase1: Phase1Options,
+    /// The shared thread budget: Phase-1 block workers, Phase-2 cache
+    /// refreshes and every MTTKRP/matmul kernel underneath draw from this
+    /// one [`ParConfig`] (defaults to [`ParConfig::auto`], i.e. the
+    /// `TPCP_THREADS` override or all available cores). Parallel execution
+    /// is deterministic — results are bit-identical for any budget.
+    pub par: ParConfig,
 }
 
 impl TwoPcpConfig {
@@ -91,6 +97,7 @@ impl TwoPcpConfig {
             work_dir: None,
             init: InitKind::SlabMean,
             phase1: Phase1Options::default(),
+            par: ParConfig::auto(),
         }
     }
 
@@ -154,6 +161,18 @@ impl TwoPcpConfig {
         self
     }
 
+    /// Sets the shared worker-thread budget (`0` = decide automatically).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.par = ParConfig::with_threads(threads);
+        self
+    }
+
+    /// Sets the shared thread budget from an explicit [`ParConfig`].
+    pub fn par(mut self, par: ParConfig) -> Self {
+        self.par = par;
+        self
+    }
+
     /// Resolves the partition vector for an order-`n` tensor (broadcasting
     /// a singleton) and validates the configuration.
     ///
@@ -205,12 +224,15 @@ mod tests {
             .buffer_fraction(1.0 / 3.0)
             .max_virtual_iters(200)
             .tol(1e-3)
-            .seed(9);
+            .seed(9)
+            .threads(3);
         assert_eq!(cfg.rank, 10);
         assert_eq!(cfg.parts, vec![4, 4, 4]);
         assert_eq!(cfg.schedule, ScheduleKind::ZOrder);
         assert_eq!(cfg.policy, PolicyKind::Lru);
         assert_eq!(cfg.max_virtual_iters, 200);
+        assert_eq!(cfg.par.threads(), 3);
+        assert_eq!(cfg.par(ParConfig::serial()).par, ParConfig::serial());
     }
 
     #[test]

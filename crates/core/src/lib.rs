@@ -74,6 +74,12 @@ pub enum TwoPcpError {
     Storage(tpcp_storage::StorageError),
     /// MapReduce substrate failure.
     MapReduce(tpcp_mapreduce::MrError),
+    /// A parallel worker panicked; the panic was caught by [`tpcp_par`]
+    /// and surfaced as this error instead of unwinding the process.
+    WorkerPanic {
+        /// The stringified panic payload.
+        message: String,
+    },
     /// Invalid configuration.
     Config {
         /// Explanation of the invalid setting.
@@ -89,6 +95,7 @@ impl std::fmt::Display for TwoPcpError {
             TwoPcpError::Cp(e) => write!(f, "cp: {e}"),
             TwoPcpError::Storage(e) => write!(f, "storage: {e}"),
             TwoPcpError::MapReduce(e) => write!(f, "mapreduce: {e}"),
+            TwoPcpError::WorkerPanic { message } => write!(f, "worker panicked: {message}"),
             TwoPcpError::Config { reason } => write!(f, "config: {reason}"),
         }
     }
@@ -124,6 +131,14 @@ impl From<std::io::Error> for TwoPcpError {
 impl From<tpcp_mapreduce::MrError> for TwoPcpError {
     fn from(e: tpcp_mapreduce::MrError) -> Self {
         TwoPcpError::MapReduce(e)
+    }
+}
+impl From<tpcp_par::ParError<TwoPcpError>> for TwoPcpError {
+    fn from(e: tpcp_par::ParError<TwoPcpError>) -> Self {
+        match e {
+            tpcp_par::ParError::Worker(inner) => inner,
+            tpcp_par::ParError::Panic { message } => TwoPcpError::WorkerPanic { message },
+        }
     }
 }
 

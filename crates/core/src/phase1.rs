@@ -20,10 +20,10 @@ use crate::{Result, TwoPcpError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use tpcp_cp::{cp_als_dense, cp_als_sparse, AlsOptions, CpModel};
 use tpcp_linalg::Mat;
 use tpcp_mapreduce::{run_job, JobCounters, MapReduceJob, MrConfig};
+use tpcp_par::{par_map, ParConfig};
 use tpcp_partition::{split_dense, split_sparse, Grid};
 use tpcp_schedule::UnitId;
 use tpcp_storage::{UnitData, UnitStore};
@@ -68,6 +68,9 @@ fn als_options(cfg: &TwoPcpConfig, block_seed: u64) -> AlsOptions {
         ridge: cfg.ridge,
         seed: block_seed,
         init: None,
+        // Block workers already occupy the budget; the kernels inside one
+        // block stay serial rather than oversubscribing the machine.
+        par: ParConfig::serial(),
     }
 }
 
@@ -95,48 +98,6 @@ fn balance_weights(model: &mut CpModel) {
         factor.scale_columns(&root);
     }
     model.weights.fill(1.0);
-}
-
-/// Work-stealing parallel map over an item slice.
-fn parallel_map<B, T, F>(items: &[B], threads: usize, f: F) -> Result<Vec<T>>
-where
-    B: Sync,
-    T: Send,
-    F: Fn(usize, &B) -> Result<T> + Sync,
-{
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    } else {
-        threads
-    }
-    .min(items.len().max(1));
-
-    let next = AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<Result<T>>>> = (0..items.len())
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = f(i, &items[i]);
-                *slots[i].lock().expect("phase-1 slot poisoned") = Some(result);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("phase-1 slot poisoned")
-                .expect("slot filled")
-        })
-        .collect()
 }
 
 /// Writes the per-mode data-access units for the decomposed blocks and
@@ -197,12 +158,13 @@ pub fn run_phase1_dense<S: UnitStore>(
     let grid = grid_for(cfg, x.dims())?;
     let blocks = split_dense(x, &grid);
     let block_norms_sq: Vec<f64> = blocks.iter().map(DenseTensor::fro_norm_sq).collect();
-    let results = parallel_map(&blocks, cfg.phase1.threads, |i, block| {
+    let results = par_map(&cfg.par, &blocks, |i, block| {
         let report = cp_als_dense(block, &als_options(cfg, cfg.seed.wrapping_add(i as u64)))?;
         let mut model = report.model;
         balance_weights(&mut model);
         Ok((model, report.final_fit))
-    })?;
+    })
+    .map_err(TwoPcpError::from)?;
     finish_phase1(grid, cfg, results, block_norms_sq, store)
 }
 
@@ -218,7 +180,7 @@ pub fn run_phase1_sparse<S: UnitStore>(
     let grid = grid_for(cfg, x.dims())?;
     let blocks = split_sparse(x, &grid);
     let block_norms_sq: Vec<f64> = blocks.iter().map(SparseTensor::fro_norm_sq).collect();
-    let results = parallel_map(&blocks, cfg.phase1.threads, |i, block| {
+    let results = par_map(&cfg.par, &blocks, |i, block| {
         if block.is_empty() {
             // Footnote 3: empty sub-tensors get zero factors.
             return Ok((CpModel::zeros(block.dims(), cfg.rank), 1.0));
@@ -227,7 +189,8 @@ pub fn run_phase1_sparse<S: UnitStore>(
         let mut model = report.model;
         balance_weights(&mut model);
         Ok((model, report.final_fit))
-    })?;
+    })
+    .map_err(TwoPcpError::from)?;
     finish_phase1(grid, cfg, results, block_norms_sq, store)
 }
 
@@ -365,7 +328,12 @@ pub fn run_phase1_mapreduce<S: UnitStore>(
     x.for_each_entry(|idx, v| inputs.push((idx.to_vec(), v)));
 
     let job = Phase1Job::new(&grid, cfg);
-    let mr_cfg = MrConfig::new(mr_dir);
+    let mut mr_cfg = MrConfig::new(mr_dir);
+    // The substrate draws its mapper chunking and its mapper/reducer
+    // concurrency from the same shared thread budget as the in-process
+    // paths (bucket structure stays at the engine default).
+    mr_cfg.num_mappers = cfg.par.threads();
+    mr_cfg.par = cfg.par;
     let outputs = run_job(&job, inputs, &mr_cfg, counters)?;
 
     // Fill in results; blocks with no non-zeros never reach a reducer.

@@ -110,9 +110,13 @@ pub fn refine<S: UnitStore>(
         total_bytes += data.payload_bytes();
         max_unit_bytes = max_unit_bytes.max(data.payload_bytes());
         let mode = usize::from(data.unit.mode);
-        pq.set_q(grid, unit_id, data.factor.gram());
+        pq.set_q(grid, unit_id, data.factor.gram_par(&cfg.par));
         for (block, u) in &data.sub_factors {
-            pq.set_p(*block as usize, mode, u.t_matmul(&data.factor)?);
+            pq.set_p(
+                *block as usize,
+                mode,
+                u.t_matmul_par(&data.factor, &cfg.par)?,
+            );
         }
     }
 
@@ -161,10 +165,10 @@ pub fn refine<S: UnitStore>(
                 let result = (|| -> Result<()> {
                     let a_new = {
                         let unit = pool.get(unit_id)?;
-                        compute_sub_factor_update(grid, unit, &pq, cfg.ridge)?
+                        compute_sub_factor_update(grid, unit, &pq, cfg.ridge, &cfg.par)?
                     };
                     let unit = pool.get_mut(unit_id)?;
-                    commit_sub_factor_update(grid, unit, &mut pq, a_new)
+                    commit_sub_factor_update(grid, unit, &mut pq, a_new, &cfg.par)
                 })();
                 pool.release(&hold);
                 result?;

@@ -15,13 +15,15 @@
 use crate::pq::PqCache;
 use crate::{Result, TwoPcpError};
 use tpcp_linalg::{solve, Mat};
+use tpcp_par::ParConfig;
 use tpcp_partition::Grid;
 use tpcp_schedule::UnitId;
 use tpcp_storage::UnitData;
 
 /// Computes the updated sub-factor `A(i)(kᵢ) = T·S⁻¹` from the unit's slab
-/// sub-factors and the `P`/`Q` caches. Pure function — the caller commits
-/// the result via [`commit_sub_factor_update`].
+/// sub-factors and the `P`/`Q` caches, with the `U·(⊛P)` products on the
+/// shared thread budget. Pure function — the caller commits the result via
+/// [`commit_sub_factor_update`].
 ///
 /// # Errors
 /// Propagates linear-algebra failures (singular `S` beyond ridge repair).
@@ -30,6 +32,7 @@ pub fn compute_sub_factor_update(
     unit: &UnitData,
     pq: &PqCache,
     ridge: f64,
+    par: &ParConfig,
 ) -> Result<Mat> {
     let mode = usize::from(unit.unit.mode);
     let rank = pq.rank();
@@ -42,7 +45,7 @@ pub fn compute_sub_factor_update(
         // T += U(i)_l · ⊛_{h≠i} P(h)_l   (skip empty blocks: U = 0).
         let p_had = pq.p_hadamard_excluding(block, mode)?;
         if u_mat.as_slice().iter().any(|&v| v != 0.0) {
-            let contrib = u_mat.matmul(&p_had).map_err(TwoPcpError::from)?;
+            let contrib = u_mat.matmul_par(&p_had, par).map_err(TwoPcpError::from)?;
             t.add_assign(&contrib).map_err(TwoPcpError::from)?;
         }
         // S += ⊛_{h≠i} Q(h)_l.
@@ -55,7 +58,7 @@ pub fn compute_sub_factor_update(
 
 /// Commits `a_new` as the unit's factor and refreshes the caches in place:
 /// `P(i)_l ← U(i)_lᵀ · a_new` for every block `l` in the slab, and
-/// `Q(i)(kᵢ) ← a_newᵀ · a_new`.
+/// `Q(i)(kᵢ) ← a_newᵀ · a_new`, both on the shared thread budget.
 ///
 /// # Errors
 /// Propagates shape mismatches (impossible for consistent inputs).
@@ -64,16 +67,17 @@ pub fn commit_sub_factor_update(
     unit: &mut UnitData,
     pq: &mut PqCache,
     a_new: Mat,
+    par: &ParConfig,
 ) -> Result<()> {
     let mode = usize::from(unit.unit.mode);
     for (block_u64, u_mat) in &unit.sub_factors {
-        let p_new = u_mat.t_matmul(&a_new).map_err(TwoPcpError::from)?;
+        let p_new = u_mat.t_matmul_par(&a_new, par).map_err(TwoPcpError::from)?;
         pq.set_p(*block_u64 as usize, mode, p_new);
     }
     pq.set_q(
         grid,
         UnitId::new(mode, unit.unit.part as usize),
-        a_new.gram(),
+        a_new.gram_par(par),
     );
     unit.factor = a_new;
     Ok(())
@@ -118,7 +122,8 @@ mod tests {
             factor: a[0].clone(),
             sub_factors: vec![(0, u[0].clone())],
         };
-        let a0_new = compute_sub_factor_update(&grid, &unit, &pq, 1e-12).unwrap();
+        let a0_new =
+            compute_sub_factor_update(&grid, &unit, &pq, 1e-12, &ParConfig::auto()).unwrap();
 
         // Reference: ALS update of mode 0 on the reconstruction of U, with
         // B and C fixed to the current A estimates:
@@ -153,7 +158,8 @@ mod tests {
             sub_factors: vec![(0, u_block0.clone()), (1, u_block1.clone())],
         };
         let a_new = random_factor(2, f, &mut rng);
-        commit_sub_factor_update(&grid, &mut unit, &mut pq, a_new.clone()).unwrap();
+        commit_sub_factor_update(&grid, &mut unit, &mut pq, a_new.clone(), &ParConfig::auto())
+            .unwrap();
         assert_eq!(unit.factor, a_new);
         assert_eq!(pq.p(0, 0), &u_block0.t_matmul(&a_new).unwrap());
         assert_eq!(pq.p(1, 0), &u_block1.t_matmul(&a_new).unwrap());
@@ -176,7 +182,8 @@ mod tests {
             factor: Mat::filled(4, f, 1.0),
             sub_factors: vec![(0, Mat::zeros(4, f))],
         };
-        let a_new = compute_sub_factor_update(&grid, &unit, &pq, 1e-9).unwrap();
+        let a_new =
+            compute_sub_factor_update(&grid, &unit, &pq, 1e-9, &ParConfig::serial()).unwrap();
         assert!(a_new.as_slice().iter().all(|&v| v.abs() < 1e-12));
     }
 }

@@ -1,10 +1,11 @@
 //! The alternating-least-squares driver.
 
 use crate::model::fit_from_parts;
-use crate::{mttkrp_dense, mttkrp_sparse, CpError, CpModel, Result};
+use crate::{mttkrp_dense_par, mttkrp_sparse_par, CpError, CpModel, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tpcp_linalg::{hadamard_all, solve, Mat};
+use tpcp_par::ParConfig;
 use tpcp_tensor::{random_factor, DenseTensor, SparseTensor};
 
 /// Options for [`cp_als_dense`] / [`cp_als_sparse`].
@@ -24,6 +25,9 @@ pub struct AlsOptions {
     pub seed: u64,
     /// Optional explicit initial factors (overrides `seed`).
     pub init: Option<Vec<Mat>>,
+    /// Thread budget for the MTTKRP and Gram kernels. Parallel execution
+    /// is deterministic: results are bit-identical for any budget.
+    pub par: ParConfig,
 }
 
 impl Default for AlsOptions {
@@ -35,6 +39,7 @@ impl Default for AlsOptions {
             ridge: 1e-9,
             seed: 0,
             init: None,
+            par: ParConfig::auto(),
         }
     }
 }
@@ -68,7 +73,7 @@ pub struct AlsReport {
 trait AlsTensor {
     fn dims(&self) -> &[usize];
     fn norm_sq(&self) -> f64;
-    fn mttkrp(&self, factors: &[&Mat], mode: usize) -> Result<Mat>;
+    fn mttkrp(&self, factors: &[&Mat], mode: usize, par: &ParConfig) -> Result<Mat>;
 }
 
 impl AlsTensor for DenseTensor {
@@ -78,8 +83,8 @@ impl AlsTensor for DenseTensor {
     fn norm_sq(&self) -> f64 {
         self.fro_norm_sq()
     }
-    fn mttkrp(&self, factors: &[&Mat], mode: usize) -> Result<Mat> {
-        mttkrp_dense(self, factors, mode)
+    fn mttkrp(&self, factors: &[&Mat], mode: usize, par: &ParConfig) -> Result<Mat> {
+        mttkrp_dense_par(self, factors, mode, par)
     }
 }
 
@@ -90,8 +95,8 @@ impl AlsTensor for SparseTensor {
     fn norm_sq(&self) -> f64 {
         self.fro_norm_sq()
     }
-    fn mttkrp(&self, factors: &[&Mat], mode: usize) -> Result<Mat> {
-        mttkrp_sparse(self, factors, mode)
+    fn mttkrp(&self, factors: &[&Mat], mode: usize, par: &ParConfig) -> Result<Mat> {
+        mttkrp_sparse_par(self, factors, mode, par)
     }
 }
 
@@ -145,7 +150,7 @@ fn als_loop<T: AlsTensor>(x: &T, options: &AlsOptions) -> Result<AlsReport> {
     };
 
     let norm_x_sq = x.norm_sq();
-    let mut grams: Vec<Mat> = factors.iter().map(Mat::gram).collect();
+    let mut grams: Vec<Mat> = factors.iter().map(|a| a.gram_par(&options.par)).collect();
     let mut fit_trace = Vec::with_capacity(options.max_iters);
     let mut prev_fit = f64::NEG_INFINITY;
     let mut converged = false;
@@ -156,14 +161,14 @@ fn als_loop<T: AlsTensor>(x: &T, options: &AlsOptions) -> Result<AlsReport> {
         let mut last_m: Option<Mat> = None;
         for mode in 0..order {
             let refs: Vec<&Mat> = factors.iter().collect();
-            let m = x.mttkrp(&refs, mode)?;
+            let m = x.mttkrp(&refs, mode, &options.par)?;
             let other_grams: Vec<&Mat> = (0..order)
                 .filter(|&h| h != mode)
                 .map(|h| &grams[h])
                 .collect();
             let s = hadamard_all(&other_grams)?;
             let a = solve::solve_gram_system(&m, &s, options.ridge)?;
-            grams[mode] = a.gram();
+            grams[mode] = a.gram_par(&options.par);
             factors[mode] = a;
             if mode == order - 1 {
                 last_m = Some(m);

@@ -20,7 +20,7 @@ mod mttkrp;
 
 pub use als::{cp_als_dense, cp_als_sparse, AlsOptions, AlsReport};
 pub use model::CpModel;
-pub use mttkrp::{mttkrp_dense, mttkrp_sparse};
+pub use mttkrp::{mttkrp_dense, mttkrp_dense_par, mttkrp_sparse, mttkrp_sparse_par};
 
 /// Errors surfaced by CP routines.
 #[derive(Debug, Clone, PartialEq)]

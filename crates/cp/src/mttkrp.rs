@@ -9,10 +9,30 @@
 //!   coordinates (no div/mod per element);
 //! * the sparse path accumulates one scaled Hadamard row product per
 //!   non-zero.
+//!
+//! All three paths are parallel on the shared [`tpcp_par`] budget and
+//! **deterministic**: the fused 3-mode kernel blocks over the *output* mode
+//! (each output row is accumulated by exactly one worker, in serial order),
+//! while the generic and sparse paths reduce per-chunk accumulators over a
+//! chunking that depends only on the input size, merged in ascending chunk
+//! order. Results are therefore bit-identical for any thread count.
 
 use crate::{CpError, Result};
 use tpcp_linalg::Mat;
+use tpcp_par::{fixed_chunk_size, par_chunks_mut, par_chunks_reduce, ParConfig};
 use tpcp_tensor::{DenseTensor, SparseTensor};
+
+/// Work (elements × rank) below which a kernel stays on the calling thread.
+const PAR_MIN_WORK: usize = 1 << 13;
+
+/// Reduction chunking for the generic/sparse paths: at least this many
+/// elements (or non-zeros) per chunk…
+const REDUCE_MIN_CHUNK: usize = 512;
+
+/// …and at most this many chunks, bounding accumulator allocations and the
+/// ordered-merge cost. Both constants are part of the determinism contract:
+/// chunk boundaries must depend only on the input size.
+const REDUCE_MAX_CHUNKS: usize = 64;
 
 fn check_factors(dims: &[usize], factors: &[&Mat], mode: usize) -> Result<usize> {
     if factors.len() != dims.len() {
@@ -43,7 +63,8 @@ fn check_factors(dims: &[usize], factors: &[&Mat], mode: usize) -> Result<usize>
 }
 
 /// Dense MTTKRP for mode `mode`: returns the `I_mode × F` matrix
-/// `X_(mode) · KR([factors]_{h≠mode})`.
+/// `X_(mode) · KR([factors]_{h≠mode})`, computed on the shared automatic
+/// thread budget (`TPCP_THREADS`); see [`mttkrp_dense_par`].
 ///
 /// `factors[mode]` is ignored (only its column count participates in
 /// validation), matching ALS usage where that factor is the one being
@@ -52,161 +73,283 @@ fn check_factors(dims: &[usize], factors: &[&Mat], mode: usize) -> Result<usize>
 /// # Errors
 /// [`CpError::BadFactors`] on shape inconsistencies.
 pub fn mttkrp_dense(x: &DenseTensor, factors: &[&Mat], mode: usize) -> Result<Mat> {
+    mttkrp_dense_par(x, factors, mode, &ParConfig::auto())
+}
+
+/// [`mttkrp_dense`] on an explicit thread budget.
+///
+/// # Errors
+/// [`CpError::BadFactors`] on shape inconsistencies.
+pub fn mttkrp_dense_par(
+    x: &DenseTensor,
+    factors: &[&Mat],
+    mode: usize,
+    par: &ParConfig,
+) -> Result<Mat> {
     let f = check_factors(x.dims(), factors, mode)?;
+    let par = par.clamped(x.len() * f, PAR_MIN_WORK);
     if x.order() == 3 {
-        return Ok(mttkrp_dense3(x, factors, mode, f));
+        return Ok(mttkrp_dense3(x, factors, mode, f, &par));
     }
-    Ok(mttkrp_dense_generic(x, factors, mode, f))
+    Ok(mttkrp_dense_generic(x, factors, mode, f, &par))
 }
 
 /// Specialised 3-mode path: iterate `(i, j)` pairs, treating the contiguous
-/// mode-2 fibre `X[i, j, :]` as a vector.
-fn mttkrp_dense3(x: &DenseTensor, factors: &[&Mat], mode: usize, f: usize) -> Mat {
+/// mode-2 fibre `X[i, j, :]` as a vector. Parallelism blocks the *output*
+/// mode: each worker owns a band of output rows and accumulates them in the
+/// same order as the serial sweep, so results are bit-identical for any
+/// thread count.
+fn mttkrp_dense3(x: &DenseTensor, factors: &[&Mat], mode: usize, f: usize, par: &ParConfig) -> Mat {
     let dims = x.dims();
     let (di, dj, dk) = (dims[0], dims[1], dims[2]);
     let mut out = Mat::zeros(dims[mode], f);
+    if f == 0 || out.is_empty() {
+        return out;
+    }
     let data = x.as_slice();
-    let mut scratch = vec![0.0f64; f];
+    let chunk_rows = dims[mode]
+        .div_ceil(par.threads().min(dims[mode]).max(1))
+        .max(1);
     match mode {
         0 => {
             // M[i] += (X[i,j,:] · C) ⊛ B[j]
-            for i in 0..di {
-                let out_row = out.row_mut(i);
-                for j in 0..dj {
-                    let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
-                    scratch.fill(0.0);
-                    for (k, &v) in fibre.iter().enumerate() {
-                        if v == 0.0 {
-                            continue;
-                        }
-                        let c_row = factors[2].row(k);
-                        for (s, &c) in scratch.iter_mut().zip(c_row) {
-                            *s += v * c;
+            par_chunks_mut(
+                par,
+                out.as_mut_slice(),
+                chunk_rows * f,
+                |chunk_idx, chunk| {
+                    let i0 = chunk_idx * chunk_rows;
+                    let mut scratch = vec![0.0f64; f];
+                    for (local, out_row) in chunk.chunks_mut(f).enumerate() {
+                        let i = i0 + local;
+                        for j in 0..dj {
+                            let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
+                            scratch.fill(0.0);
+                            for (k, &v) in fibre.iter().enumerate() {
+                                if v == 0.0 {
+                                    continue;
+                                }
+                                let c_row = factors[2].row(k);
+                                for (s, &c) in scratch.iter_mut().zip(c_row) {
+                                    *s += v * c;
+                                }
+                            }
+                            let b_row = factors[1].row(j);
+                            for ((o, &s), &b) in out_row.iter_mut().zip(&scratch).zip(b_row) {
+                                *o += s * b;
+                            }
                         }
                     }
-                    let b_row = factors[1].row(j);
-                    for ((o, &s), &b) in out_row.iter_mut().zip(&scratch).zip(b_row) {
-                        *o += s * b;
-                    }
-                }
-            }
+                },
+            );
         }
         1 => {
-            // M[j] += (X[i,j,:] · C) ⊛ A[i]
-            for i in 0..di {
-                let a_row = factors[0].row(i);
-                for j in 0..dj {
-                    let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
-                    scratch.fill(0.0);
-                    for (k, &v) in fibre.iter().enumerate() {
-                        if v == 0.0 {
-                            continue;
-                        }
-                        let c_row = factors[2].row(k);
-                        for (s, &c) in scratch.iter_mut().zip(c_row) {
-                            *s += v * c;
+            // M[j] += (X[i,j,:] · C) ⊛ A[i]; each worker owns a j-band and
+            // sweeps i in ascending order (the serial accumulation order).
+            par_chunks_mut(
+                par,
+                out.as_mut_slice(),
+                chunk_rows * f,
+                |chunk_idx, chunk| {
+                    let j0 = chunk_idx * chunk_rows;
+                    let band = chunk.len() / f;
+                    let mut scratch = vec![0.0f64; f];
+                    for i in 0..di {
+                        let a_row = factors[0].row(i);
+                        for local in 0..band {
+                            let j = j0 + local;
+                            let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
+                            scratch.fill(0.0);
+                            for (k, &v) in fibre.iter().enumerate() {
+                                if v == 0.0 {
+                                    continue;
+                                }
+                                let c_row = factors[2].row(k);
+                                for (s, &c) in scratch.iter_mut().zip(c_row) {
+                                    *s += v * c;
+                                }
+                            }
+                            let out_row = &mut chunk[local * f..(local + 1) * f];
+                            for ((o, &s), &a) in out_row.iter_mut().zip(&scratch).zip(a_row) {
+                                *o += s * a;
+                            }
                         }
                     }
-                    let out_row = out.row_mut(j);
-                    for ((o, &s), &a) in out_row.iter_mut().zip(&scratch).zip(a_row) {
-                        *o += s * a;
-                    }
-                }
-            }
+                },
+            );
         }
         _ => {
-            // M[k] += X[i,j,k] · (A[i] ⊛ B[j])
-            for i in 0..di {
-                let a_row = factors[0].row(i);
-                for j in 0..dj {
-                    let b_row = factors[1].row(j);
-                    for ((s, &a), &b) in scratch.iter_mut().zip(a_row).zip(b_row) {
-                        *s = a * b;
-                    }
-                    let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
-                    for (k, &v) in fibre.iter().enumerate() {
-                        if v == 0.0 {
-                            continue;
+            // M[k] += X[i,j,k] · (A[i] ⊛ B[j]); each worker owns a k-band
+            // and reads only its slice of every fibre, sweeping (i, j) in
+            // ascending order (the serial accumulation order).
+            par_chunks_mut(
+                par,
+                out.as_mut_slice(),
+                chunk_rows * f,
+                |chunk_idx, chunk| {
+                    let k0 = chunk_idx * chunk_rows;
+                    let band = chunk.len() / f;
+                    let mut scratch = vec![0.0f64; f];
+                    for i in 0..di {
+                        let a_row = factors[0].row(i);
+                        for j in 0..dj {
+                            let b_row = factors[1].row(j);
+                            for ((s, &a), &b) in scratch.iter_mut().zip(a_row).zip(b_row) {
+                                *s = a * b;
+                            }
+                            let base = (i * dj + j) * dk + k0;
+                            let fibre = &data[base..base + band];
+                            for (kk, &v) in fibre.iter().enumerate() {
+                                if v == 0.0 {
+                                    continue;
+                                }
+                                let out_row = &mut chunk[kk * f..(kk + 1) * f];
+                                for (o, &s) in out_row.iter_mut().zip(&scratch) {
+                                    *o += v * s;
+                                }
+                            }
                         }
-                        let out_row = out.row_mut(k);
-                        for (o, &s) in out_row.iter_mut().zip(&scratch) {
-                            *o += v * s;
-                        }
                     }
-                }
-            }
+                },
+            );
         }
     }
     out
 }
 
-/// Generic N-mode dense path with an incremental coordinate odometer.
-fn mttkrp_dense_generic(x: &DenseTensor, factors: &[&Mat], mode: usize, f: usize) -> Mat {
+/// Row-major coordinates of linear element `idx` (last mode fastest).
+fn linear_to_coords(mut idx: usize, dims: &[usize]) -> Vec<usize> {
+    let mut coords = vec![0usize; dims.len()];
+    for (c, &d) in coords.iter_mut().zip(dims).rev() {
+        *c = idx % d;
+        idx /= d;
+    }
+    coords
+}
+
+/// Generic N-mode dense path with an incremental coordinate odometer,
+/// parallelised as a fixed-chunk ordered reduction over the element range
+/// (chunk boundaries depend only on the tensor size, so results are
+/// bit-identical for any thread count).
+fn mttkrp_dense_generic(
+    x: &DenseTensor,
+    factors: &[&Mat],
+    mode: usize,
+    f: usize,
+    par: &ParConfig,
+) -> Mat {
     let dims = x.dims();
     let order = dims.len();
-    let mut out = Mat::zeros(dims[mode], f);
-    if x.is_empty() {
-        return out;
+    let n = x.len();
+    if n == 0 {
+        return Mat::zeros(dims[mode], f);
     }
-    let mut coords = vec![0usize; order];
-    let mut prod = vec![0.0f64; f];
-    for &v in x.as_slice() {
-        if v != 0.0 {
-            prod.fill(v);
-            for (h, &c) in coords.iter().enumerate() {
-                if h == mode {
-                    continue;
+    let data = x.as_slice();
+    let chunk = fixed_chunk_size(n, REDUCE_MIN_CHUNK, REDUCE_MAX_CHUNKS);
+    par_chunks_reduce(
+        par,
+        n,
+        chunk,
+        || Mat::zeros(dims[mode], f),
+        |range, acc| {
+            let mut coords = linear_to_coords(range.start, dims);
+            let mut prod = vec![0.0f64; f];
+            for &v in &data[range] {
+                if v != 0.0 {
+                    prod.fill(v);
+                    for (h, &c) in coords.iter().enumerate() {
+                        if h == mode {
+                            continue;
+                        }
+                        for (p, &a) in prod.iter_mut().zip(factors[h].row(c)) {
+                            *p *= a;
+                        }
+                    }
+                    let out_row = acc.row_mut(coords[mode]);
+                    for (o, &p) in out_row.iter_mut().zip(&prod) {
+                        *o += p;
+                    }
                 }
-                for (p, &a) in prod.iter_mut().zip(factors[h].row(c)) {
-                    *p *= a;
+                // Odometer increment (row-major, last mode fastest).
+                for m in (0..order).rev() {
+                    coords[m] += 1;
+                    if coords[m] < dims[m] {
+                        break;
+                    }
+                    coords[m] = 0;
                 }
             }
-            let out_row = out.row_mut(coords[mode]);
-            for (o, &p) in out_row.iter_mut().zip(&prod) {
-                *o += p;
-            }
-        }
-        // Odometer increment (row-major, last mode fastest).
-        for m in (0..order).rev() {
-            coords[m] += 1;
-            if coords[m] < dims[m] {
-                break;
-            }
-            coords[m] = 0;
-        }
-    }
-    out
+        },
+        |mut a, b| {
+            a.add_assign(&b).expect("accumulator shapes agree");
+            a
+        },
+    )
 }
 
-/// Sparse (COO) MTTKRP for mode `mode`.
+/// Sparse (COO) MTTKRP for mode `mode`, computed on the shared automatic
+/// thread budget (`TPCP_THREADS`); see [`mttkrp_sparse_par`].
+///
+/// # Errors
+/// [`CpError::BadFactors`] on shape inconsistencies.
+pub fn mttkrp_sparse(x: &SparseTensor, factors: &[&Mat], mode: usize) -> Result<Mat> {
+    mttkrp_sparse_par(x, factors, mode, &ParConfig::auto())
+}
+
+/// [`mttkrp_sparse`] on an explicit thread budget: the non-zeros are cut
+/// into fixed chunks (boundaries depend only on `nnz`), each chunk fills a
+/// private accumulator, and the accumulators merge in ascending chunk
+/// order — deterministic for any thread count.
 ///
 /// # Errors
 /// [`CpError::BadFactors`] on shape inconsistencies.
 #[allow(clippy::needless_range_loop)]
-pub fn mttkrp_sparse(x: &SparseTensor, factors: &[&Mat], mode: usize) -> Result<Mat> {
+pub fn mttkrp_sparse_par(
+    x: &SparseTensor,
+    factors: &[&Mat],
+    mode: usize,
+    par: &ParConfig,
+) -> Result<Mat> {
     let f = check_factors(x.dims(), factors, mode)?;
-    let mut out = Mat::zeros(x.dims()[mode], f);
-    let order = x.order();
-    let mut prod = vec![0.0f64; f];
-    let values = x.values();
-    for e in 0..x.nnz() {
-        prod.fill(values[e]);
-        for h in 0..order {
-            if h == mode {
-                continue;
-            }
-            let row = factors[h].row(x.mode_coords(h)[e] as usize);
-            for (p, &a) in prod.iter_mut().zip(row) {
-                *p *= a;
-            }
-        }
-        let target = x.mode_coords(mode)[e] as usize;
-        let out_row = out.row_mut(target);
-        for (o, &p) in out_row.iter_mut().zip(&prod) {
-            *o += p;
-        }
+    let nnz = x.nnz();
+    let rows = x.dims()[mode];
+    if nnz == 0 {
+        return Ok(Mat::zeros(rows, f));
     }
-    Ok(out)
+    let order = x.order();
+    let values = x.values();
+    let par = par.clamped(nnz * f, PAR_MIN_WORK);
+    let chunk = fixed_chunk_size(nnz, REDUCE_MIN_CHUNK, REDUCE_MAX_CHUNKS);
+    Ok(par_chunks_reduce(
+        &par,
+        nnz,
+        chunk,
+        || Mat::zeros(rows, f),
+        |range, acc| {
+            let mut prod = vec![0.0f64; f];
+            for e in range {
+                prod.fill(values[e]);
+                for h in 0..order {
+                    if h == mode {
+                        continue;
+                    }
+                    let row = factors[h].row(x.mode_coords(h)[e] as usize);
+                    for (p, &a) in prod.iter_mut().zip(row) {
+                        *p *= a;
+                    }
+                }
+                let target = x.mode_coords(mode)[e] as usize;
+                let out_row = acc.row_mut(target);
+                for (o, &p) in out_row.iter_mut().zip(&prod) {
+                    *o += p;
+                }
+            }
+        },
+        |mut a, b| {
+            a.add_assign(&b).expect("accumulator shapes agree");
+            a
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -314,5 +457,21 @@ mod tests {
         assert!(mttkrp_dense(&t, &[&good, &good, &good], 3).is_err());
         // The mode's own factor rows are NOT validated (it is replaced).
         assert!(mttkrp_dense(&t, &[&bad_rows, &good, &good], 0).is_ok());
+    }
+
+    #[test]
+    fn linear_to_coords_round_trips() {
+        let dims = [3usize, 4, 2, 5];
+        let mut expect = vec![0usize; 4];
+        for idx in 0..dims.iter().product::<usize>() {
+            assert_eq!(linear_to_coords(idx, &dims), expect, "idx {idx}");
+            for m in (0..4).rev() {
+                expect[m] += 1;
+                if expect[m] < dims[m] {
+                    break;
+                }
+                expect[m] = 0;
+            }
+        }
     }
 }

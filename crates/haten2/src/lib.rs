@@ -400,6 +400,7 @@ mod tests {
                     .map(|&d| random_factor(d, 2, &mut rng))
                     .collect()
             }),
+            ..Default::default()
         };
         let reference = tpcp_cp::cp_als_sparse(&x, &opts).unwrap();
         // HaTen2-sim does not rebalance between iterations, so allow a

@@ -1,10 +1,57 @@
 //! Multiplication, Gram, Hadamard and element-wise kernels on [`Mat`].
+//!
+//! The multiplication kernels come in two flavours: the classic methods
+//! ([`Mat::matmul`], [`Mat::t_matmul`], [`Mat::matmul_t`], [`Mat::gram`])
+//! dispatch to the shared [`tpcp_par`] thread budget once the operation is
+//! large enough to amortise a fan-out, and the `*_par` variants take an
+//! explicit [`ParConfig`]. Either way the parallel kernels partition the
+//! *output* matrix, so every element is accumulated in the same order as
+//! the serial loop and results are bit-identical for any thread count.
 
 use crate::{LinalgError, Mat, Result};
+use tpcp_par::{par_chunks_mut, ParConfig};
+
+/// Multiply-add count below which a product stays on the calling thread:
+/// fanning out costs a few microseconds, which only pays off once the
+/// kernel itself is in that range. Both the implicit entry points and the
+/// explicit `*_par` variants apply this clamp (via [`ParConfig::clamped`]);
+/// it is result-neutral because the kernels are thread-count deterministic.
+const PAR_MIN_FLOPS: usize = 1 << 15;
+
+/// The budget used by the implicit (non-`_par`) entry points: the shared
+/// automatic budget when the operation is big enough, serial otherwise
+/// (checked before `auto()` so small hot-loop products skip the
+/// environment lookup entirely).
+fn implicit_par(flops: usize) -> ParConfig {
+    if flops >= PAR_MIN_FLOPS {
+        ParConfig::auto()
+    } else {
+        ParConfig::serial()
+    }
+}
+
+/// Rows-per-chunk so that `rows` split over `threads` workers evenly.
+fn rows_per_chunk(rows: usize, threads: usize) -> usize {
+    rows.div_ceil(threads.max(1)).max(1)
+}
 
 impl Mat {
     /// `self · rhs` (shapes `m×k` times `k×n`).
+    ///
+    /// Above a work threshold this runs on the shared [`tpcp_par`] budget
+    /// (`TPCP_THREADS`); see [`Mat::matmul_par`] for an explicit budget.
     pub fn matmul(&self, rhs: &Mat) -> Result<Mat> {
+        self.matmul_par(rhs, &implicit_par(self.rows() * self.cols() * rhs.cols()))
+    }
+
+    /// `self · rhs` on an explicit thread budget.
+    ///
+    /// The output rows are partitioned across workers, so the result is
+    /// bit-identical to the serial kernel for any thread count.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn matmul_par(&self, rhs: &Mat, par: &ParConfig) -> Result<Mat> {
         if self.cols() != rhs.rows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -12,33 +59,60 @@ impl Mat {
                 rhs: rhs.shape(),
             });
         }
-        let (m, k) = self.shape();
+        let m = self.rows();
         let n = rhs.cols();
         let mut out = Mat::zeros(m, n);
-        // i-k-j ordering: the inner loop streams a row of `rhs` and a row of
-        // `out`, both contiguous, so the kernel vectorises without bounds
-        // checks dominating.
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(p);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ip * b;
-                }
-            }
+        if n == 0 {
+            return Ok(out);
         }
+        let par = par.clamped(m * self.cols() * n, PAR_MIN_FLOPS);
+        let chunk_rows = rows_per_chunk(m, par.threads());
+        par_chunks_mut(
+            &par,
+            out.as_mut_slice(),
+            chunk_rows * n,
+            |chunk_idx, chunk| {
+                // i-k-j ordering: the inner loop streams a row of `rhs` and a
+                // row of `out`, both contiguous, so the kernel vectorises
+                // without bounds checks dominating.
+                let i0 = chunk_idx * chunk_rows;
+                for (local, out_row) in chunk.chunks_mut(n).enumerate() {
+                    let a_row = self.row(i0 + local);
+                    for (p, &a_ip) in a_row.iter().enumerate() {
+                        if a_ip == 0.0 {
+                            continue;
+                        }
+                        let b_row = rhs.row(p);
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a_ip * b;
+                        }
+                    }
+                }
+            },
+        );
         Ok(out)
     }
 
     /// `selfᵀ · rhs` (shapes `m×k` transposed times `m×n`, result `k×n`).
     ///
     /// This is the kernel behind the paper's `P(h)_l = U(h)_lᵀ A(h)(l_h)`
-    /// cache refresh, so it avoids materialising the transpose.
+    /// cache refresh, so it avoids materialising the transpose. Above a
+    /// work threshold it runs on the shared [`tpcp_par`] budget; see
+    /// [`Mat::t_matmul_par`].
     pub fn t_matmul(&self, rhs: &Mat) -> Result<Mat> {
+        self.t_matmul_par(rhs, &implicit_par(self.rows() * self.cols() * rhs.cols()))
+    }
+
+    /// `selfᵀ · rhs` on an explicit thread budget.
+    ///
+    /// The `k` output rows (columns of `self`) are partitioned across
+    /// workers; each still sweeps the `m` input rows in ascending order, so
+    /// every output element accumulates in exactly the serial order and the
+    /// result is bit-identical for any thread count.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `self.rows() != rhs.rows()`.
+    pub fn t_matmul_par(&self, rhs: &Mat, par: &ParConfig) -> Result<Mat> {
         if self.rows() != rhs.rows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "t_matmul",
@@ -49,26 +123,51 @@ impl Mat {
         let (m, k) = self.shape();
         let n = rhs.cols();
         let mut out = Mat::zeros(k, n);
-        // Accumulate rank-1 updates row by row; both accessed rows are
-        // contiguous.
-        for r in 0..m {
-            let a_row = self.row(r);
-            let b_row = rhs.row(r);
-            for (c, &a_rc) in a_row.iter().enumerate() {
-                if a_rc == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(c);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_rc * b;
-                }
-            }
+        if n == 0 {
+            return Ok(out);
         }
+        let par = par.clamped(m * k * n, PAR_MIN_FLOPS);
+        let chunk_rows = rows_per_chunk(k, par.threads());
+        par_chunks_mut(
+            &par,
+            out.as_mut_slice(),
+            chunk_rows * n,
+            |chunk_idx, chunk| {
+                // Rank-1 updates row by row, restricted to this worker's band
+                // of output rows; accessed rows stay contiguous.
+                let c0 = chunk_idx * chunk_rows;
+                for r in 0..m {
+                    let a_row = self.row(r);
+                    let b_row = rhs.row(r);
+                    for (local, out_row) in chunk.chunks_mut(n).enumerate() {
+                        let a_rc = a_row[c0 + local];
+                        if a_rc == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a_rc * b;
+                        }
+                    }
+                }
+            },
+        );
         Ok(out)
     }
 
     /// `self · rhsᵀ` (shapes `m×k` times `n×k` transposed, result `m×n`).
+    ///
+    /// Above a work threshold this runs on the shared [`tpcp_par`] budget;
+    /// see [`Mat::matmul_t_par`].
     pub fn matmul_t(&self, rhs: &Mat) -> Result<Mat> {
+        self.matmul_t_par(rhs, &implicit_par(self.rows() * self.cols() * rhs.rows()))
+    }
+
+    /// `self · rhsᵀ` on an explicit thread budget (output rows partitioned;
+    /// bit-identical to serial for any thread count).
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `self.cols() != rhs.cols()`.
+    pub fn matmul_t_par(&self, rhs: &Mat, par: &ParConfig) -> Result<Mat> {
         if self.cols() != rhs.cols() {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_t",
@@ -79,18 +178,30 @@ impl Mat {
         let m = self.rows();
         let n = rhs.rows();
         let mut out = Mat::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        if n == 0 {
+            return Ok(out);
         }
+        let par = par.clamped(m * self.cols() * n, PAR_MIN_FLOPS);
+        let chunk_rows = rows_per_chunk(m, par.threads());
+        par_chunks_mut(
+            &par,
+            out.as_mut_slice(),
+            chunk_rows * n,
+            |chunk_idx, chunk| {
+                let i0 = chunk_idx * chunk_rows;
+                for (local, out_row) in chunk.chunks_mut(n).enumerate() {
+                    let a_row = self.row(i0 + local);
+                    for (j, o) in out_row.iter_mut().enumerate() {
+                        let b_row = rhs.row(j);
+                        let mut acc = 0.0;
+                        for (&a, &b) in a_row.iter().zip(b_row) {
+                            acc += a * b;
+                        }
+                        *o = acc;
+                    }
+                }
+            },
+        );
         Ok(out)
     }
 
@@ -100,6 +211,13 @@ impl Mat {
         // optimisation is not worth the branchier inner loop at F ≤ a few
         // hundred, which is the regime of CP ranks.
         self.t_matmul(self).expect("gram: shapes always compatible")
+    }
+
+    /// [`Mat::gram`] on an explicit thread budget (bit-identical to serial
+    /// for any thread count).
+    pub fn gram_par(&self, par: &ParConfig) -> Mat {
+        self.t_matmul_par(self, par)
+            .expect("gram: shapes always compatible")
     }
 
     /// Element-wise (Hadamard) product, returning a new matrix.

@@ -152,3 +152,65 @@ proptest! {
         prop_assert_eq!(stacked.row_block(top.rows(), bottom.rows()), bottom);
     }
 }
+
+/// Bitwise results of a matrix as a u64 vector (exact FP comparison).
+fn mat_bits(m: &Mat) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The parallel product kernels partition the output matrix, so every
+    /// thread budget must reproduce the serial result bit for bit. The
+    /// shapes keep `m·k·n` above the kernels' serial-clamp flop threshold
+    /// (2¹⁵) so the parallel path is genuinely exercised.
+    #[test]
+    fn matmul_is_thread_invariant(
+        (a, b) in (128usize..192, 16usize..24, 16usize..24).prop_flat_map(|(m, k, n)| (
+            proptest::collection::vec(-10.0f64..10.0, m * k)
+                .prop_map(move |d| Mat::from_vec(m, k, d)),
+            proptest::collection::vec(-10.0f64..10.0, k * n)
+                .prop_map(move |d| Mat::from_vec(k, n, d)),
+        )))
+    {
+        use tpcp_par::ParConfig;
+        let serial = a.matmul_par(&b, &ParConfig::serial()).unwrap();
+        for threads in [2usize, 4, 7] {
+            let par = a.matmul_par(&b, &ParConfig::with_threads(threads)).unwrap();
+            prop_assert_eq!(mat_bits(&par), mat_bits(&serial), "threads {}", threads);
+        }
+        // matmul_t against the explicit transpose, same invariance.
+        let bt = b.transposed();
+        let serial_t = a.matmul_t_par(&bt, &ParConfig::serial()).unwrap();
+        prop_assert_eq!(mat_bits(&serial_t), mat_bits(&serial));
+        for threads in [2usize, 4, 7] {
+            let par = a.matmul_t_par(&bt, &ParConfig::with_threads(threads)).unwrap();
+            prop_assert_eq!(mat_bits(&par), mat_bits(&serial), "matmul_t threads {}", threads);
+        }
+    }
+
+    /// `gram`/`t_matmul` partition the *output* rows but sweep the input
+    /// rows in serial order, so they are bit-identical too. Tall shapes
+    /// keep the flop count above the serial clamp.
+    #[test]
+    fn gram_and_t_matmul_are_thread_invariant(
+        (a, b) in (512usize..640, 8usize..12, 8usize..12).prop_flat_map(|(m, k, n)| (
+            proptest::collection::vec(-10.0f64..10.0, m * k)
+                .prop_map(move |d| Mat::from_vec(m, k, d)),
+            proptest::collection::vec(-10.0f64..10.0, m * n)
+                .prop_map(move |d| Mat::from_vec(m, n, d)),
+        )))
+    {
+        use tpcp_par::ParConfig;
+        let gram_serial = a.gram_par(&ParConfig::serial());
+        prop_assert_eq!(mat_bits(&gram_serial), mat_bits(&a.gram()));
+        let tm_serial = a.t_matmul_par(&b, &ParConfig::serial()).unwrap();
+        for threads in [2usize, 4, 7] {
+            let cfg = ParConfig::with_threads(threads);
+            prop_assert_eq!(mat_bits(&a.gram_par(&cfg)), mat_bits(&gram_serial), "gram threads {}", threads);
+            let tm = a.t_matmul_par(&b, &cfg).unwrap();
+            prop_assert_eq!(mat_bits(&tm), mat_bits(&tm_serial), "t_matmul threads {}", threads);
+        }
+    }
+}

@@ -7,6 +7,7 @@ use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use tpcp_par::{par_map_owned, ParConfig};
 
 /// User logic for one MapReduce job.
 ///
@@ -34,10 +35,16 @@ pub trait MapReduceJob: Sync {
 /// Engine configuration.
 #[derive(Clone, Debug)]
 pub struct MrConfig {
-    /// Number of mapper threads.
+    /// Number of mapper input chunks.
     pub num_mappers: usize,
-    /// Number of reducer buckets (and reducer threads).
+    /// Number of reducer buckets. This is *structural* (it fixes the hash
+    /// partitioning and output order); how many run concurrently is capped
+    /// by `par`.
     pub num_reducers: usize,
+    /// Concurrency cap for mapper and reducer threads — the shared
+    /// [`tpcp_par`] budget, so a `TPCP_THREADS=1` run really is serial
+    /// even though the job still has `num_reducers` buckets.
+    pub par: ParConfig,
     /// Directory for shuffle spill files.
     pub work_dir: PathBuf,
     /// Mapper-side in-memory buffer per bucket before spilling to disk.
@@ -49,11 +56,15 @@ pub struct MrConfig {
 }
 
 impl MrConfig {
-    /// A config with sensible defaults rooted at `work_dir`.
+    /// A config with sensible defaults rooted at `work_dir`: the mapper
+    /// count follows the shared [`tpcp_par`] budget (`TPCP_THREADS`
+    /// override, hardware fallback).
     pub fn new(work_dir: impl Into<PathBuf>) -> Self {
+        let par = ParConfig::auto();
         MrConfig {
-            num_mappers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            num_mappers: par.threads(),
             num_reducers: 4,
+            par,
             work_dir: work_dir.into(),
             spill_threshold_bytes: 4 << 20,
             reducer_memory_bytes: None,
@@ -109,67 +120,59 @@ where
     let spill_seq = AtomicUsize::new(0);
     // (bucket -> leftover in-memory bytes) per mapper, plus spill paths.
     type MapSide = (Vec<Vec<u8>>, Vec<(usize, PathBuf)>);
-    let map_results: Vec<Result<MapSide>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in chunks {
-            let spill_seq = &spill_seq;
-            let config = &config;
-            let counters = &counters;
-            handles.push(scope.spawn(move || -> Result<MapSide> {
-                let mut buffers: Vec<Vec<u8>> = vec![Vec::new(); num_reducers];
-                let mut spills: Vec<(usize, PathBuf)> = Vec::new();
-                let mut key_buf = Vec::new();
-                let mut emit_err: Option<MrError> = None;
-                for input in chunk {
-                    counters.add(CounterField::MapInput, 1);
-                    let mut emit = |k: J::Key, v: J::Value| {
-                        if emit_err.is_some() {
-                            return;
-                        }
-                        key_buf.clear();
-                        k.encode(&mut key_buf);
-                        let bucket = bucket_of(&key_buf, num_reducers);
-                        let buf = &mut buffers[bucket];
-                        let before = buf.len();
-                        buf.extend_from_slice(&key_buf);
-                        v.encode(buf);
-                        counters.add(CounterField::MapOutput, 1);
-                        counters.add(CounterField::ShuffleBytes, (buf.len() - before) as u64);
-                        if buf.len() >= config.spill_threshold_bytes {
-                            let seq = spill_seq.fetch_add(1, Ordering::Relaxed);
-                            let path = config.work_dir.join(format!("spill_{seq}.bin"));
-                            match fs::File::create(&path)
-                                .and_then(|mut f| f.write_all(buf).and_then(|_| f.flush()))
-                            {
-                                Ok(()) => {
-                                    counters.add(CounterField::SpillBytes, buf.len() as u64);
-                                    counters.add(CounterField::SpillFiles, 1);
-                                    buf.clear();
-                                    spills.push((bucket, path));
-                                }
-                                Err(e) => emit_err = Some(e.into()),
-                            }
-                        }
-                    };
-                    job.map(input, &mut emit);
-                    if let Some(e) = emit_err {
-                        return Err(e);
+    let map_results: Vec<MapSide> = par_map_owned(
+        &ParConfig::with_threads(num_mappers.min(config.par.threads())),
+        chunks,
+        |_, chunk| -> Result<MapSide> {
+            let mut buffers: Vec<Vec<u8>> = vec![Vec::new(); num_reducers];
+            let mut spills: Vec<(usize, PathBuf)> = Vec::new();
+            let mut key_buf = Vec::new();
+            let mut emit_err: Option<MrError> = None;
+            for input in chunk {
+                counters.add(CounterField::MapInput, 1);
+                let mut emit = |k: J::Key, v: J::Value| {
+                    if emit_err.is_some() {
+                        return;
                     }
+                    key_buf.clear();
+                    k.encode(&mut key_buf);
+                    let bucket = bucket_of(&key_buf, num_reducers);
+                    let buf = &mut buffers[bucket];
+                    let before = buf.len();
+                    buf.extend_from_slice(&key_buf);
+                    v.encode(buf);
+                    counters.add(CounterField::MapOutput, 1);
+                    counters.add(CounterField::ShuffleBytes, (buf.len() - before) as u64);
+                    if buf.len() >= config.spill_threshold_bytes {
+                        let seq = spill_seq.fetch_add(1, Ordering::Relaxed);
+                        let path = config.work_dir.join(format!("spill_{seq}.bin"));
+                        match fs::File::create(&path)
+                            .and_then(|mut f| f.write_all(buf).and_then(|_| f.flush()))
+                        {
+                            Ok(()) => {
+                                counters.add(CounterField::SpillBytes, buf.len() as u64);
+                                counters.add(CounterField::SpillFiles, 1);
+                                buf.clear();
+                                spills.push((bucket, path));
+                            }
+                            Err(e) => emit_err = Some(e.into()),
+                        }
+                    }
+                };
+                job.map(input, &mut emit);
+                if let Some(e) = emit_err {
+                    return Err(e);
                 }
-                Ok((buffers, spills))
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("mapper panicked"))
-            .collect()
-    });
+            }
+            Ok((buffers, spills))
+        },
+    )
+    .map_err(MrError::from)?;
 
     // Gather per-bucket byte streams.
     let mut bucket_mem: Vec<Vec<Vec<u8>>> = (0..num_reducers).map(|_| Vec::new()).collect();
     let mut bucket_spills: Vec<Vec<PathBuf>> = (0..num_reducers).map(|_| Vec::new()).collect();
-    for result in map_results {
-        let (buffers, spills) = result?;
+    for (buffers, spills) in map_results {
         for (bucket, buf) in buffers.into_iter().enumerate() {
             if !buf.is_empty() {
                 bucket_mem[bucket].push(buf);
@@ -184,68 +187,62 @@ where
     let reduce_inputs: Vec<(Vec<Vec<u8>>, Vec<PathBuf>)> =
         bucket_mem.into_iter().zip(bucket_spills).collect();
 
-    let outputs: Vec<Result<Vec<J::Output>>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (reducer, (mem, spills)) in reduce_inputs.into_iter().enumerate() {
-            let config = &config;
-            let counters = &counters;
-            handles.push(scope.spawn(move || -> Result<Vec<J::Output>> {
-                // Assemble the bucket's byte stream, enforcing the cap.
-                let mut total_bytes: u64 = mem.iter().map(|b| b.len() as u64).sum();
-                for path in &spills {
-                    total_bytes += fs::metadata(path)?.len();
-                }
-                if let Some(cap) = config.reducer_memory_bytes {
-                    if total_bytes > cap {
-                        return Err(MrError::ReducerOutOfMemory {
-                            reducer,
-                            bytes: total_bytes,
-                            cap,
-                        });
-                    }
-                }
-                let mut stream = Vec::with_capacity(total_bytes as usize);
-                for path in &spills {
-                    stream.extend_from_slice(&fs::read(path)?);
-                    let _ = fs::remove_file(path);
-                }
-                for buf in mem {
-                    stream.extend_from_slice(&buf);
-                }
-                let mut pairs: Vec<(J::Key, J::Value)> =
-                    decode_all(&stream).ok_or_else(|| MrError::Decode {
-                        context: format!("reducer {reducer} input stream"),
-                    })?;
-                drop(stream);
-                pairs.sort_by(|a, b| a.0.cmp(&b.0));
-
-                let mut out = Vec::new();
-                let mut emit_count: u64 = 0;
-                let mut iter = pairs.into_iter().peekable();
-                while let Some((key, first)) = iter.next() {
-                    let mut values = vec![first];
-                    while iter.peek().is_some_and(|(k, _)| *k == key) {
-                        values.push(iter.next().expect("peeked").1);
-                    }
-                    counters.add(CounterField::ReduceGroups, 1);
-                    job.reduce(key, values, &mut |o| {
-                        out.push(o);
-                        emit_count += 1;
+    let outputs: Vec<Vec<J::Output>> = par_map_owned(
+        &ParConfig::with_threads(num_reducers.min(config.par.threads())),
+        reduce_inputs,
+        |reducer, (mem, spills)| -> Result<Vec<J::Output>> {
+            // Assemble the bucket's byte stream, enforcing the cap.
+            let mut total_bytes: u64 = mem.iter().map(|b| b.len() as u64).sum();
+            for path in &spills {
+                total_bytes += fs::metadata(path)?.len();
+            }
+            if let Some(cap) = config.reducer_memory_bytes {
+                if total_bytes > cap {
+                    return Err(MrError::ReducerOutOfMemory {
+                        reducer,
+                        bytes: total_bytes,
+                        cap,
                     });
                 }
-                counters.add(CounterField::ReduceOutput, emit_count);
-                Ok(out)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reducer panicked"))
-            .collect()
-    });
+            }
+            let mut stream = Vec::with_capacity(total_bytes as usize);
+            for path in &spills {
+                stream.extend_from_slice(&fs::read(path)?);
+                let _ = fs::remove_file(path);
+            }
+            for buf in mem {
+                stream.extend_from_slice(&buf);
+            }
+            let mut pairs: Vec<(J::Key, J::Value)> =
+                decode_all(&stream).ok_or_else(|| MrError::Decode {
+                    context: format!("reducer {reducer} input stream"),
+                })?;
+            drop(stream);
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+
+            let mut out = Vec::new();
+            let mut emit_count: u64 = 0;
+            let mut iter = pairs.into_iter().peekable();
+            while let Some((key, first)) = iter.next() {
+                let mut values = vec![first];
+                while iter.peek().is_some_and(|(k, _)| *k == key) {
+                    values.push(iter.next().expect("peeked").1);
+                }
+                counters.add(CounterField::ReduceGroups, 1);
+                job.reduce(key, values, &mut |o| {
+                    out.push(o);
+                    emit_count += 1;
+                });
+            }
+            counters.add(CounterField::ReduceOutput, emit_count);
+            Ok(out)
+        },
+    )
+    .map_err(MrError::from)?;
 
     let mut all = Vec::new();
     for out in outputs {
-        all.extend(out?);
+        all.extend(out);
     }
     Ok(all)
 }
@@ -331,6 +328,39 @@ mod tests {
         cfg.reducer_memory_bytes = Some(1024);
         let err = run_job(&Count, inputs, &cfg, &counters).unwrap_err();
         assert!(matches!(err, MrError::ReducerOutOfMemory { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A job whose mapper panics on one input record.
+    struct PanicOn(u32);
+    impl MapReduceJob for PanicOn {
+        type Input = u32;
+        type Key = u32;
+        type Value = u64;
+        type Output = (u32, u64);
+        fn map(&self, input: u32, emit: &mut dyn FnMut(u32, u64)) {
+            assert_ne!(input, self.0, "poisoned record {input}");
+            emit(input, 1);
+        }
+        fn reduce(&self, key: u32, values: Vec<u64>, emit: &mut dyn FnMut((u32, u64))) {
+            emit((key, values.iter().sum()));
+        }
+    }
+
+    #[test]
+    fn panicking_mapper_fails_the_job_instead_of_unwinding() {
+        let dir = tmpdir("panic");
+        let counters = JobCounters::new();
+        let mut cfg = MrConfig::new(&dir);
+        cfg.num_mappers = 3;
+        let inputs: Vec<u32> = (0..100).collect();
+        let err = run_job(&PanicOn(57), inputs, &cfg, &counters).unwrap_err();
+        match err {
+            MrError::WorkerPanic { message } => {
+                assert!(message.contains("poisoned record 57"), "message: {message}")
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -6,8 +6,8 @@
 //! here, so this crate provides the substrate both are simulated on:
 //!
 //! * [`MapReduceJob`] — user map/reduce logic over typed records;
-//! * [`run_job`] — parallel mappers (std scoped threads), a
-//!   *disk-spilled* hash-partitioned shuffle, parallel reducers;
+//! * [`run_job`] — parallel mappers (on the shared [`tpcp_par`] thread
+//!   budget), a *disk-spilled* hash-partitioned shuffle, parallel reducers;
 //! * [`Record`] — explicit binary encoding for everything that crosses the
 //!   shuffle (no serde; sizes are accounted byte-exactly);
 //! * [`JobCounters`] — records/bytes counters in the spirit of Hadoop's,
@@ -51,6 +51,13 @@ pub enum MrError {
         /// The configured cap.
         cap: u64,
     },
+    /// A mapper or reducer thread panicked; the panic was caught by
+    /// [`tpcp_par`] and surfaced as a job failure (a real cluster reports a
+    /// failed task the same way) instead of unwinding the caller.
+    WorkerPanic {
+        /// The stringified panic payload.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for MrError {
@@ -66,6 +73,7 @@ impl std::fmt::Display for MrError {
                 f,
                 "reducer {reducer} out of memory: needs {bytes} bytes, cap {cap}"
             ),
+            MrError::WorkerPanic { message } => write!(f, "worker panicked: {message}"),
         }
     }
 }
@@ -75,6 +83,15 @@ impl std::error::Error for MrError {}
 impl From<std::io::Error> for MrError {
     fn from(e: std::io::Error) -> Self {
         MrError::Io(e)
+    }
+}
+
+impl From<tpcp_par::ParError<MrError>> for MrError {
+    fn from(e: tpcp_par::ParError<MrError>) -> Self {
+        match e {
+            tpcp_par::ParError::Worker(inner) => inner,
+            tpcp_par::ParError::Panic { message } => MrError::WorkerPanic { message },
+        }
     }
 }
 

@@ -9,6 +9,7 @@ pub use tpcp_datasets as datasets;
 pub use tpcp_haten2 as haten2;
 pub use tpcp_linalg as linalg;
 pub use tpcp_mapreduce as mapreduce;
+pub use tpcp_par as par;
 pub use tpcp_partition as partition;
 pub use tpcp_schedule as schedule;
 pub use tpcp_storage as storage;

@@ -56,6 +56,7 @@ fn tiny_end_to_end_decomposition_improves_fit() {
 #[test]
 fn umbrella_reexports_cover_every_crate() {
     // One symbol per re-exported crate; purely a link-time/wiring check.
+    let _ = tpcp::par::ParConfig::auto();
     let _ = tpcp::tensor::num_elements(&[2, 3]);
     let _ = tpcp::linalg::Mat::zeros(2, 2);
     let _ = tpcp::cp::AlsOptions::with_rank(2);
