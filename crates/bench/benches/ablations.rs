@@ -11,7 +11,9 @@
 //! * `pq/*` — Observation #2: in-place cached `P` refresh vs recomputing
 //!   the slab's `P` matrices from scratch on every update;
 //! * `fit/*` — zero-I/O surrogate fit vs exact fit against the tensor;
-//! * `solve/*` — the ridge-guarded Cholesky Gram solve.
+//! * `solve/*` — the ridge-guarded Cholesky Gram solve;
+//! * `prefetch/*` — the asynchronous Phase-2 I/O pipeline on vs off
+//!   (policy × buffer fraction), with per-cell `stall_ns`/swap reporting.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
@@ -249,6 +251,98 @@ fn bench_gray_vs_hilbert(c: &mut Criterion) {
     group.finish();
 }
 
+/// Prefetch-pipeline ablation: Phase-2 refinement on a disk-backed store
+/// with the asynchronous prefetcher on vs off, across replacement policy
+/// and buffer fraction. The timed quantity is the whole `refine` run; a
+/// one-shot warm-up run per cell prints the stall/swap accounting
+/// (`stall_ns` is what the pipeline removes from the critical path — swap
+/// counts are identical by construction and asserted here).
+fn bench_prefetch(c: &mut Criterion) {
+    use tpcp_storage::DiskStore;
+    use twopcp::{refine, run_phase1_dense, PrefetchConfig, TwoPcpConfig};
+
+    let mut group = c.benchmark_group("prefetch");
+    group.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let dims = [32usize, 32, 32];
+    let f = 8;
+    let factors: Vec<Mat> = dims
+        .iter()
+        .map(|&d| random_factor(d, f, &mut rng))
+        .collect();
+    let x: DenseTensor = CpModel::new(vec![1.0; f], factors)
+        .unwrap()
+        .reconstruct_dense();
+    let scratch = std::env::temp_dir().join(format!("tpcp_bench_prefetch_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    for policy in [PolicyKind::Lru, PolicyKind::Forward] {
+        for fraction in [0.34, 0.5] {
+            let cfg = |pf: PrefetchConfig| {
+                TwoPcpConfig::new(f)
+                    .parts(vec![2])
+                    .schedule(ScheduleKind::HilbertOrder)
+                    .policy(policy)
+                    .buffer_fraction(fraction)
+                    .max_virtual_iters(6)
+                    .tol(0.0)
+                    .prefetch(pf)
+            };
+            let dir = scratch.join(format!("{}_{fraction}", policy.abbrev()));
+            // Materialise the unit store once; each refine re-opens it.
+            let base = cfg(PrefetchConfig::disabled());
+            let mut store = DiskStore::open(&dir).unwrap();
+            let p1 = run_phase1_dense(&x, &base, &mut store).unwrap();
+            drop(store);
+
+            let mut cell = |name: String, pf: PrefetchConfig| {
+                let run_cfg = cfg(pf);
+                let once = refine(
+                    &p1.grid,
+                    DiskStore::open(&dir).unwrap(),
+                    &run_cfg,
+                    &p1.u_norm_sq,
+                )
+                .unwrap();
+                eprintln!(
+                    "prefetch/{name}: swaps={} stall={:.3}ms prefetch_hits={}",
+                    once.stats.io.fetches,
+                    once.stats.io.stall_ms(),
+                    once.stats.io.prefetch_hits,
+                );
+                let stats = once.stats.io;
+                group.bench_function(name.as_str(), |b| {
+                    b.iter(|| {
+                        let out = refine(
+                            &p1.grid,
+                            DiskStore::open(&dir).unwrap(),
+                            &run_cfg,
+                            &p1.u_norm_sq,
+                        )
+                        .unwrap();
+                        black_box(out.stats.io.fetches)
+                    })
+                });
+                stats
+            };
+            let off = cell(
+                format!("off_{}_f{fraction}", policy.abbrev()),
+                PrefetchConfig::disabled(),
+            );
+            let on = cell(
+                format!("on_{}_f{fraction}", policy.abbrev()),
+                PrefetchConfig::with_depth(6),
+            );
+            assert_eq!(
+                off.fetches, on.fetches,
+                "prefetch changed the swap count — it must only move bytes"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_curves,
@@ -257,6 +351,7 @@ criterion_group!(
     bench_pq,
     bench_fit,
     bench_solve,
+    bench_prefetch,
     bench_gray_vs_hilbert
 );
 criterion_main!(benches);

@@ -82,6 +82,8 @@ pub struct Table1Row {
     pub twopcp_time: Duration,
     /// 2PCP exact fit.
     pub twopcp_fit: f64,
+    /// 2PCP Phase-2 I/O statistics (swaps, stall, prefetch hits).
+    pub twopcp_io: tpcp_storage::IoStats,
     /// HaTen2 wall time (None = FAILS).
     pub haten2_time: Option<Duration>,
     /// HaTen2 fit (None = FAILS).
@@ -135,6 +137,7 @@ pub fn run(cfg: &Table1Config) -> Vec<Table1Row> {
             nnz,
             twopcp_time,
             twopcp_fit: outcome.fit,
+            twopcp_io: outcome.phase2.io,
             haten2_time,
             haten2_fit,
         });
@@ -151,6 +154,12 @@ pub fn render(cfg: &Table1Config, rows: &[Table1Row]) -> String {
                 format!("{0}x{0}x{0} ({1} nnz)", r.side, fmt_count(r.nnz)),
                 fmt_duration(r.twopcp_time),
                 format!("{:.4}", r.twopcp_fit),
+                format!(
+                    "{} sw / {:.1}ms / {} pf",
+                    r.twopcp_io.fetches,
+                    r.twopcp_io.stall_ms(),
+                    r.twopcp_io.prefetch_hits
+                ),
                 r.haten2_time.map_or("FAILS".into(), fmt_duration),
                 r.haten2_fit.map_or("FAILS".into(), |f| format!("{f:.4}")),
             ]
@@ -165,7 +174,14 @@ pub fn render(cfg: &Table1Config, rows: &[Table1Row]) -> String {
         p = cfg.parts,
     ));
     out.push_str(&render_table(
-        &["Tensor size", "2PCP", "2PCP fit", "HaTen2", "HaTen2 fit"],
+        &[
+            "Tensor size",
+            "2PCP",
+            "2PCP fit",
+            "P2 swaps/stall/prefetch",
+            "HaTen2",
+            "HaTen2 fit",
+        ],
         &body,
     ));
     out

@@ -89,6 +89,11 @@ pub struct Table2Row {
     /// Phase-2 disk traffic under FOR (bytes read + written) — compare
     /// with the naive baseline's full-tensor scans.
     pub phase2_bytes_for: u64,
+    /// Phase-2 critical-path read stall in ms (LRU, FOR) — what the
+    /// prefetch pipeline removes.
+    pub stall_ms: (f64, f64),
+    /// Phase-2 swaps served by the asynchronous prefetcher (LRU, FOR).
+    pub prefetch_hits: (u64, u64),
 }
 
 /// Full result: the Naive CP baseline plus one row per partitioning.
@@ -112,7 +117,7 @@ fn run_variant(
     cfg: &Table2Config,
     parts: usize,
     policy: PolicyKind,
-) -> (Duration, Duration, u64, u64, f64) {
+) -> (Duration, Duration, tpcp_storage::IoStats, f64) {
     let outcome = TwoPcp::new(
         TwoPcpConfig::new(cfg.rank)
             .parts(vec![parts])
@@ -132,8 +137,7 @@ fn run_variant(
     (
         outcome.phase1_time,
         outcome.phase2_time,
-        outcome.phase2.io.fetches,
-        outcome.phase2.io.bytes_read + outcome.phase2.io.bytes_written,
+        outcome.phase2.io,
         outcome.fit,
     )
 }
@@ -164,8 +168,8 @@ pub fn run(cfg: &Table2Config) -> Table2Result {
 
     let mut rows = Vec::new();
     for &parts in &cfg.parts {
-        let (p1_lru, p2_lru, swaps_lru, _, _) = run_variant(&x, cfg, parts, PolicyKind::Lru);
-        let (_, p2_for, swaps_for, bytes_for, _) = run_variant(&x, cfg, parts, PolicyKind::Forward);
+        let (p1_lru, p2_lru, io_lru, _) = run_variant(&x, cfg, parts, PolicyKind::Lru);
+        let (_, p2_for, io_for, _) = run_variant(&x, cfg, parts, PolicyKind::Forward);
         let blocks = parts.pow(3) as u32;
         rows.push(Table2Row {
             parts,
@@ -174,8 +178,10 @@ pub fn run(cfg: &Table2Config) -> Table2Result {
             phase2_for: p2_for,
             total_lru: p1_lru + p2_lru,
             total_for: p1_lru + p2_for,
-            swaps: (swaps_lru, swaps_for),
-            phase2_bytes_for: bytes_for,
+            swaps: (io_lru.fetches, io_for.fetches),
+            phase2_bytes_for: io_for.bytes_read + io_for.bytes_written,
+            stall_ms: (io_lru.stall_ms(), io_for.stall_ms()),
+            prefetch_hits: (io_lru.prefetch_hits, io_for.prefetch_hits),
         });
     }
     Table2Result {
@@ -197,6 +203,8 @@ pub fn render(cfg: &Table2Config, result: &Table2Result) -> String {
         "-".into(),
         "-".into(),
         fmt_bytes(result.naive_bytes_read),
+        "-".into(),
+        "-".into(),
     ]];
     for r in &result.rows {
         body.push(vec![
@@ -208,6 +216,8 @@ pub fn render(cfg: &Table2Config, result: &Table2Result) -> String {
             fmt_duration(r.total_for),
             format!("{} / {}", r.swaps.0, r.swaps.1),
             fmt_bytes(r.phase2_bytes_for),
+            format!("{:.1} / {:.1}", r.stall_ms.0, r.stall_ms.1),
+            format!("{} / {}", r.prefetch_hits.0, r.prefetch_hits.1),
         ]);
     }
     let mut out = format!(
@@ -227,11 +237,17 @@ pub fn render(cfg: &Table2Config, result: &Table2Result) -> String {
             "Total FOR",
             "Swaps LRU/FOR",
             "Disk traffic",
+            "Stall ms LRU/FOR",
+            "PF hits LRU/FOR",
         ],
         &body,
     ));
     out.push_str(
         "Disk traffic: naive = full-tensor re-reads (N per iteration);          2PCP = Phase-2 factor-unit traffic only.
+",
+    );
+    out.push_str(
+        "Stall = wall time blocked on Phase-2 reads; PF hits = swaps served by the async prefetch pipeline.
 ",
     );
     out

@@ -4,7 +4,7 @@ use crate::{Result, TwoPcpError};
 use std::path::PathBuf;
 use tpcp_par::ParConfig;
 use tpcp_schedule::ScheduleKind;
-use tpcp_storage::PolicyKind;
+use tpcp_storage::{PolicyKind, PrefetchConfig};
 
 /// How the global sub-factors `A(i)(kᵢ)` are initialised before Phase 2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,6 +78,14 @@ pub struct TwoPcpConfig {
     /// `TPCP_THREADS` override or all available cores). Parallel execution
     /// is deterministic — results are bit-identical for any budget.
     pub par: ParConfig,
+    /// The Phase-2 asynchronous prefetch pipeline: a background worker
+    /// walks the deterministic update schedule ahead of the refiner and
+    /// stages upcoming units, overlapping disk reads with compute
+    /// (defaults to [`PrefetchConfig::auto`], i.e. the `TPCP_PREFETCH`
+    /// override or an enabled depth-4 pipeline). Prefetch moves bytes,
+    /// never values — fit traces, factors and swap counts are
+    /// bit-identical with the pipeline on or off.
+    pub prefetch: PrefetchConfig,
 }
 
 impl TwoPcpConfig {
@@ -98,6 +106,7 @@ impl TwoPcpConfig {
             init: InitKind::SlabMean,
             phase1: Phase1Options::default(),
             par: ParConfig::auto(),
+            prefetch: PrefetchConfig::auto(),
         }
     }
 
@@ -173,6 +182,18 @@ impl TwoPcpConfig {
         self
     }
 
+    /// Sets the Phase-2 prefetch pipeline configuration.
+    pub fn prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Sets the prefetch pipeline depth (`0` disables the pipeline).
+    pub fn prefetch_depth(mut self, depth: usize) -> Self {
+        self.prefetch = PrefetchConfig::with_depth(depth);
+        self
+    }
+
     /// Resolves the partition vector for an order-`n` tensor (broadcasting
     /// a singleton) and validates the configuration.
     ///
@@ -232,6 +253,10 @@ mod tests {
         assert_eq!(cfg.policy, PolicyKind::Lru);
         assert_eq!(cfg.max_virtual_iters, 200);
         assert_eq!(cfg.par.threads(), 3);
+        let cfg = cfg.prefetch_depth(8);
+        assert_eq!(cfg.prefetch, PrefetchConfig::with_depth(8));
+        let cfg = cfg.prefetch(PrefetchConfig::disabled());
+        assert!(!cfg.prefetch.is_active());
         assert_eq!(cfg.par(ParConfig::serial()).par, ParConfig::serial());
     }
 

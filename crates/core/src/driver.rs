@@ -7,7 +7,7 @@ use crate::Result;
 use std::time::{Duration, Instant};
 use tpcp_cp::CpModel;
 use tpcp_mapreduce::JobCounters;
-use tpcp_storage::{DiskStore, MemStore, UnitStore};
+use tpcp_storage::{DiskStore, MemStore, PrefetchSource, UnitStore};
 use tpcp_tensor::{DenseTensor, SparseTensor};
 
 /// The 2PCP decomposition engine (see crate docs for an example).
@@ -76,7 +76,11 @@ impl TwoPcp {
         }
     }
 
-    fn run<S: UnitStore>(&self, input: Input<'_>, mut store: S) -> Result<TwoPcpOutcome> {
+    fn run<S: UnitStore + PrefetchSource>(
+        &self,
+        input: Input<'_>,
+        mut store: S,
+    ) -> Result<TwoPcpOutcome> {
         let cfg = &self.config;
         let counters = JobCounters::new();
 

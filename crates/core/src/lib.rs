@@ -60,6 +60,9 @@ pub use phase1::{run_phase1_dense, run_phase1_mapreduce, run_phase1_sparse, Phas
 pub use phase2::{refine, RefineOutcome, RefineStats};
 pub use pq::PqCache;
 pub use swapsim::{simulate_swaps, unit_bytes, SwapReport, SwapSimConfig};
+// Re-exported so prefetch can be configured without importing
+// `tpcp-storage` directly.
+pub use tpcp_storage::PrefetchConfig;
 
 /// Errors surfaced by the 2PCP pipeline.
 #[derive(Debug)]

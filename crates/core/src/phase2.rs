@@ -12,7 +12,13 @@
 //!   current global factors with respect to the Phase-1 reconstruction,
 //!   computable from the caches with zero extra I/O;
 //! * all disk traffic is tallied per virtual iteration, producing exactly
-//!   the "data swaps per iteration" series of the paper's Figure 12.
+//!   the "data swaps per iteration" series of the paper's Figure 12;
+//! * the same schedule determinism that makes the `Forward` policy
+//!   Belady-exact drives an **asynchronous prefetch pipeline**
+//!   ([`TwoPcpConfig::prefetch`]): a background worker stages the units
+//!   upcoming steps will miss, so disk reads overlap the `T·S⁻¹` compute
+//!   instead of stalling it. Results and swap counts are bit-identical
+//!   with the pipeline on or off; only [`IoStats::stall_ns`] shrinks.
 
 use crate::config::TwoPcpConfig;
 use crate::pq::PqCache;
@@ -22,7 +28,7 @@ use tpcp_cp::CpModel;
 use tpcp_linalg::Mat;
 use tpcp_partition::Grid;
 use tpcp_schedule::{build_cycle, virtual_iteration_len, CycleOracle, UnitId};
-use tpcp_storage::{capacity_for_fraction, BufferPool, IoStats, UnitStore};
+use tpcp_storage::{capacity_for_fraction, BufferPool, IoStats, PrefetchSource, UnitStore};
 
 /// Statistics of a refinement run.
 #[derive(Clone, Debug)]
@@ -86,6 +92,16 @@ impl<S> std::fmt::Debug for RefineOutcome<S> {
     }
 }
 
+/// The exact byte size of unit `⟨mode, k⟩` under the paper's §VI space
+/// formula: `(Iᵢ/Kᵢ rows) × F doubles` for the global sub-factor plus one
+/// equal-shaped sub-factor per block of the slab. This is what Phase 1
+/// materialises, so the Phase-2 buffer can be sized *before* touching the
+/// store — no sizing pre-scan outside the buffer pool.
+pub(crate) fn expected_unit_bytes(grid: &Grid, rank: usize, unit: UnitId) -> usize {
+    let mode = usize::from(unit.mode);
+    grid.part_len(mode, unit.part as usize) * rank * (1 + grid.slab_len(mode)) * 8
+}
+
 /// Runs the Phase-2 refinement over units previously written by Phase 1.
 ///
 /// `u_norm_sq` holds `‖X̂₁_k‖²` per block (from
@@ -94,30 +110,22 @@ impl<S> std::fmt::Debug for RefineOutcome<S> {
 /// # Errors
 /// Storage failures (including a buffer too small for one step's working
 /// set) and numerical failures in the update solves.
-pub fn refine<S: UnitStore>(
+pub fn refine<S: UnitStore + PrefetchSource>(
     grid: &Grid,
-    mut store: S,
+    store: S,
     cfg: &TwoPcpConfig,
     u_norm_sq: &[f64],
 ) -> Result<RefineOutcome<S>> {
-    // ---- Initialise the P/Q caches with one pass over the units. --------
-    let mut pq = PqCache::new(grid, cfg.rank);
+    // ---- Space requirement (analytic, paper §VI formula). ----------------
+    let unit_ids: Vec<UnitId> = (0..grid.num_units())
+        .map(|lin| UnitId::from_linear(grid, lin))
+        .collect();
     let mut total_bytes = 0usize;
     let mut max_unit_bytes = 0usize;
-    for lin in 0..grid.num_units() {
-        let unit_id = UnitId::from_linear(grid, lin);
-        let data = store.read(unit_id)?;
-        total_bytes += data.payload_bytes();
-        max_unit_bytes = max_unit_bytes.max(data.payload_bytes());
-        let mode = usize::from(data.unit.mode);
-        pq.set_q(grid, unit_id, data.factor.gram_par(&cfg.par));
-        for (block, u) in &data.sub_factors {
-            pq.set_p(
-                *block as usize,
-                mode,
-                u.t_matmul_par(&data.factor, &cfg.par)?,
-            );
-        }
+    for &unit_id in &unit_ids {
+        let bytes = expected_unit_bytes(grid, cfg.rank, unit_id);
+        total_bytes += bytes;
+        max_unit_bytes = max_unit_bytes.max(bytes);
     }
 
     let capacity = if cfg.buffer_fraction >= 1.0 {
@@ -130,11 +138,46 @@ pub fn refine<S: UnitStore>(
         capacity_for_fraction(total_bytes, cfg.buffer_fraction).max(max_unit_bytes)
     };
 
-    // ---- Schedule, oracle, pool. ----------------------------------------
+    // ---- Schedule, oracle, pool (prefetch pipeline bound here). ---------
     let cycle = build_cycle(grid, cfg.schedule);
     let oracle = CycleOracle::new(grid, &cycle);
     let bound = oracle.bind(grid);
-    let mut pool = BufferPool::new(store, capacity, cfg.policy).with_oracle(&bound);
+    let mut pool = BufferPool::new(store, capacity, cfg.policy)
+        .with_oracle(&bound)
+        .with_prefetch(&bound, cfg.prefetch);
+
+    // ---- Initialise the P/Q caches with one pass *through the pool*, so
+    // the first cycle starts warm and the scan's fetches (and stalls) are
+    // tallied in the run's `IoStats`. The scan itself is pipelined by
+    // hinting the next few units ahead of each read.
+    let mut pq = PqCache::new(grid, cfg.rank);
+    for (lin, &unit_id) in unit_ids.iter().enumerate() {
+        let hint_end = (lin + 1 + cfg.prefetch.depth).min(unit_ids.len());
+        pool.prefetch_units(&unit_ids[(lin + 1).min(hint_end)..hint_end]);
+        let hold = [unit_id];
+        pool.acquire(&hold)?;
+        let result = (|| -> Result<(Mat, Vec<(usize, Mat)>)> {
+            let data = pool.get(unit_id)?;
+            debug_assert_eq!(
+                data.payload_bytes(),
+                expected_unit_bytes(grid, cfg.rank, unit_id),
+                "stored unit diverges from the analytic space formula"
+            );
+            let q = data.factor.gram_par(&cfg.par);
+            let mut ps = Vec::with_capacity(data.sub_factors.len());
+            for (block, u) in &data.sub_factors {
+                ps.push((*block as usize, u.t_matmul_par(&data.factor, &cfg.par)?));
+            }
+            Ok((q, ps))
+        })();
+        pool.release(&hold);
+        let (q, ps) = result?;
+        pq.set_q(grid, unit_id, q);
+        let mode = usize::from(unit_id.mode);
+        for (block, p) in ps {
+            pq.set_p(block, mode, p);
+        }
+    }
 
     // Virtual iterations are counted in sub-factor updates (paper Def. 3):
     // a mode-centric step is one update, a block step is N updates.
@@ -355,8 +398,10 @@ mod tests {
             .tol(0.0);
         let (outcome, _) = run(cfg, &x);
         assert_eq!(outcome.stats.swaps_per_iteration.len(), 5);
+        // The P/Q-initialisation scan runs through the pool: its ΣKᵢ = 6
+        // cold fetches are tallied in `io` but precede iteration 0.
         assert_eq!(
-            outcome.stats.swaps_per_iteration.iter().sum::<u64>(),
+            outcome.stats.swaps_per_iteration.iter().sum::<u64>() + 6,
             outcome.stats.io.fetches
         );
         assert!(outcome.stats.steady_swaps_per_iteration() > 0.0);
@@ -390,9 +435,10 @@ mod tests {
         let p1 = run_phase1_dense(&x, &cfg, &mut store).unwrap();
         let outcome = refine(&p1.grid, store, &cfg, &p1.u_norm_sq).unwrap();
         let io = outcome.stats.io;
-        // 4 virtual iterations × ΣKᵢ = 6 updates each = 24 unit accesses;
-        // with a one-unit buffer nearly every access misses.
-        assert_eq!(io.hits + io.fetches, 4 * 6);
-        assert!(io.fetches >= 20, "expected thrashing, got {io:?}");
+        // 4 virtual iterations × ΣKᵢ = 6 updates each = 24 unit accesses,
+        // plus the 6-unit P/Q-initialisation scan through the pool; with a
+        // one-unit buffer nearly every access misses.
+        assert_eq!(io.hits + io.fetches, 4 * 6 + 6);
+        assert!(io.fetches >= 26, "expected thrashing, got {io:?}");
     }
 }

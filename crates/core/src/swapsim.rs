@@ -89,6 +89,7 @@ pub fn simulate_swaps(cfg: &SwapSimConfig) -> Result<SwapReport> {
     // Seed the store with skeletal units (1×1 factor, 1×1 sub-factors).
     let mut store = MemStore::new();
     let mut total_bytes = 0usize;
+    let mut max_unit_bytes = 0usize;
     for lin in 0..grid.num_units() {
         let unit = UnitId::from_linear(&grid, lin);
         let mode = usize::from(unit.mode);
@@ -102,14 +103,29 @@ pub fn simulate_swaps(cfg: &SwapSimConfig) -> Result<SwapReport> {
             sub_factors,
         };
         total_bytes += data.payload_bytes();
+        max_unit_bytes = max_unit_bytes.max(data.payload_bytes());
         store.write(&data)?;
     }
 
-    let capacity = capacity_for_fraction(total_bytes, cfg.buffer_fraction.min(1.0));
+    // Capacity arithmetic mirrors `refine` exactly (same one-unit floor),
+    // so the simulated eviction sequence matches the real refiner's.
+    let capacity = if cfg.buffer_fraction >= 1.0 {
+        usize::MAX
+    } else {
+        capacity_for_fraction(total_bytes, cfg.buffer_fraction).max(max_unit_bytes)
+    };
     let cycle = build_cycle(&grid, cfg.schedule);
     let oracle = CycleOracle::new(&grid, &cycle);
     let bound = oracle.bind(&grid);
     let mut pool = BufferPool::new(store, capacity, cfg.policy).with_oracle(&bound);
+
+    // Mirror the refiner's P/Q-initialisation scan: one pooled acquire per
+    // unit in linear order, warming the buffer before the cycle starts.
+    for lin in 0..grid.num_units() {
+        let hold = [UnitId::from_linear(&grid, lin)];
+        pool.acquire(&hold)?;
+        pool.release(&hold);
+    }
 
     // Virtual iterations in sub-factor updates (paper Def. 3): a block
     // step is N updates, a mode-centric step one.

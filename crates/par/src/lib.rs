@@ -380,6 +380,62 @@ where
     chunks.fold(first, merge)
 }
 
+/// A named, joinable background worker thread for *pipelined* side work —
+/// tasks that overlap the main thread rather than fan out from it (the
+/// storage layer's I/O prefetcher is the canonical user).
+///
+/// Unlike the scoped primitives above, a `Background` outlives the call
+/// that spawned it; the closure must therefore have its own exit condition
+/// (typically a disconnected channel). Dropping the handle joins the
+/// thread, so a `Background` can never outlive the owner that holds it —
+/// the same "no detached threads" discipline the scoped primitives
+/// enforce, stretched over an object lifetime instead of a call.
+///
+/// A worker panic is contained: it surfaces when the owner joins (via
+/// [`Background::join`]) as `Err(message)`, and is swallowed on implicit
+/// drop-join (the owner is likely already unwinding).
+pub struct Background {
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Background {
+    /// Spawns `f` on a named OS thread.
+    ///
+    /// # Errors
+    /// The OS-level spawn failure, if thread creation fails.
+    pub fn spawn<F>(name: &str, f: F) -> std::io::Result<Background>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let handle = std::thread::Builder::new().name(name.to_owned()).spawn(f)?;
+        Ok(Background {
+            handle: Some(handle),
+        })
+    }
+
+    /// Waits for the worker to finish.
+    ///
+    /// # Errors
+    /// The stringified panic payload when the worker panicked.
+    pub fn join(mut self) -> Result<(), String> {
+        match self.handle.take() {
+            Some(handle) => handle.join().map_err(|p| panic_message(p.as_ref())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Background {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            // The worker's exit condition (e.g. channel disconnect) must
+            // already hold by the time the owner drops us; a panic here is
+            // deliberately swallowed — drop is not a reporting channel.
+            let _ = handle.join();
+        }
+    }
+}
+
 /// A chunk size that depends only on the input size: at least `min_chunk`
 /// items per chunk, and at most `max_chunks` chunks overall.
 ///
@@ -568,6 +624,38 @@ mod tests {
             |a, _| a,
         );
         assert_eq!(acc, 42);
+    }
+
+    #[test]
+    fn background_runs_and_joins() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel::<u32>();
+        let done = std::sync::Arc::new(AtomicBool::new(false));
+        let done2 = done.clone();
+        let worker = Background::spawn("test-worker", move || {
+            // Exit condition: channel disconnect.
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            assert_eq!(sum, 6);
+            done2.store(true, Ordering::SeqCst);
+        })
+        .unwrap();
+        for v in [1, 2, 3] {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        worker.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn background_join_reports_panic() {
+        let worker = Background::spawn("test-panicker", || panic!("worker blew up")).unwrap();
+        let err = worker.join().unwrap_err();
+        assert!(err.contains("blew up"), "got {err}");
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use curves::{
     hilbert_coords, hilbert_index, hilbert_rank_blocks, morton_index, morton_rank_blocks,
 };
 pub use gray::{gray_coords, gray_rank, gray_rank_blocks};
-pub use oracle::{CycleOracle, NextUseOracle};
+pub use oracle::{AccessSequence, CycleOracle, NextUseOracle};
 pub use steps::{build_cycle, ScheduleKind, Step, UnitId};
 
 /// Length of one virtual iteration for `grid`: `Σᵢ Kᵢ` **sub-factor

@@ -23,12 +23,39 @@ pub trait NextUseOracle {
     fn next_use(&self, unit: UnitId, now: u64) -> u64;
 }
 
+/// Answers "which units does the schedule touch at step `pos`?" — the
+/// forward direction of the deterministic cycle.
+///
+/// Where [`NextUseOracle`] lets a replacement policy look *backwards* from
+/// a unit to its next use, `AccessSequence` lets a prefetcher walk the
+/// upcoming access stream *forwards* and stage exactly the units the next
+/// steps will pin (the same §VII determinism, spent on overlap instead of
+/// eviction).
+pub trait AccessSequence {
+    /// The units accessed at cyclic global step `pos`, in step order.
+    fn units_at(&self, pos: u64) -> Vec<UnitId>;
+
+    /// Visits the units accessed at `pos` without allocating — the
+    /// hot-path variant (a prefetcher walks many positions per step).
+    /// Implementations holding the step's units contiguously should
+    /// override this; the default delegates to
+    /// [`AccessSequence::units_at`].
+    fn for_each_unit_at(&self, pos: u64, f: &mut dyn FnMut(UnitId)) {
+        for unit in self.units_at(pos) {
+            f(unit);
+        }
+    }
+}
+
 /// Precomputed next-use index for one schedule cycle.
 pub struct CycleOracle {
     cycle_len: u64,
     /// For each unit (dense-linearised), the sorted in-cycle positions at
     /// which it is accessed.
     positions: Vec<Vec<u32>>,
+    /// For each in-cycle position, the units that step touches (the
+    /// inverse of `positions`; powers [`AccessSequence`]).
+    step_units: Vec<Vec<UnitId>>,
 }
 
 impl CycleOracle {
@@ -40,13 +67,17 @@ impl CycleOracle {
         assert!(!cycle.is_empty(), "empty schedule cycle");
         assert!(cycle.len() <= u32::MAX as usize, "cycle too long");
         let mut positions = vec![Vec::new(); grid.num_units()];
+        let mut step_units = Vec::with_capacity(cycle.len());
         for (pos, step) in cycle.iter().enumerate() {
-            for unit in step.units(grid) {
+            let units = step.units(grid);
+            for unit in &units {
                 positions[unit.linear(grid)].push(pos as u32);
             }
+            step_units.push(units);
         }
         CycleOracle {
             cycle_len: cycle.len() as u64,
+            step_units,
             positions: positions
                 .into_iter()
                 .map(|mut v| {
@@ -60,6 +91,11 @@ impl CycleOracle {
     /// Length of the underlying cycle in steps.
     pub fn cycle_len(&self) -> u64 {
         self.cycle_len
+    }
+
+    /// The units touched at cyclic global step `pos`, in step order.
+    pub fn units_at_position(&self, pos: u64) -> &[UnitId] {
+        &self.step_units[(pos % self.cycle_len) as usize]
     }
 
     /// Looks up the position list via a grid-independent linear unit index.
@@ -96,6 +132,18 @@ pub struct GridOracle<'a> {
 impl NextUseOracle for GridOracle<'_> {
     fn next_use(&self, unit: UnitId, now: u64) -> u64 {
         self.oracle.next_from_linear(unit.linear(self.grid), now)
+    }
+}
+
+impl AccessSequence for GridOracle<'_> {
+    fn units_at(&self, pos: u64) -> Vec<UnitId> {
+        self.oracle.units_at_position(pos).to_vec()
+    }
+
+    fn for_each_unit_at(&self, pos: u64, f: &mut dyn FnMut(UnitId)) {
+        for &unit in self.oracle.units_at_position(pos) {
+            f(unit);
+        }
     }
 }
 
@@ -175,6 +223,24 @@ mod tests {
                     }
                 }
                 assert_eq!(nu, expect.unwrap(), "unit {unit} at {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn access_sequence_matches_step_units() {
+        let g = Grid::uniform(&[16, 16, 16], 2);
+        for kind in [ScheduleKind::ModeCentric, ScheduleKind::HilbertOrder] {
+            let cycle = build_cycle(&g, kind);
+            let oracle = CycleOracle::new(&g, &cycle);
+            let bound = oracle.bind(&g);
+            let clen = cycle.len() as u64;
+            // In-cycle positions and wrapped repetitions agree with the
+            // raw step definition.
+            for pos in [0u64, 1, clen - 1, clen, 3 * clen + 2] {
+                let expect = cycle[(pos % clen) as usize].units(&g);
+                assert_eq!(bound.units_at(pos), expect, "{kind} at {pos}");
+                assert_eq!(oracle.units_at_position(pos), &expect[..]);
             }
         }
     }

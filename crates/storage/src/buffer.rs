@@ -1,11 +1,13 @@
 //! The byte-budgeted buffer pool over a unit store.
 
 use crate::policy::{PolicyKind, ReplacementPolicy};
+use crate::prefetch::{PrefetchConfig, PrefetchSource, Prefetcher, Staged};
 use crate::stats::IoStats;
 use crate::store::{UnitData, UnitStore};
 use crate::{Result, StorageError};
 use std::collections::{HashMap, HashSet};
-use tpcp_schedule::{NextUseOracle, UnitId};
+use std::time::Instant;
+use tpcp_schedule::{AccessSequence, NextUseOracle, UnitId};
 
 /// Buffer capacity for a fraction of the total space requirement — the
 /// paper expresses buffer sizes as 1/3, 1/2 or 2/3 of
@@ -19,6 +21,95 @@ struct Entry {
     data: UnitData,
     bytes: usize,
     dirty: bool,
+}
+
+/// Pool-side state of the asynchronous prefetch pipeline.
+///
+/// Staged pages live here — *outside* the pool's entry map — until the
+/// consumer actually misses on them, so prefetch can never evict a pinned
+/// or sooner-needed unit: admission happens only on the normal `acquire`
+/// path, under the normal capacity/eviction rules. Every staged page is
+/// tagged with the unit's write epoch at issue time; a write-back bumps
+/// the epoch, and stale pages are discarded instead of admitted.
+struct PrefetchState {
+    prefetcher: Prefetcher,
+    /// Max units staged + in flight (pipeline depth).
+    depth: usize,
+    /// Arrived, epoch-valid pages awaiting their miss.
+    staged: HashMap<UnitId, (u64, UnitData)>,
+    staged_bytes: usize,
+    /// Issued to the worker, not yet drained.
+    in_flight: HashSet<UnitId>,
+    /// Next schedule position the horizon walk will examine.
+    cursor: u64,
+    /// Reused buffer for one position's units (the walk runs every step;
+    /// no per-position allocation).
+    step_units: Vec<UnitId>,
+}
+
+impl PrefetchState {
+    fn new(prefetcher: Prefetcher, depth: usize) -> Self {
+        PrefetchState {
+            prefetcher,
+            depth,
+            staged: HashMap::new(),
+            staged_bytes: 0,
+            in_flight: HashSet::new(),
+            cursor: 0,
+            step_units: Vec::new(),
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.staged.len() + self.in_flight.len()
+    }
+
+    /// Files one arrived page into the staging map, or drops it: pages
+    /// whose epoch tag is stale, whose read failed, or whose unit became
+    /// resident in the meantime are useless (the synchronous path will
+    /// take over, exactly as if they had never been prefetched).
+    fn file_arrival(
+        &mut self,
+        staged: Staged,
+        write_epochs: &HashMap<UnitId, u64>,
+        resident: impl Fn(UnitId) -> bool,
+        capacity: usize,
+    ) {
+        self.in_flight.remove(&staged.unit);
+        let current_epoch = write_epochs.get(&staged.unit).copied().unwrap_or(0);
+        let Ok(data) = staged.result else { return };
+        if staged.epoch != current_epoch || resident(staged.unit) {
+            return;
+        }
+        let bytes = data.payload_bytes();
+        // Keep the staging footprint within one buffer's worth of bytes.
+        if self.staged_bytes.saturating_add(bytes) > capacity {
+            return;
+        }
+        if self
+            .staged
+            .insert(staged.unit, (staged.epoch, data))
+            .is_none()
+        {
+            self.staged_bytes += bytes;
+        }
+    }
+
+    /// Removes and returns the staged page for `unit` if its epoch is
+    /// still current.
+    fn take_staged(
+        &mut self,
+        unit: UnitId,
+        write_epochs: &HashMap<UnitId, u64>,
+    ) -> Option<UnitData> {
+        let (epoch, data) = self.staged.remove(&unit)?;
+        self.staged_bytes -= data.payload_bytes();
+        if epoch == write_epochs.get(&unit).copied().unwrap_or(0) {
+            Some(data)
+        } else {
+            None
+        }
+    }
 }
 
 /// A buffer pool caching [`UnitData`] pages over a [`UnitStore`].
@@ -41,6 +132,12 @@ pub struct BufferPool<'o, S: UnitStore> {
     pinned: HashSet<UnitId>,
     policy: Box<dyn ReplacementPolicy>,
     oracle: Option<&'o dyn NextUseOracle>,
+    sequence: Option<&'o dyn AccessSequence>,
+    prefetch: Option<PrefetchState>,
+    /// Per-unit count of pool→store writes (write-backs, flushes); the
+    /// admission guard that keeps prefetched pages from resurrecting
+    /// overwritten data.
+    write_epochs: HashMap<UnitId, u64>,
     position: u64,
     tick: u64,
     stats: IoStats,
@@ -57,6 +154,9 @@ impl<'o, S: UnitStore> BufferPool<'o, S> {
             pinned: HashSet::new(),
             policy: policy.build(),
             oracle: None,
+            sequence: None,
+            prefetch: None,
+            write_epochs: HashMap::new(),
             position: 0,
             tick: 0,
             stats: IoStats::default(),
@@ -71,9 +171,148 @@ impl<'o, S: UnitStore> BufferPool<'o, S> {
     }
 
     /// Updates the current schedule position (global step index); consulted
-    /// by the forward-looking policy.
+    /// by the forward-looking policy, and — when a prefetch pipeline is
+    /// bound — advances the prefetch horizon over the upcoming accesses.
     pub fn set_position(&mut self, position: u64) {
         self.position = position;
+        self.advance_prefetch();
+    }
+
+    /// Hints the pipeline at explicitly-known upcoming units (e.g. a warm-up
+    /// scan outside the cyclic schedule). Best-effort, bounded by the
+    /// pipeline depth; a no-op without an active pipeline.
+    pub fn prefetch_units(&mut self, units: &[UnitId]) {
+        self.drain_prefetched();
+        let Some(pf) = self.prefetch.as_mut() else {
+            return;
+        };
+        let entries = &self.entries;
+        for &unit in units {
+            if pf.occupancy() >= pf.depth {
+                break;
+            }
+            if entries.contains_key(&unit)
+                || pf.staged.contains_key(&unit)
+                || pf.in_flight.contains(&unit)
+            {
+                continue;
+            }
+            let epoch = self.write_epochs.get(&unit).copied().unwrap_or(0);
+            if !pf.prefetcher.issue(unit, epoch) {
+                break; // worker gone: pipeline inert from here on
+            }
+            pf.in_flight.insert(unit);
+        }
+    }
+
+    /// `true` when an asynchronous prefetch pipeline is running.
+    pub fn prefetch_active(&self) -> bool {
+        self.prefetch.is_some()
+    }
+
+    /// Moves arrived pages from the worker into the staging map.
+    fn drain_prefetched(&mut self) {
+        let Some(pf) = self.prefetch.as_mut() else {
+            return;
+        };
+        let entries = &self.entries;
+        while let Some(staged) = pf.prefetcher.try_recv() {
+            pf.file_arrival(
+                staged,
+                &self.write_epochs,
+                |u| entries.contains_key(&u),
+                self.capacity,
+            );
+        }
+    }
+
+    /// Walks the bound access sequence ahead of the current position,
+    /// issuing reads for units the upcoming steps will miss, up to the
+    /// pipeline depth. The walk is bounded so a fully-resident working set
+    /// costs O(depth) checks per step, not an unbounded cycle scan.
+    fn advance_prefetch(&mut self) {
+        self.drain_prefetched();
+        let Some(seq) = self.sequence else { return };
+        let Some(pf) = self.prefetch.as_mut() else {
+            return;
+        };
+        let entries = &self.entries;
+        if pf.cursor < self.position {
+            pf.cursor = self.position;
+        }
+        let horizon = self.position + 4 * pf.depth as u64 + 1;
+        let mut step_units = std::mem::take(&mut pf.step_units);
+        'walk: while pf.cursor < horizon && pf.occupancy() < pf.depth {
+            step_units.clear();
+            seq.for_each_unit_at(pf.cursor, &mut |u| step_units.push(u));
+            for &unit in &step_units {
+                if entries.contains_key(&unit)
+                    || pf.staged.contains_key(&unit)
+                    || pf.in_flight.contains(&unit)
+                {
+                    continue;
+                }
+                if pf.occupancy() >= pf.depth {
+                    // Budget ran out mid-step: keep the cursor here so the
+                    // remaining units get issued on the next advance.
+                    break 'walk;
+                }
+                let epoch = self.write_epochs.get(&unit).copied().unwrap_or(0);
+                if !pf.prefetcher.issue(unit, epoch) {
+                    break 'walk;
+                }
+                pf.in_flight.insert(unit);
+            }
+            pf.cursor += 1;
+        }
+        pf.step_units = step_units;
+    }
+
+    /// Produces the bytes for a missing unit: staged prefetch data when
+    /// valid, otherwise a synchronous store read. Wall time spent blocked
+    /// here — the synchronous read, or the tail of an in-flight prefetch —
+    /// is the pipeline's `stall_ns`.
+    fn fetch_unit(&mut self, unit: UnitId) -> Result<UnitData> {
+        if self.prefetch.is_some() {
+            self.drain_prefetched();
+            if let Some(pf) = self.prefetch.as_mut() {
+                if let Some(data) = pf.take_staged(unit, &self.write_epochs) {
+                    self.stats.prefetch_hits += 1;
+                    self.stats.prefetched_bytes += data.payload_bytes() as u64;
+                    return Ok(data);
+                }
+                if pf.in_flight.contains(&unit) {
+                    // The read is already happening on the worker — wait
+                    // for it rather than issuing a duplicate.
+                    let start = Instant::now();
+                    let entries = &self.entries;
+                    while pf.in_flight.contains(&unit) {
+                        match pf.prefetcher.recv_blocking() {
+                            Some(staged) => pf.file_arrival(
+                                staged,
+                                &self.write_epochs,
+                                |u| entries.contains_key(&u),
+                                self.capacity,
+                            ),
+                            None => {
+                                pf.in_flight.remove(&unit);
+                                break;
+                            }
+                        }
+                    }
+                    self.stats.stall_ns += start.elapsed().as_nanos() as u64;
+                    if let Some(data) = pf.take_staged(unit, &self.write_epochs) {
+                        self.stats.prefetch_hits += 1;
+                        self.stats.prefetched_bytes += data.payload_bytes() as u64;
+                        return Ok(data);
+                    }
+                }
+            }
+        }
+        let start = Instant::now();
+        let result = self.store.read(unit);
+        self.stats.stall_ns += start.elapsed().as_nanos() as u64;
+        result
     }
 
     /// Byte capacity.
@@ -151,7 +390,7 @@ impl<'o, S: UnitStore> BufferPool<'o, S> {
                 self.stats.hits += 1;
                 self.policy.on_access(unit, self.tick);
             } else {
-                let data = self.store.read(unit)?;
+                let data = self.fetch_unit(unit)?;
                 let bytes = data.payload_bytes();
                 self.stats.fetches += 1;
                 self.stats.bytes_read += bytes as u64;
@@ -213,9 +452,10 @@ impl<'o, S: UnitStore> BufferPool<'o, S> {
     /// # Errors
     /// Propagates store write failures.
     pub fn flush(&mut self) -> Result<()> {
-        for entry in self.entries.values_mut() {
+        for (unit, entry) in self.entries.iter_mut() {
             if entry.dirty {
                 self.store.write(&entry.data)?;
+                *self.write_epochs.entry(*unit).or_insert(0) += 1;
                 self.stats.bytes_written += entry.bytes as u64;
                 entry.dirty = false;
             }
@@ -261,11 +501,39 @@ impl<'o, S: UnitStore> BufferPool<'o, S> {
             self.stats.evictions += 1;
             if entry.dirty {
                 self.store.write(&entry.data)?;
+                *self.write_epochs.entry(victim).or_insert(0) += 1;
                 self.stats.write_backs += 1;
                 self.stats.bytes_written += entry.bytes as u64;
             }
         }
         Ok(())
+    }
+}
+
+impl<'o, S: UnitStore + PrefetchSource> BufferPool<'o, S> {
+    /// Binds the asynchronous prefetch pipeline: a background worker walks
+    /// `sequence` ahead of the position set via
+    /// [`BufferPool::set_position`] and stages the units upcoming steps
+    /// will miss.
+    ///
+    /// Silently a no-op when the config is disabled, the store declines to
+    /// provide a [`PrefetchSource`] reader (e.g. [`crate::MemStore`]), or
+    /// the worker cannot be spawned — the pool then behaves exactly as
+    /// without prefetch. Prefetch moves bytes, never values: swap counts,
+    /// evictions and all data observed through the pool are identical
+    /// either way.
+    pub fn with_prefetch(mut self, sequence: &'o dyn AccessSequence, cfg: PrefetchConfig) -> Self {
+        if !cfg.is_active() {
+            return self;
+        }
+        let Some(reader) = self.store.prefetch_reader() else {
+            return self;
+        };
+        if let Ok(prefetcher) = Prefetcher::spawn(reader, cfg.depth) {
+            self.sequence = Some(sequence);
+            self.prefetch = Some(PrefetchState::new(prefetcher, cfg.depth));
+        }
+        self
     }
 }
 
@@ -469,6 +737,211 @@ mod tests {
         // Pin was rolled back; the retry succeeds.
         pool.acquire(&[u(0)]).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A memory store whose map is shared with prefetch readers — the
+    /// deterministic stand-in for a disk store in pipeline tests.
+    struct SharedStore {
+        map: std::sync::Arc<std::sync::Mutex<Map<UnitId, UnitData>>>,
+    }
+
+    impl SharedStore {
+        fn new() -> Self {
+            SharedStore {
+                map: std::sync::Arc::new(std::sync::Mutex::new(Map::new())),
+            }
+        }
+    }
+
+    impl UnitStore for SharedStore {
+        fn write(&mut self, data: &UnitData) -> crate::Result<()> {
+            self.map
+                .lock()
+                .expect("map poisoned")
+                .insert(data.unit, data.clone());
+            Ok(())
+        }
+
+        fn read(&mut self, unit: UnitId) -> crate::Result<UnitData> {
+            self.map
+                .lock()
+                .expect("map poisoned")
+                .get(&unit)
+                .cloned()
+                .ok_or(StorageError::NotFound(unit))
+        }
+
+        fn contains(&self, unit: UnitId) -> bool {
+            self.map.lock().expect("map poisoned").contains_key(&unit)
+        }
+
+        fn bytes_written(&self) -> u64 {
+            0
+        }
+
+        fn bytes_read(&self) -> u64 {
+            0
+        }
+    }
+
+    struct SharedReader(std::sync::Arc<std::sync::Mutex<Map<UnitId, UnitData>>>);
+
+    impl crate::prefetch::PrefetchRead for SharedReader {
+        fn read(&mut self, unit: UnitId) -> crate::Result<UnitData> {
+            self.0
+                .lock()
+                .expect("map poisoned")
+                .get(&unit)
+                .cloned()
+                .ok_or(StorageError::NotFound(unit))
+        }
+    }
+
+    impl PrefetchSource for SharedStore {
+        fn prefetch_reader(&self) -> Option<Box<dyn crate::prefetch::PrefetchRead>> {
+            Some(Box::new(SharedReader(std::sync::Arc::clone(&self.map))))
+        }
+    }
+
+    /// A scripted access sequence: position `p` touches `script[p % len]`.
+    struct ScriptSequence(Vec<UnitId>);
+
+    impl AccessSequence for ScriptSequence {
+        fn units_at(&self, pos: u64) -> Vec<UnitId> {
+            vec![self.0[(pos as usize) % self.0.len()]]
+        }
+    }
+
+    fn shared_seeded(n: usize) -> (SharedStore, usize) {
+        let mut store = SharedStore::new();
+        let mut size = 0;
+        for p in 0..n {
+            let data = UnitData {
+                unit: UnitId::new(0, p),
+                factor: Mat::filled(4, 2, p as f64),
+                sub_factors: vec![(p as u64, Mat::filled(2, 2, 1.0))],
+            };
+            size = data.payload_bytes();
+            store.write(&data).unwrap();
+        }
+        (store, size)
+    }
+
+    #[test]
+    fn prefetch_pipeline_stages_upcoming_units() {
+        let (store, size) = shared_seeded(4);
+        let script = ScriptSequence((0..4).map(u).collect());
+        let mut pool = BufferPool::new(store, size * 4, PolicyKind::Lru)
+            .with_prefetch(&script, PrefetchConfig::with_depth(4));
+        assert!(pool.prefetch_active());
+        for p in 0..4u64 {
+            pool.set_position(p);
+            pool.acquire(&[u(p as usize)]).unwrap();
+            pool.release(&[u(p as usize)]);
+        }
+        let s = pool.stats();
+        // Every access was a miss (cold cache) and a fetch (= swap) —
+        // identical to the no-prefetch run…
+        assert_eq!(s.fetches, 4);
+        assert_eq!(s.hits, 0);
+        // …but at least the later units came from the pipeline (unit 0 may
+        // race the first synchronous read; 1..3 were staged well ahead).
+        assert!(s.prefetch_hits >= 2, "stats: {s}");
+        assert!(s.prefetched_bytes >= 2 * size as u64);
+    }
+
+    #[test]
+    fn prefetched_values_match_store_exactly() {
+        let (store, size) = shared_seeded(6);
+        let script = ScriptSequence((0..6).map(u).collect());
+        let mut pool = BufferPool::new(store, size * 2, PolicyKind::Lru)
+            .with_prefetch(&script, PrefetchConfig::with_depth(3));
+        for p in 0..6u64 {
+            pool.set_position(p);
+            pool.acquire(&[u(p as usize)]).unwrap();
+            let got = pool.get(u(p as usize)).unwrap();
+            assert_eq!(got.factor.get(0, 0), p as f64);
+            pool.release(&[u(p as usize)]);
+        }
+    }
+
+    #[test]
+    fn stale_prefetch_is_discarded_after_write_back() {
+        let (store, size) = shared_seeded(3);
+        // Script: 0, 1, 2, 0, … with a buffer of exactly one unit, so
+        // every acquire evicts (and, when dirty, writes back) the previous
+        // unit while the pipeline races ahead.
+        let script = ScriptSequence(vec![u(0), u(1), u(2), u(0), u(1), u(2)]);
+        let mut pool = BufferPool::new(store, size, PolicyKind::Lru)
+            .with_prefetch(&script, PrefetchConfig::with_depth(3));
+        for (pos, part) in [0usize, 1, 2, 0, 1, 2].iter().enumerate() {
+            pool.set_position(pos as u64);
+            pool.acquire(&[u(*part)]).unwrap();
+            // Mutate every unit on every visit: any stale page the
+            // pipeline admitted would surface as a wrong value below.
+            let visit = (pos / 3) as f64;
+            let entry = pool.get_mut(u(*part)).unwrap();
+            let expect_prev = if pos < 3 {
+                *part as f64
+            } else {
+                1000.0 + *part as f64 + (visit - 1.0) * 10.0
+            };
+            assert_eq!(entry.factor.get(0, 0), expect_prev, "pos {pos}");
+            entry.factor.set(0, 0, 1000.0 + *part as f64 + visit * 10.0);
+            pool.release(&[u(*part)]);
+        }
+        let s = pool.stats();
+        assert_eq!(s.write_backs, 5, "every eviction wrote back dirty data");
+    }
+
+    #[test]
+    fn prefetch_disabled_config_is_inert() {
+        let (store, size) = shared_seeded(2);
+        let script = ScriptSequence(vec![u(0), u(1)]);
+        let mut pool = BufferPool::new(store, size * 2, PolicyKind::Lru)
+            .with_prefetch(&script, PrefetchConfig::disabled());
+        assert!(!pool.prefetch_active());
+        pool.set_position(0);
+        pool.acquire(&[u(0)]).unwrap();
+        pool.release(&[u(0)]);
+        assert_eq!(pool.stats().prefetch_hits, 0);
+        assert_eq!(pool.stats().prefetched_bytes, 0);
+    }
+
+    #[test]
+    fn mem_store_pool_silently_skips_prefetch() {
+        let (store, size) = seeded_store(2);
+        let script = ScriptSequence(vec![u(0), u(1)]);
+        let mut pool = BufferPool::new(store, size * 2, PolicyKind::Lru)
+            .with_prefetch(&script, PrefetchConfig::default());
+        assert!(!pool.prefetch_active(), "MemStore declines a reader");
+        pool.set_position(0);
+        pool.acquire(&[u(0)]).unwrap();
+        assert_eq!(pool.stats().fetches, 1);
+    }
+
+    #[test]
+    fn explicit_prefetch_hints_stage_units() {
+        let (store, size) = shared_seeded(3);
+        let script = ScriptSequence(vec![u(0)]);
+        let mut pool = BufferPool::new(store, size * 3, PolicyKind::Lru)
+            .with_prefetch(&script, PrefetchConfig::with_depth(3));
+        pool.prefetch_units(&[u(1), u(2)]);
+        // Give the worker a beat, then miss on the hinted units: both must
+        // be pipeline hits (either staged or awaited in flight).
+        pool.acquire(&[u(1), u(2)]).unwrap();
+        pool.release(&[u(1), u(2)]);
+        let s = pool.stats();
+        assert_eq!(s.fetches, 2);
+        assert_eq!(s.prefetch_hits, 2, "stats: {s}");
+    }
+
+    #[test]
+    fn stall_ns_accumulates_on_synchronous_reads() {
+        let (store, size) = seeded_store(2);
+        let mut pool = BufferPool::new(store, size * 2, PolicyKind::Lru);
+        pool.acquire(&[u(0), u(1)]).unwrap();
+        assert!(pool.stats().stall_ns > 0, "sync reads must be timed");
     }
 
     #[test]

@@ -18,18 +18,27 @@
 //!   cannot evict itself;
 //! * [`IoStats`] — swap accounting (the paper's evaluation metric:
 //!   "the amount of I/O (i.e., data swaps) between the disk and memory
-//!   buffer").
+//!   buffer") plus critical-path stall and prefetch accounting;
+//! * the asynchronous prefetch pipeline ([`PrefetchSource`],
+//!   [`PrefetchConfig`], [`BufferPool::with_prefetch`]): the deterministic
+//!   schedule that makes the `Forward` policy Belady-exact also tells a
+//!   background worker exactly which units the next steps will need, so
+//!   disk reads overlap compute instead of blocking it. Prefetch moves
+//!   bytes, never values — results and swap counts are bit-identical with
+//!   the pipeline on or off.
 
 pub mod codec;
 
 mod buffer;
 mod policy;
+mod prefetch;
 mod single_file;
 mod stats;
 mod store;
 
 pub use buffer::{capacity_for_fraction, BufferPool};
 pub use policy::{ForwardPolicy, LruPolicy, MruPolicy, PolicyKind, ReplacementPolicy};
+pub use prefetch::{PrefetchConfig, PrefetchRead, PrefetchSource, PREFETCH_ENV_VAR};
 pub use single_file::SingleFileStore;
 pub use stats::IoStats;
 pub use store::{DiskStore, MemStore, UnitData, UnitStore};

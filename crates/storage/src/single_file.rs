@@ -17,12 +17,15 @@
 //! fails validation and is ignored at open). [`SingleFileStore::compact`]
 //! rewrites the file without dead pages.
 
+use crate::prefetch::{PrefetchRead, PrefetchSource};
 use crate::store::{UnitData, UnitStore};
 use crate::{codec, Result, StorageError};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use tpcp_schedule::UnitId;
 
 const FILE_MAGIC: &[u8; 8] = b"2PCPSEGM";
@@ -35,6 +38,7 @@ const PAGE_ALIGN: u64 = 64;
 const LIVE: u8 = 1;
 const DEAD: u8 = 0;
 
+#[derive(Clone, Copy)]
 struct PageRef {
     /// Offset of the page header.
     offset: u64,
@@ -42,16 +46,30 @@ struct PageRef {
     payload_len: u32,
 }
 
+/// The live-page index, shared with prefetch readers so they always see
+/// the *committed* page for a unit (the writer switches the index only
+/// after the new page is durable, and dead pages are never overwritten —
+/// append-only — so a reader holding a stale `PageRef` still reads intact,
+/// merely outdated data, which the buffer pool's epoch check discards).
+type SharedIndex = Arc<RwLock<HashMap<UnitId, PageRef>>>;
+
 /// All units in one append-only, checksummed container file.
 pub struct SingleFileStore {
     path: PathBuf,
     file: File,
-    /// Live page per unit.
-    index: HashMap<UnitId, PageRef>,
+    /// Live page per unit (shared with prefetch readers).
+    index: SharedIndex,
     /// End-of-file write cursor (aligned).
     cursor: u64,
     bytes_written: u64,
     bytes_read: u64,
+    /// Page buffer reused across `read()` calls (no per-fetch allocation).
+    scratch: Vec<u8>,
+    /// Bumped by [`SingleFileStore::compact`]; prefetch readers hold the
+    /// generation they were created under and refuse to read once it
+    /// moves (their file handle points at the pre-compaction inode, so
+    /// post-compaction offsets would dereference into stale pages).
+    generation: Arc<AtomicU64>,
 }
 
 fn align_up(v: u64) -> u64 {
@@ -78,10 +96,12 @@ impl SingleFileStore {
         let mut store = SingleFileStore {
             path: path.as_ref().to_path_buf(),
             file,
-            index: HashMap::new(),
+            index: Arc::new(RwLock::new(HashMap::new())),
             cursor: FILE_HEADER_LEN,
             bytes_written: 0,
             bytes_read: 0,
+            scratch: Vec::new(),
+            generation: Arc::new(AtomicU64::new(0)),
         };
         if len == 0 {
             let mut header = Vec::with_capacity(FILE_HEADER_LEN as usize);
@@ -137,7 +157,7 @@ impl SingleFileStore {
                 self.file.read_exact(&mut payload)?;
                 match codec::decode(&payload) {
                     Ok(data) => {
-                        self.index.insert(
+                        self.index.write().expect("index poisoned").insert(
                             data.unit,
                             PageRef {
                                 offset,
@@ -161,12 +181,12 @@ impl SingleFileStore {
 
     /// Number of live units.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.index.read().expect("index poisoned").len()
     }
 
     /// `true` when no units are stored.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.index.read().expect("index poisoned").is_empty()
     }
 
     /// Container file size in bytes (live + dead pages).
@@ -185,9 +205,20 @@ impl SingleFileStore {
 
     /// Rewrites the container without dead pages, reclaiming space.
     ///
+    /// Invalidates any live prefetch readers from
+    /// [`SingleFileStore::prefetch_reader`]: their file handle points at
+    /// the pre-compaction inode, where post-compaction index offsets could
+    /// land on stale-but-checksummed pages. The generation bump makes
+    /// their subsequent reads fail loudly instead (the buffer pool
+    /// degrades to synchronous reads); create fresh readers after
+    /// compacting. The pool itself never compacts; this is a maintenance
+    /// entry point.
+    ///
     /// # Errors
     /// I/O failures; the original file is replaced atomically via rename.
     pub fn compact(&mut self) -> Result<()> {
+        // Retire readers *before* the index moves to new-file offsets.
+        self.generation.fetch_add(1, Ordering::SeqCst);
         let tmp_path = self.path.with_extension("compact");
         {
             let mut out = std::io::BufWriter::new(File::create(&tmp_path)?);
@@ -198,7 +229,13 @@ impl SingleFileStore {
             out.write_all(&header)?;
             let mut cursor = FILE_HEADER_LEN;
             let mut new_index = HashMap::new();
-            let units: Vec<UnitId> = self.index.keys().copied().collect();
+            let units: Vec<UnitId> = self
+                .index
+                .read()
+                .expect("index poisoned")
+                .keys()
+                .copied()
+                .collect();
             for unit in units {
                 let page = self.read_payload(unit)?;
                 let mut ph = [0u8; PAGE_HEADER_LEN as usize];
@@ -219,7 +256,7 @@ impl SingleFileStore {
                 cursor = padded;
             }
             out.flush()?;
-            self.index = new_index;
+            *self.index.write().expect("index poisoned") = new_index;
             self.cursor = cursor;
         }
         std::fs::rename(&tmp_path, &self.path)?;
@@ -227,13 +264,93 @@ impl SingleFileStore {
         Ok(())
     }
 
+    /// The committed page reference for `unit`.
+    fn page_ref(&self, unit: UnitId) -> Result<PageRef> {
+        self.index
+            .read()
+            .expect("index poisoned")
+            .get(&unit)
+            .copied()
+            .ok_or(StorageError::NotFound(unit))
+    }
+
     fn read_payload(&mut self, unit: UnitId) -> Result<Vec<u8>> {
-        let page = self.index.get(&unit).ok_or(StorageError::NotFound(unit))?;
+        let page = self.page_ref(unit)?;
         self.file
             .seek(SeekFrom::Start(page.offset + PAGE_HEADER_LEN))?;
         let mut payload = vec![0u8; page.payload_len as usize];
         self.file.read_exact(&mut payload)?;
         Ok(payload)
+    }
+}
+
+/// Reads, decodes and identity-checks the page at `page` from `file`,
+/// reusing `scratch` as the page buffer. Shared by the store and its
+/// prefetch readers (each holds its own `File`, hence its own seek
+/// cursor).
+fn read_page_at(
+    file: &mut File,
+    page: PageRef,
+    unit: UnitId,
+    scratch: &mut Vec<u8>,
+) -> Result<UnitData> {
+    file.seek(SeekFrom::Start(page.offset + PAGE_HEADER_LEN))?;
+    scratch.resize(page.payload_len as usize, 0);
+    file.read_exact(scratch)?;
+    let data = codec::decode(scratch)?;
+    if data.unit != unit {
+        return Err(StorageError::Corrupt {
+            reason: format!("page for {} indexed under {unit}", data.unit),
+        });
+    }
+    Ok(data)
+}
+
+/// A [`PrefetchRead`] handle onto a [`SingleFileStore`]: its own `File`
+/// (independent seek cursor) over the same container, sharing the live
+/// page index. Because the container is append-only and the index is
+/// switched only after a new page is durable, every offset the reader can
+/// observe points at a fully-written, checksummed page.
+struct SingleFileReader {
+    file: File,
+    index: SharedIndex,
+    scratch: Vec<u8>,
+    /// Store generation this reader's file handle belongs to.
+    generation: Arc<AtomicU64>,
+    born_at: u64,
+}
+
+impl PrefetchRead for SingleFileReader {
+    fn read(&mut self, unit: UnitId) -> Result<UnitData> {
+        // A compaction moved the live index to offsets of a *new* file;
+        // this handle still reads the old inode, so refuse rather than
+        // risk dereferencing into a stale-but-checksummed page.
+        if self.generation.load(Ordering::SeqCst) != self.born_at {
+            return Err(StorageError::Corrupt {
+                reason: "single-file prefetch reader invalidated by compaction".into(),
+            });
+        }
+        let page = self
+            .index
+            .read()
+            .expect("index poisoned")
+            .get(&unit)
+            .copied()
+            .ok_or(StorageError::NotFound(unit))?;
+        read_page_at(&mut self.file, page, unit, &mut self.scratch)
+    }
+}
+
+impl PrefetchSource for SingleFileStore {
+    fn prefetch_reader(&self) -> Option<Box<dyn PrefetchRead>> {
+        let file = OpenOptions::new().read(true).open(&self.path).ok()?;
+        Some(Box::new(SingleFileReader {
+            file,
+            index: Arc::clone(&self.index),
+            scratch: Vec::new(),
+            born_at: self.generation.load(Ordering::SeqCst),
+            generation: Arc::clone(&self.generation),
+        }))
     }
 }
 
@@ -254,8 +371,9 @@ impl UnitStore for SingleFileStore {
         }
         self.file.flush()?;
         // Commit point: only after the new page is durable is the old one
-        // retired and the index switched.
-        let old = self.index.insert(
+        // retired and the index switched (prefetch readers observing the
+        // shared index therefore only ever see committed pages).
+        let old = self.index.write().expect("index poisoned").insert(
             data.unit,
             PageRef {
                 offset,
@@ -271,19 +389,20 @@ impl UnitStore for SingleFileStore {
     }
 
     fn read(&mut self, unit: UnitId) -> Result<UnitData> {
-        let payload = self.read_payload(unit)?;
-        let data = codec::decode(&payload)?;
-        if data.unit != unit {
-            return Err(StorageError::Corrupt {
-                reason: format!("page for {} indexed under {unit}", data.unit),
-            });
-        }
+        let page = self.page_ref(unit)?;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = read_page_at(&mut self.file, page, unit, &mut scratch);
+        self.scratch = scratch;
+        let data = result?;
         self.bytes_read += data.payload_bytes() as u64;
         Ok(data)
     }
 
     fn contains(&self, unit: UnitId) -> bool {
-        self.index.contains_key(&unit)
+        self.index
+            .read()
+            .expect("index poisoned")
+            .contains_key(&unit)
     }
 
     fn bytes_written(&self) -> u64 {
@@ -397,6 +516,68 @@ mod tests {
             SingleFileStore::open(&path),
             Err(StorageError::Corrupt { .. })
         ));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn reader_follows_live_index_across_overwrites() {
+        let path = tmpfile("reader");
+        let mut s = SingleFileStore::open(&path).unwrap();
+        s.write(&unit(0, 1.0)).unwrap();
+        let mut r = s.prefetch_reader().unwrap();
+        assert_eq!(r.read(UnitId::new(0, 0)).unwrap(), unit(0, 1.0));
+        // An overwrite committed by the store is visible through the
+        // shared index, via the reader's own file handle.
+        s.write(&unit(0, 4.0)).unwrap();
+        assert_eq!(r.read(UnitId::new(0, 0)).unwrap(), unit(0, 4.0));
+        assert!(matches!(
+            r.read(UnitId::new(0, 9)),
+            Err(StorageError::NotFound(_))
+        ));
+        // Reader traffic bypasses the store's counters.
+        assert_eq!(s.bytes_read(), 0);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn compaction_invalidates_live_readers() {
+        let path = tmpfile("compact_reader");
+        let mut s = SingleFileStore::open(&path).unwrap();
+        for _ in 0..4 {
+            s.write(&unit(0, 1.0)).unwrap(); // dead pages to reclaim
+        }
+        s.write(&unit(1, 2.0)).unwrap();
+        let mut r = s.prefetch_reader().unwrap();
+        assert_eq!(r.read(UnitId::new(0, 0)).unwrap(), unit(0, 1.0));
+        s.compact().unwrap();
+        // The old handle must refuse (never silently read stale pages)…
+        assert!(matches!(
+            r.read(UnitId::new(0, 0)),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // …while the store and a fresh reader serve the compacted file.
+        assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), unit(0, 1.0));
+        let mut r2 = s.prefetch_reader().unwrap();
+        assert_eq!(r2.read(UnitId::new(0, 1)).unwrap(), unit(1, 2.0));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_reads_correct_across_sizes() {
+        let path = tmpfile("scratch");
+        let mut s = SingleFileStore::open(&path).unwrap();
+        let big = UnitData {
+            unit: UnitId::new(0, 0),
+            factor: Mat::filled(7, 3, 1.5),
+            sub_factors: vec![(0, Mat::filled(5, 3, 2.5))],
+        };
+        let small = unit(1, 9.0);
+        s.write(&big).unwrap();
+        s.write(&small).unwrap();
+        for _ in 0..3 {
+            assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), big);
+            assert_eq!(s.read(UnitId::new(0, 1)).unwrap(), small);
+        }
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 

@@ -23,6 +23,19 @@ pub struct IoStats {
     pub bytes_read: u64,
     /// Payload bytes written to the store.
     pub bytes_written: u64,
+    /// Fetches satisfied from the asynchronous prefetch pipeline instead
+    /// of a synchronous store read. A subset of `fetches`: prefetch moves
+    /// bytes off the critical path, it never changes what counts as a
+    /// swap.
+    pub prefetch_hits: u64,
+    /// Payload bytes that arrived through the prefetch pipeline and were
+    /// admitted into the buffer.
+    pub prefetched_bytes: u64,
+    /// Wall-clock nanoseconds the consumer spent blocked on reads — the
+    /// synchronous `store.read()` fallbacks plus any wait for an
+    /// in-flight prefetch. This is the swap cost actually paid on the
+    /// critical path; prefetch exists to shrink it.
+    pub stall_ns: u64,
 }
 
 impl IoStats {
@@ -41,6 +54,11 @@ impl IoStats {
         }
     }
 
+    /// Critical-path read stall in milliseconds (convenience for display).
+    pub fn stall_ms(&self) -> f64 {
+        self.stall_ns as f64 / 1e6
+    }
+
     /// Difference since an earlier snapshot (all counters are monotone).
     pub fn since(&self, earlier: &IoStats) -> IoStats {
         IoStats {
@@ -50,6 +68,9 @@ impl IoStats {
             write_backs: self.write_backs - earlier.write_backs,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
+            prefetched_bytes: self.prefetched_bytes - earlier.prefetched_bytes,
+            stall_ns: self.stall_ns - earlier.stall_ns,
         }
     }
 }
@@ -58,13 +79,17 @@ impl std::fmt::Display for IoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "swaps={} hits={} evictions={} write_backs={} read={}B written={}B",
+            "swaps={} hits={} evictions={} write_backs={} read={}B written={}B \
+             prefetch_hits={} prefetched={}B stall={:.2}ms",
             self.fetches,
             self.hits,
             self.evictions,
             self.write_backs,
             self.bytes_read,
-            self.bytes_written
+            self.bytes_written,
+            self.prefetch_hits,
+            self.prefetched_bytes,
+            self.stall_ms()
         )
     }
 }
@@ -94,6 +119,9 @@ mod tests {
             write_backs: 1,
             bytes_read: 100,
             bytes_written: 50,
+            prefetch_hits: 1,
+            prefetched_bytes: 60,
+            stall_ns: 1_000,
         };
         let late = IoStats {
             fetches: 7,
@@ -102,6 +130,9 @@ mod tests {
             write_backs: 2,
             bytes_read: 400,
             bytes_written: 90,
+            prefetch_hits: 4,
+            prefetched_bytes: 200,
+            stall_ns: 5_000,
         };
         let d = late.since(&early);
         assert_eq!(d.fetches, 5);
@@ -110,6 +141,18 @@ mod tests {
         assert_eq!(d.write_backs, 1);
         assert_eq!(d.bytes_read, 300);
         assert_eq!(d.bytes_written, 40);
+        assert_eq!(d.prefetch_hits, 3);
+        assert_eq!(d.prefetched_bytes, 140);
+        assert_eq!(d.stall_ns, 4_000);
         assert_eq!(d.swaps(), 5);
+    }
+
+    #[test]
+    fn stall_ms_converts_nanoseconds() {
+        let s = IoStats {
+            stall_ns: 2_500_000,
+            ..Default::default()
+        };
+        assert!((s.stall_ms() - 2.5).abs() < 1e-12);
     }
 }

@@ -1,5 +1,6 @@
 //! Unit stores: the backing level the buffer pool swaps against.
 
+use crate::prefetch::{PrefetchRead, PrefetchSource};
 use crate::{codec, Result, StorageError};
 use std::collections::HashMap;
 use std::fs;
@@ -119,6 +120,15 @@ impl UnitStore for MemStore {
     }
 }
 
+impl PrefetchSource for MemStore {
+    /// An in-memory map has no I/O latency to hide; opting out keeps the
+    /// buffer pool on plain synchronous reads (and avoids doubling the
+    /// resident data just to serve it from a second thread).
+    fn prefetch_reader(&self) -> Option<Box<dyn PrefetchRead>> {
+        None
+    }
+}
+
 /// Disk-backed store: one checksummed page file per unit in a directory.
 ///
 /// Reads and writes go through the [`codec`] page format, so torn or
@@ -131,6 +141,8 @@ pub struct DiskStore {
     bytes_read: u64,
     inject_read_failures: u32,
     inject_write_failures: u32,
+    /// Page buffer reused across `read()` calls (no per-fetch allocation).
+    scratch: Vec<u8>,
 }
 
 impl DiskStore {
@@ -146,13 +158,13 @@ impl DiskStore {
             bytes_read: 0,
             inject_read_failures: 0,
             inject_write_failures: 0,
+            scratch: Vec::new(),
         })
     }
 
     /// Path of the page file for `unit`.
     pub fn unit_path(&self, unit: UnitId) -> PathBuf {
-        self.dir
-            .join(format!("unit_m{}_p{}.2pcp", unit.mode, unit.part))
+        unit_path_in(&self.dir, unit)
     }
 
     /// Makes the next `n` reads fail with [`StorageError::Injected`].
@@ -191,22 +203,7 @@ impl UnitStore for DiskStore {
             self.inject_read_failures -= 1;
             return Err(StorageError::Injected);
         }
-        let path = self.unit_path(unit);
-        let mut file = match fs::File::open(&path) {
-            Ok(f) => std::io::BufReader::new(f),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Err(StorageError::NotFound(unit));
-            }
-            Err(e) => return Err(e.into()),
-        };
-        let mut page = Vec::new();
-        file.read_to_end(&mut page)?;
-        let data = codec::decode(&page)?;
-        if data.unit != unit {
-            return Err(StorageError::Corrupt {
-                reason: format!("page for {} found under path of {unit}", data.unit),
-            });
-        }
+        let data = read_unit_page(&self.dir, unit, &mut self.scratch)?;
         self.bytes_read += data.payload_bytes() as u64;
         Ok(data)
     }
@@ -221,6 +218,60 @@ impl UnitStore for DiskStore {
 
     fn bytes_read(&self) -> u64 {
         self.bytes_read
+    }
+}
+
+fn unit_path_in(dir: &Path, unit: UnitId) -> PathBuf {
+    dir.join(format!("unit_m{}_p{}.2pcp", unit.mode, unit.part))
+}
+
+/// Reads and decodes `unit`'s page file under `dir`, reusing `scratch` as
+/// the page buffer. Shared by [`DiskStore::read`] and its prefetch reader.
+fn read_unit_page(dir: &Path, unit: UnitId, scratch: &mut Vec<u8>) -> Result<UnitData> {
+    let path = unit_path_in(dir, unit);
+    let mut file = match fs::File::open(&path) {
+        Ok(f) => std::io::BufReader::new(f),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(StorageError::NotFound(unit));
+        }
+        Err(e) => return Err(e.into()),
+    };
+    scratch.clear();
+    file.read_to_end(scratch)?;
+    let data = codec::decode(scratch)?;
+    if data.unit != unit {
+        return Err(StorageError::Corrupt {
+            reason: format!("page for {} found under path of {unit}", data.unit),
+        });
+    }
+    Ok(data)
+}
+
+/// A [`PrefetchRead`] handle onto a [`DiskStore`] directory: one file per
+/// unit means the handle only needs the directory path — each read opens
+/// the page file afresh, so it always observes the latest committed page
+/// (writes are write-then-rename, hence atomic for readers).
+struct DiskReader {
+    dir: PathBuf,
+    scratch: Vec<u8>,
+}
+
+impl PrefetchRead for DiskReader {
+    fn read(&mut self, unit: UnitId) -> Result<UnitData> {
+        read_unit_page(&self.dir, unit, &mut self.scratch)
+    }
+}
+
+impl PrefetchSource for DiskStore {
+    /// Readers bypass the store's counters and fault injection: injected
+    /// faults exercise the synchronous path (where errors must surface),
+    /// while prefetched traffic is tallied by the buffer pool's
+    /// [`crate::IoStats::prefetched_bytes`].
+    fn prefetch_reader(&self) -> Option<Box<dyn PrefetchRead>> {
+        Some(Box::new(DiskReader {
+            dir: self.dir.clone(),
+            scratch: Vec::new(),
+        }))
     }
 }
 
@@ -326,6 +377,47 @@ mod tests {
         assert!(matches!(s.read(u), Err(StorageError::Injected)));
         assert!(matches!(s.read(u), Err(StorageError::Injected)));
         assert!(s.read(u).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_reader_sees_latest_committed_page() {
+        let dir = tmpdir("reader");
+        let mut s = DiskStore::open(&dir).unwrap();
+        let u = UnitId::new(0, 0);
+        s.write(&sample(u, 1.0)).unwrap();
+        let mut r = s.prefetch_reader().unwrap();
+        assert_eq!(r.read(u).unwrap(), sample(u, 1.0));
+        // The handle is not a snapshot: a committed overwrite is visible.
+        s.write(&sample(u, 9.0)).unwrap();
+        assert_eq!(r.read(u).unwrap(), sample(u, 9.0));
+        assert!(matches!(
+            r.read(UnitId::new(5, 5)),
+            Err(StorageError::NotFound(_))
+        ));
+        // Reader traffic does not touch the store's counters.
+        assert_eq!(s.bytes_read(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_store_scratch_reuse_keeps_reads_correct() {
+        let dir = tmpdir("scratch");
+        let mut s = DiskStore::open(&dir).unwrap();
+        // Different page sizes back to back: the reused buffer must never
+        // leak a longer previous page into a shorter read.
+        let big = UnitData {
+            unit: UnitId::new(0, 0),
+            factor: Mat::filled(6, 3, 2.0),
+            sub_factors: vec![(0, Mat::filled(4, 3, 3.0))],
+        };
+        let small = sample(UnitId::new(0, 1), 5.0);
+        s.write(&big).unwrap();
+        s.write(&small).unwrap();
+        for _ in 0..3 {
+            assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), big);
+            assert_eq!(s.read(UnitId::new(0, 1)).unwrap(), small);
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

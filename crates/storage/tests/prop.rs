@@ -4,8 +4,10 @@
 use proptest::prelude::*;
 use std::collections::HashMap;
 use tpcp_linalg::Mat;
-use tpcp_schedule::UnitId;
-use tpcp_storage::{codec, BufferPool, MemStore, PolicyKind, UnitData, UnitStore};
+use tpcp_schedule::{AccessSequence, UnitId};
+use tpcp_storage::{
+    codec, BufferPool, MemStore, PolicyKind, PrefetchConfig, SingleFileStore, UnitData, UnitStore,
+};
 
 fn unit_data(part: usize, rows: usize, value: f64) -> UnitData {
     UnitData {
@@ -142,6 +144,99 @@ proptest! {
         prop_assert_eq!(back.unit, data.unit);
         prop_assert_eq!(back.factor, data.factor);
         prop_assert_eq!(back.sub_factors, data.sub_factors);
+    }
+
+    /// The prefetch pipeline is semantically invisible: under any random
+    /// touch/mutate/flush workload over a real on-disk store, a pool with
+    /// an *oracle-accurate* prefetch sequence returns exactly the same
+    /// values, produces the same swap/hit/eviction counts, and leaves the
+    /// same bytes in the store as a pool without prefetch.
+    #[test]
+    fn prefetch_is_semantically_invisible(
+        ops in ops(),
+        policy_idx in 0usize..3,
+        capacity_units in 1usize..7,
+        depth in 1usize..6,
+    ) {
+        /// Replays the exact upcoming touch stream — the honest analogue
+        /// of phase 2's deterministic schedule.
+        struct TouchScript(Vec<UnitId>);
+        impl AccessSequence for TouchScript {
+            fn units_at(&self, pos: u64) -> Vec<UnitId> {
+                match self.0.get(pos as usize) {
+                    Some(u) => vec![*u],
+                    None => Vec::new(),
+                }
+            }
+        }
+
+        let policy = PolicyKind::ALL[policy_idx];
+        let touches: Vec<UnitId> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Touch { part, .. } => Some(UnitId::new(0, *part)),
+                Op::Flush => None,
+            })
+            .collect();
+        let script = TouchScript(touches);
+
+        let dir = std::env::temp_dir().join(format!(
+            "tpcp_prop_prefetch_{}_{}",
+            std::process::id(),
+            std::thread::current().name().map(str::to_owned).unwrap_or_default().len(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let unit_bytes = unit_data(0, 3, 0.0).payload_bytes();
+        let run = |prefetch: bool, tag: &str| -> (Vec<f64>, u64, u64, u64, u64, Vec<f64>) {
+            let mut store = SingleFileStore::open(dir.join(format!("{tag}.seg"))).unwrap();
+            for part in 0..6 {
+                store.write(&unit_data(part, 3, part as f64)).unwrap();
+            }
+            let mut pool = BufferPool::new(store, unit_bytes * capacity_units, policy);
+            if prefetch {
+                pool = pool.with_prefetch(&script, PrefetchConfig::with_depth(depth));
+                assert!(pool.prefetch_active());
+            }
+            let mut observed = Vec::new();
+            let mut version = 100.0;
+            let mut pos = 0u64;
+            for op in &ops {
+                match op {
+                    Op::Touch { part, mutate } => {
+                        let id = UnitId::new(0, *part);
+                        pool.set_position(pos);
+                        pos += 1;
+                        pool.acquire(&[id]).unwrap();
+                        observed.push(pool.get(id).unwrap().factor.get(0, 0));
+                        if *mutate {
+                            version += 1.0;
+                            *pool.get_mut(id).unwrap() = unit_data(*part, 3, version);
+                        }
+                        pool.release(&[id]);
+                    }
+                    Op::Flush => pool.flush().unwrap(),
+                }
+            }
+            pool.flush_and_clear().unwrap();
+            let s = pool.stats();
+            let mut store = pool.into_store().unwrap();
+            let finals: Vec<f64> = (0..6)
+                .map(|p| store.read(UnitId::new(0, p)).unwrap().factor.get(0, 0))
+                .collect();
+            (observed, s.fetches, s.hits, s.evictions, s.write_backs, finals)
+        };
+
+        let off = run(false, "off");
+        let on = run(true, "on");
+        prop_assert_eq!(&off.0, &on.0, "observed values diverged");
+        prop_assert_eq!(off.1, on.1, "swap counts diverged");
+        prop_assert_eq!(off.2, on.2, "hits diverged");
+        prop_assert_eq!(off.3, on.3, "evictions diverged");
+        prop_assert_eq!(off.4, on.4, "write-backs diverged");
+        prop_assert_eq!(&off.5, &on.5, "final store contents diverged");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Any single-byte corruption of a page is detected.
