@@ -13,7 +13,11 @@
 //! * `fit/*` — zero-I/O surrogate fit vs exact fit against the tensor;
 //! * `solve/*` — the ridge-guarded Cholesky Gram solve;
 //! * `prefetch/*` — the asynchronous Phase-2 I/O pipeline on vs off
-//!   (policy × buffer fraction), with per-cell `stall_ns`/swap reporting.
+//!   (policy × buffer fraction), with per-cell `stall_ns`/swap reporting;
+//! * `phase1_ingest/*` — streaming Phase-1 ingest ablation: in-memory vs
+//!   file-backed vs generator block sources × 1/3 unit-store shards, with
+//!   per-cell peak-RSS proxy (bytes materialised at once) and total
+//!   streamed bytes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
@@ -343,6 +347,73 @@ fn bench_prefetch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_phase1_ingest(c: &mut Criterion) {
+    use tpcp_datasets::ModelBlockSource;
+    use tpcp_partition::{BlockSource, DenseMemorySource, FileTensorSource};
+    use tpcp_storage::ShardedStore;
+    use twopcp::{run_phase1_source, TwoPcpConfig};
+
+    let mut group = c.benchmark_group("phase1_ingest");
+    group.sample_size(10);
+    let dims = [24usize, 24, 24];
+    let rank = 4;
+    let seed = 33;
+    let cfg = TwoPcpConfig::new(rank).parts(vec![2]).seed(seed).threads(1);
+    let grid = Grid::new(&dims, &[2, 2, 2]);
+    let x = ModelBlockSource::low_rank(&dims, rank, seed).materialize(&grid);
+    let path = std::env::temp_dir().join(format!("tpcp_bench_ingest_{}.raw", std::process::id()));
+    FileTensorSource::write_dense(&path, &x).unwrap();
+
+    enum Kind {
+        Memory,
+        File,
+        Generator,
+    }
+    for (name, kind) in [
+        ("memory", Kind::Memory),
+        ("file", Kind::File),
+        ("generator", Kind::Generator),
+    ] {
+        for shards in [1usize, 3] {
+            // One accounted run per cell: the peak-RSS proxy (bytes
+            // materialised at once) and the total streamed bytes.
+            let run = |src: &mut dyn BlockSource| {
+                let mut store = ShardedStore::mem(shards);
+                run_phase1_source(src, &cfg, &mut store).unwrap()
+            };
+            let p1 = match kind {
+                Kind::Memory => run(&mut DenseMemorySource::new(&x)),
+                Kind::File => run(&mut FileTensorSource::open(&path).unwrap()),
+                Kind::Generator => run(&mut ModelBlockSource::low_rank(&dims, rank, seed)),
+            };
+            eprintln!(
+                "phase1_ingest/{name}_s{shards}: peak_block_bytes={} ingested_bytes={} unit_bytes={}",
+                p1.peak_block_bytes, p1.ingested_bytes, p1.total_unit_bytes,
+            );
+            group.bench_function(format!("{name}_s{shards}"), |b| {
+                b.iter(|| {
+                    let p1 = match kind {
+                        Kind::Memory => run(&mut DenseMemorySource::new(&x)),
+                        Kind::File => run(&mut FileTensorSource::open(&path).unwrap()),
+                        Kind::Generator => run(&mut ModelBlockSource::low_rank(&dims, rank, seed)),
+                    };
+                    black_box(p1.peak_block_bytes)
+                })
+            });
+            // The streaming bound: a serial budget never materialises
+            // more than the largest block at once.
+            let largest = grid
+                .iter_blocks()
+                .map(|c| grid.block_dims(&c).iter().product::<usize>() * 8)
+                .max()
+                .unwrap() as u64;
+            assert_eq!(p1.peak_block_bytes, largest);
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_curves,
@@ -352,6 +423,7 @@ criterion_group!(
     bench_fit,
     bench_solve,
     bench_prefetch,
+    bench_phase1_ingest,
     bench_gray_vs_hilbert
 );
 criterion_main!(benches);

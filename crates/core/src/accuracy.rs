@@ -9,7 +9,7 @@
 use crate::Result;
 use tpcp_cp::CpModel;
 use tpcp_linalg::Mat;
-use tpcp_partition::Grid;
+use tpcp_partition::{Block, BlockSource, Grid};
 use tpcp_tensor::{DenseTensor, SparseTensor};
 
 /// Exact fit of `model` against a dense tensor.
@@ -48,33 +48,97 @@ pub fn block_sub_model(model: &CpModel, grid: &Grid, block: usize) -> CpModel {
     }
 }
 
-/// Exact fit computed blockwise against dense blocks (streaming-friendly:
-/// only one block of `X` needs to be resident at a time).
+/// Accumulator for the blockwise exact fit — the *one* range-walk both
+/// the eager and the streaming entry points share.
+#[derive(Default)]
+struct FitAcc {
+    err_sq: f64,
+    x_sq: f64,
+}
+
+impl FitAcc {
+    fn add_dense(
+        &mut self,
+        model: &CpModel,
+        grid: &Grid,
+        lin: usize,
+        block: &DenseTensor,
+    ) -> Result<()> {
+        let sub = block_sub_model(model, grid, lin);
+        let b_sq = block.fro_norm_sq();
+        let inner = sub.inner_dense(block).map_err(crate::TwoPcpError::from)?;
+        self.push(b_sq, inner, sub.norm_sq());
+        Ok(())
+    }
+
+    fn add_sparse(
+        &mut self,
+        model: &CpModel,
+        grid: &Grid,
+        lin: usize,
+        block: &SparseTensor,
+    ) -> Result<()> {
+        let sub = block_sub_model(model, grid, lin);
+        let b_sq = block.fro_norm_sq();
+        let inner = sub.inner_sparse(block).map_err(crate::TwoPcpError::from)?;
+        self.push(b_sq, inner, sub.norm_sq());
+        Ok(())
+    }
+
+    fn push(&mut self, b_sq: f64, inner: f64, m_sq: f64) {
+        self.err_sq += (b_sq - 2.0 * inner + m_sq).max(0.0);
+        self.x_sq += b_sq;
+    }
+
+    fn fit(self) -> f64 {
+        if self.x_sq <= 0.0 {
+            return if self.err_sq <= 1e-30 {
+                1.0
+            } else {
+                f64::NEG_INFINITY
+            };
+        }
+        1.0 - (self.err_sq.sqrt() / self.x_sq.sqrt())
+    }
+}
+
+/// Exact fit computed blockwise against dense blocks.
 ///
 /// `blocks` must be in linear block-id order, as produced by
-/// [`tpcp_partition::split_dense`].
+/// [`tpcp_partition::split_dense`]. For tensors that are never
+/// materialised, use [`blockwise_fit_source`] instead.
 ///
 /// # Errors
 /// Shape mismatches between the model slices and the blocks.
 pub fn blockwise_fit_dense(model: &CpModel, grid: &Grid, blocks: &[DenseTensor]) -> Result<f64> {
-    let mut err_sq = 0.0;
-    let mut x_sq = 0.0;
+    let mut acc = FitAcc::default();
     for (lin, block) in blocks.iter().enumerate() {
-        let sub = block_sub_model(model, grid, lin);
-        let b_sq = block.fro_norm_sq();
-        let inner = sub.inner_dense(block).map_err(crate::TwoPcpError::from)?;
-        let m_sq = sub.norm_sq();
-        err_sq += (b_sq - 2.0 * inner + m_sq).max(0.0);
-        x_sq += b_sq;
+        acc.add_dense(model, grid, lin, block)?;
     }
-    if x_sq <= 0.0 {
-        return Ok(if err_sq <= 1e-30 {
-            1.0
-        } else {
-            f64::NEG_INFINITY
-        });
+    Ok(acc.fit())
+}
+
+/// Exact fit computed by re-streaming the ingest source blockwise — only
+/// one block of `X` is resident at a time, so the accuracy pass obeys the
+/// same memory bound as streaming Phase 1. Note the blockwise error sum
+/// can differ from the monolithic [`exact_fit_dense`] in the last few
+/// floating-point digits (different summation order).
+///
+/// # Errors
+/// Source failures and shape mismatches between model slices and blocks.
+pub fn blockwise_fit_source(
+    model: &CpModel,
+    grid: &Grid,
+    src: &mut dyn BlockSource,
+) -> Result<f64> {
+    let mut acc = FitAcc::default();
+    for lin in 0..grid.num_blocks() {
+        match src.load_block(grid, lin)? {
+            Block::Dense(b) => acc.add_dense(model, grid, lin, &b)?,
+            Block::Sparse(b) => acc.add_sparse(model, grid, lin, &b)?,
+        }
     }
-    Ok(1.0 - (err_sq.sqrt() / x_sq.sqrt()))
+    Ok(acc.fit())
 }
 
 #[cfg(test)]
@@ -131,6 +195,23 @@ mod tests {
         let fit = blockwise_fit_dense(&model, &grid, &blocks).unwrap();
         assert!(fit < 0.999);
         assert!(fit > 0.0);
+    }
+
+    #[test]
+    fn streaming_fit_matches_eager_blockwise_fit() {
+        let (model, x) = model_and_tensor(&[8, 6, 4], 3, 4);
+        let grid = Grid::new(x.dims(), &[2, 3, 2]);
+        let blocks = split_dense(&x, &grid);
+        let eager = blockwise_fit_dense(&model, &grid, &blocks).unwrap();
+        let mut dsrc = tpcp_partition::DenseMemorySource::new(&x);
+        let streamed = blockwise_fit_source(&model, &grid, &mut dsrc).unwrap();
+        // Same blocks, same accumulation order — bitwise equal.
+        assert_eq!(eager, streamed);
+        // The sparse view of the same tensor agrees to rounding.
+        let sp = SparseTensor::from_dense(&x, 0.0);
+        let mut ssrc = tpcp_partition::SparseMemorySource::new(&sp);
+        let sparse_streamed = blockwise_fit_source(&model, &grid, &mut ssrc).unwrap();
+        assert!((streamed - sparse_streamed).abs() < 1e-9);
     }
 
     #[test]

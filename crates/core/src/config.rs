@@ -86,6 +86,14 @@ pub struct TwoPcpConfig {
     /// never values — fit traces, factors and swap counts are
     /// bit-identical with the pipeline on or off.
     pub prefetch: PrefetchConfig,
+    /// Number of unit-store shards the driver routes data-access units
+    /// across ([`tpcp_storage::ShardedStore`]): Phase 1 emits units
+    /// shard-by-shard and Phase 2 reads route transparently (defaults to
+    /// [`tpcp_storage::shards_auto`], i.e. the `TPCP_SHARDS` override or
+    /// a single unsharded store). Sharding moves bytes, never values —
+    /// factors, fits and swap counts are bit-identical at any shard
+    /// count.
+    pub shards: usize,
 }
 
 impl TwoPcpConfig {
@@ -107,6 +115,7 @@ impl TwoPcpConfig {
             phase1: Phase1Options::default(),
             par: ParConfig::auto(),
             prefetch: PrefetchConfig::auto(),
+            shards: tpcp_storage::shards_auto(),
         }
     }
 
@@ -194,6 +203,12 @@ impl TwoPcpConfig {
         self
     }
 
+    /// Sets the unit-store shard count (`1` = unsharded).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Resolves the partition vector for an order-`n` tensor (broadcasting
     /// a singleton) and validates the configuration.
     ///
@@ -209,6 +224,11 @@ impl TwoPcpConfig {
         if self.buffer_fraction <= 0.0 {
             return Err(TwoPcpError::Config {
                 reason: "buffer_fraction must be positive".into(),
+            });
+        }
+        if self.shards == 0 {
+            return Err(TwoPcpError::Config {
+                reason: "shard count must be positive".into(),
             });
         }
         let parts = if self.parts.len() == 1 {
@@ -257,6 +277,8 @@ mod tests {
         assert_eq!(cfg.prefetch, PrefetchConfig::with_depth(8));
         let cfg = cfg.prefetch(PrefetchConfig::disabled());
         assert!(!cfg.prefetch.is_active());
+        let cfg = cfg.shards(3);
+        assert_eq!(cfg.shards, 3);
         assert_eq!(cfg.par(ParConfig::serial()).par, ParConfig::serial());
     }
 
@@ -283,5 +305,6 @@ mod tests {
             .parts(vec![0])
             .resolved_parts(3)
             .is_err());
+        assert!(TwoPcpConfig::new(2).shards(0).resolved_parts(3).is_err());
     }
 }

@@ -1,13 +1,15 @@
 //! The top-level two-phase driver.
 
+use crate::accuracy::blockwise_fit_source;
 use crate::config::TwoPcpConfig;
-use crate::phase1::{run_phase1_dense, run_phase1_mapreduce, run_phase1_sparse, Phase1Result};
+use crate::phase1::{run_phase1_mapreduce_source, run_phase1_source, Phase1Result};
 use crate::phase2::{refine, RefineStats};
 use crate::Result;
 use std::time::{Duration, Instant};
 use tpcp_cp::CpModel;
 use tpcp_mapreduce::JobCounters;
-use tpcp_storage::{DiskStore, MemStore, PrefetchSource, UnitStore};
+use tpcp_partition::{BlockSource, DenseMemorySource, SparseMemorySource};
+use tpcp_storage::{DiskStore, MemStore, PrefetchSource, ShardedStore, UnitStore};
 use tpcp_tensor::{DenseTensor, SparseTensor};
 
 /// The 2PCP decomposition engine (see crate docs for an example).
@@ -37,6 +39,18 @@ pub struct TwoPcpOutcome {
 enum Input<'a> {
     Dense(&'a DenseTensor),
     Sparse(&'a SparseTensor),
+    Source(&'a mut dyn BlockSource),
+}
+
+/// How the exact accuracy against the input is computed after Phase 2.
+enum ExactFit<'a> {
+    /// Against the resident dense tensor.
+    Dense(&'a DenseTensor),
+    /// Against the resident sparse tensor.
+    Sparse(&'a SparseTensor),
+    /// By re-streaming the ingest source blockwise (one block resident at
+    /// a time — the streaming memory bound extends to the accuracy pass).
+    Stream,
 }
 
 impl TwoPcp {
@@ -66,19 +80,65 @@ impl TwoPcp {
         self.dispatch(Input::Sparse(x))
     }
 
+    /// Decomposes a tensor streamed from a [`BlockSource`] — the full
+    /// tensor is never materialised. Phase 1 pulls one batch of blocks at
+    /// a time ([`TwoPcpConfig::par`] threads wide), and the final exact
+    /// accuracy re-streams the source blockwise, so peak tensor residency
+    /// throughout the run is O(largest block × threads).
+    ///
+    /// Exception: with [`crate::Phase1Options::use_mapreduce`]
+    /// (the paper's cluster formulation simulated in-process) the mapper
+    /// input is the tensor's full COO record set, so that path is bounded
+    /// by the non-zero count, not by one block — see
+    /// [`run_phase1_mapreduce_source`] for details.
+    ///
+    /// # Errors
+    /// Source, configuration, numerical, storage or MapReduce failures.
+    pub fn decompose_source(&self, src: &mut dyn BlockSource) -> Result<TwoPcpOutcome> {
+        self.dispatch(Input::Source(src))
+    }
+
     fn dispatch(&self, input: Input<'_>) -> Result<TwoPcpOutcome> {
-        match &self.config.work_dir {
-            Some(dir) => {
+        // Shard count 0 is rejected by config validation inside Phase 1;
+        // route it to the unsharded arm rather than panicking here.
+        match (&self.config.work_dir, self.config.shards) {
+            (Some(dir), 0 | 1) => {
                 let store = DiskStore::open(dir.join("units"))?;
                 self.run(input, store)
             }
-            None => self.run(input, MemStore::new()),
+            (Some(dir), shards) => {
+                let store = ShardedStore::open_disk(dir.join("units"), shards)?;
+                self.run(input, store)
+            }
+            (None, 0 | 1) => self.run(input, MemStore::new()),
+            (None, shards) => self.run(input, ShardedStore::mem(shards)),
         }
     }
 
     fn run<S: UnitStore + PrefetchSource>(
         &self,
         input: Input<'_>,
+        store: S,
+    ) -> Result<TwoPcpOutcome> {
+        // Every input becomes a streaming source; resident tensors keep
+        // their direct exact-fit path (cheaper, same value as always).
+        match input {
+            Input::Dense(x) => {
+                let mut src = DenseMemorySource::new(x);
+                self.run_streaming(&mut src, ExactFit::Dense(x), store)
+            }
+            Input::Sparse(x) => {
+                let mut src = SparseMemorySource::new(x);
+                self.run_streaming(&mut src, ExactFit::Sparse(x), store)
+            }
+            Input::Source(src) => self.run_streaming(src, ExactFit::Stream, store),
+        }
+    }
+
+    fn run_streaming<S: UnitStore + PrefetchSource>(
+        &self,
+        src: &mut dyn BlockSource,
+        exact: ExactFit<'_>,
         mut store: S,
     ) -> Result<TwoPcpOutcome> {
         let cfg = &self.config;
@@ -92,20 +152,9 @@ impl TwoPcp {
                 .clone()
                 .unwrap_or_else(std::env::temp_dir)
                 .join(format!("shuffle_{}", std::process::id()));
-            match input {
-                Input::Sparse(x) => run_phase1_mapreduce(x, cfg, &mut store, &mr_dir, &counters)?,
-                Input::Dense(x) => {
-                    // The MapReduce formulation streams non-zeros; a dense
-                    // tensor is fed through its sparse (COO) view.
-                    let sparse = SparseTensor::from_dense(x, 0.0);
-                    run_phase1_mapreduce(&sparse, cfg, &mut store, &mr_dir, &counters)?
-                }
-            }
+            run_phase1_mapreduce_source(src, cfg, &mut store, &mr_dir, &counters)?
         } else {
-            match input {
-                Input::Dense(x) => run_phase1_dense(x, cfg, &mut store)?,
-                Input::Sparse(x) => run_phase1_sparse(x, cfg, &mut store)?,
-            }
+            run_phase1_source(src, cfg, &mut store)?
         };
         let phase1_time = t0.elapsed();
 
@@ -115,9 +164,10 @@ impl TwoPcp {
         let phase2_time = t1.elapsed();
 
         // ---- Exact accuracy -------------------------------------------------
-        let fit = match input {
-            Input::Dense(x) => outcome.model.fit_dense(x)?,
-            Input::Sparse(x) => outcome.model.fit_sparse(x)?,
+        let fit = match exact {
+            ExactFit::Dense(x) => outcome.model.fit_dense(x)?,
+            ExactFit::Sparse(x) => outcome.model.fit_sparse(x)?,
+            ExactFit::Stream => blockwise_fit_source(&outcome.model, &phase1.grid, src)?,
         };
 
         Ok(TwoPcpOutcome {

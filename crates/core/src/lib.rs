@@ -56,7 +56,10 @@ mod update;
 pub use config::{InitKind, Phase1Options, TwoPcpConfig};
 pub use driver::{TwoPcp, TwoPcpOutcome};
 pub use naive::{naive_cp_out_of_core, NaiveOocOptions, NaiveOocReport};
-pub use phase1::{run_phase1_dense, run_phase1_mapreduce, run_phase1_sparse, Phase1Result};
+pub use phase1::{
+    run_phase1_dense, run_phase1_mapreduce, run_phase1_mapreduce_source, run_phase1_source,
+    run_phase1_sparse, Phase1Result,
+};
 pub use phase2::{refine, RefineOutcome, RefineStats};
 pub use pq::PqCache;
 pub use swapsim::{simulate_swaps, unit_bytes, SwapReport, SwapSimConfig};
@@ -75,6 +78,8 @@ pub enum TwoPcpError {
     Cp(tpcp_cp::CpError),
     /// Storage / buffer-pool failure.
     Storage(tpcp_storage::StorageError),
+    /// Streaming block-ingest failure.
+    Ingest(tpcp_partition::SourceError),
     /// MapReduce substrate failure.
     MapReduce(tpcp_mapreduce::MrError),
     /// A parallel worker panicked; the panic was caught by [`tpcp_par`]
@@ -97,6 +102,7 @@ impl std::fmt::Display for TwoPcpError {
             TwoPcpError::Tensor(e) => write!(f, "tensor: {e}"),
             TwoPcpError::Cp(e) => write!(f, "cp: {e}"),
             TwoPcpError::Storage(e) => write!(f, "storage: {e}"),
+            TwoPcpError::Ingest(e) => write!(f, "ingest: {e}"),
             TwoPcpError::MapReduce(e) => write!(f, "mapreduce: {e}"),
             TwoPcpError::WorkerPanic { message } => write!(f, "worker panicked: {message}"),
             TwoPcpError::Config { reason } => write!(f, "config: {reason}"),
@@ -129,6 +135,11 @@ impl From<tpcp_storage::StorageError> for TwoPcpError {
 impl From<std::io::Error> for TwoPcpError {
     fn from(e: std::io::Error) -> Self {
         TwoPcpError::Storage(tpcp_storage::StorageError::Io(e))
+    }
+}
+impl From<tpcp_partition::SourceError> for TwoPcpError {
+    fn from(e: tpcp_partition::SourceError) -> Self {
+        TwoPcpError::Ingest(e)
     }
 }
 impl From<tpcp_mapreduce::MrError> for TwoPcpError {

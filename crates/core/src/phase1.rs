@@ -1,30 +1,39 @@
-//! Phase 1: independent (parallel) decomposition of every block.
+//! Phase 1: independent (parallel) decomposition of every block, streamed
+//! from a [`BlockSource`].
 //!
 //! Each sub-tensor `X_k` is decomposed with standard CP-ALS into rank-`F`
-//! sub-factors `U(1)_k … U(N)_k` (paper §IV, Observation #1). Three
-//! execution paths are provided:
+//! sub-factors `U(1)_k … U(N)_k` (paper §IV, Observation #1). Blocks are
+//! *pulled* from a streaming [`BlockSource`] one batch at a time (batch =
+//! the [`tpcp_par`] thread budget), so peak Phase-1 memory is
+//! O(largest block × threads) — never O(tensor). Entry points:
 //!
-//! * [`run_phase1_dense`] / [`run_phase1_sparse`] — in-process parallel
-//!   workers over split blocks (the paper's "strong configuration" without
-//!   the cluster);
-//! * [`run_phase1_mapreduce`] — the paper's MapReduce formulation, mapping
-//!   `⟨b, i, j, k, X(i,j,k)⟩ on b` and decomposing each block in a reducer,
-//!   running on the [`tpcp_mapreduce`] substrate.
+//! * [`run_phase1_source`] — the streaming core: pull blocks, decompose
+//!   each with in-process parallel workers, emit the per-mode
+//!   *data-access units* shard-by-shard through a [`tpcp_mapreduce`]
+//!   aggregation job;
+//! * [`run_phase1_dense`] / [`run_phase1_sparse`] — thin adapters wrapping
+//!   an in-memory tensor in a memory source (bit-identical results);
+//! * [`run_phase1_mapreduce`] / [`run_phase1_mapreduce_source`] — the
+//!   paper's MapReduce formulation, mapping `⟨b, i, j, k, X(i,j,k)⟩ on b`
+//!   and decomposing each block in a reducer, running on the
+//!   [`tpcp_mapreduce`] substrate.
 //!
-//! All paths end by assembling the per-mode *data-access units*
-//! (`A(i)(kᵢ)` + slab sub-factors) and writing them to the unit store that
-//! Phase 2 will refine against.
+//! All paths end by assembling the per-mode data-access units
+//! (`A(i)(kᵢ)` + slab sub-factors) through the aggregation job and writing
+//! them — grouped by destination shard — to the unit store that Phase 2
+//! will refine against.
 
 use crate::config::{InitKind, TwoPcpConfig};
 use crate::{Result, TwoPcpError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use tpcp_cp::{cp_als_dense, cp_als_sparse, AlsOptions, CpModel};
 use tpcp_linalg::Mat;
 use tpcp_mapreduce::{run_job, JobCounters, MapReduceJob, MrConfig};
-use tpcp_par::{par_map, ParConfig};
-use tpcp_partition::{split_dense, split_sparse, Grid};
+use tpcp_par::ParConfig;
+use tpcp_partition::{Block, BlockSource, DenseMemorySource, Grid, SparseMemorySource};
 use tpcp_schedule::UnitId;
 use tpcp_storage::{UnitData, UnitStore};
 use tpcp_tensor::{random_factor, DenseTensor, SparseBuilder, SparseTensor};
@@ -45,6 +54,12 @@ pub struct Phase1Result {
     /// Total bytes of all data-access units (the paper's `memtotal`,
     /// §IV-A) — the reference the buffer fraction is taken against.
     pub total_unit_bytes: usize,
+    /// Total tensor bytes streamed from the block source.
+    pub ingested_bytes: u64,
+    /// Peak tensor bytes simultaneously resident while ingesting — one
+    /// batch of blocks (the streaming memory bound this phase guarantees;
+    /// with a serial budget, exactly one block).
+    pub peak_block_bytes: u64,
 }
 
 /// Builds the grid after validating partition counts against dimensions.
@@ -100,53 +115,217 @@ fn balance_weights(model: &mut CpModel) {
     model.weights.fill(1.0);
 }
 
-/// Writes the per-mode data-access units for the decomposed blocks and
-/// returns `(u_norm_sq, total_unit_bytes)`.
+/// Decomposes one streamed block, returning its balanced model and fit.
+fn decompose_block(block: &Block, cfg: &TwoPcpConfig, seed: u64) -> Result<(CpModel, f64)> {
+    match block {
+        Block::Dense(t) => {
+            let report = cp_als_dense(t, &als_options(cfg, seed))?;
+            let mut model = report.model;
+            balance_weights(&mut model);
+            Ok((model, report.final_fit))
+        }
+        Block::Sparse(t) => {
+            if t.is_empty() {
+                // Footnote 3: empty sub-tensors get zero factors.
+                return Ok((CpModel::zeros(t.dims(), cfg.rank), 1.0));
+            }
+            let report = cp_als_sparse(t, &als_options(cfg, seed))?;
+            let mut model = report.model;
+            balance_weights(&mut model);
+            Ok((model, report.final_fit))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unit assembly: a MapReduce aggregation job over per-block factors
+// ---------------------------------------------------------------------------
+
+/// The unit key `⟨i, kᵢ⟩` crossing the assembly shuffle.
+type UnitKey = (u16, u32);
+/// One block's mode-`i` sub-factor crossing the shuffle:
+/// `(block id, rows, cols, row-major data)`.
+type FactorMsg = (u64, u32, u32, Vec<f64>);
+
+/// The unit-aggregation job: `map` keys each per-block factor by the
+/// data-access unit it belongs to, `reduce` rebuilds the unit (slab
+/// sub-factors in ascending block order plus the initial global
+/// sub-factor `A(i)(kᵢ)`).
+struct UnitAssemblyJob<'a> {
+    grid: &'a Grid,
+    cfg: &'a TwoPcpConfig,
+}
+
+impl MapReduceJob for UnitAssemblyJob<'_> {
+    /// `(linear block id, mode, factor)`.
+    type Input = (u64, u16, Mat);
+    type Key = UnitKey;
+    type Value = FactorMsg;
+    type Output = UnitData;
+
+    fn map(&self, (block, mode, factor): Self::Input, emit: &mut dyn FnMut(UnitKey, FactorMsg)) {
+        let part = self.grid.block_coords(block as usize)[mode as usize] as u32;
+        let (rows, cols) = factor.shape();
+        emit(
+            (mode, part),
+            (block, rows as u32, cols as u32, factor.into_vec()),
+        );
+    }
+
+    fn reduce(
+        &self,
+        (mode, part): UnitKey,
+        mut values: Vec<FactorMsg>,
+        emit: &mut dyn FnMut(UnitData),
+    ) {
+        // Slab order is ascending linear block id, so sorting restores the
+        // deterministic order regardless of shuffle arrival.
+        values.sort_unstable_by_key(|&(block, _, _, _)| block);
+        let sub_factors: Vec<(u64, Mat)> = values
+            .into_iter()
+            .map(|(block, rows, cols, data)| {
+                (block, Mat::from_vec(rows as usize, cols as usize, data))
+            })
+            .collect();
+        let (mode, part) = (mode as usize, part as usize);
+        let rows = self.grid.part_len(mode, part);
+        let factor = match self.cfg.init {
+            InitKind::Random => {
+                let mut rng =
+                    StdRng::seed_from_u64(self.cfg.seed ^ ((mode as u64) << 32) ^ part as u64);
+                random_factor(rows, self.cfg.rank, &mut rng)
+            }
+            InitKind::SlabMean => {
+                let mut acc = Mat::zeros(rows, self.cfg.rank);
+                for (_, u) in &sub_factors {
+                    // Slab factors share the unit shape by construction.
+                    acc.add_assign(u).expect("slab factor shape");
+                }
+                acc.scale(1.0 / sub_factors.len().max(1) as f64);
+                acc
+            }
+        };
+        emit(UnitData {
+            unit: UnitId::new(mode, part),
+            factor,
+            sub_factors,
+        });
+    }
+}
+
+/// Distinguishes concurrent assembly scratch directories within a process.
+static ASSEMBLY_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Runs the unit-aggregation job over the per-block factors and writes the
+/// resulting data-access units to the store *shard-by-shard* (grouped by
+/// [`UnitStore::shard_hint`], then unit order), returning the total unit
+/// bytes.
 fn assemble_units<S: UnitStore>(
     grid: &Grid,
     cfg: &TwoPcpConfig,
-    models: &[CpModel],
+    inputs: Vec<(u64, u16, Mat)>,
     store: &mut S,
-) -> Result<(Vec<f64>, usize)> {
-    debug_assert_eq!(models.len(), grid.num_blocks());
-    let u_norm_sq: Vec<f64> = models.iter().map(CpModel::norm_sq).collect();
+) -> Result<usize> {
+    let dir = cfg
+        .work_dir
+        .clone()
+        .unwrap_or_else(std::env::temp_dir)
+        .join(format!(
+            "p1_assemble_{}_{}",
+            std::process::id(),
+            ASSEMBLY_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+    let job = UnitAssemblyJob { grid, cfg };
+    let mut mr_cfg = MrConfig::new(&dir);
+    mr_cfg.num_mappers = cfg.par.threads();
+    mr_cfg.par = cfg.par;
+    // Internal counters: the public counter contract describes the
+    // nnz-level Phase-1 job, not this assembly pass.
+    let counters = JobCounters::new();
+    let outcome = run_job(&job, inputs, &mr_cfg, &counters);
+    // Clean the scratch directory on failure too, so failing runs do not
+    // accumulate spilled factor data under the work dir.
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut units = outcome?;
+    debug_assert_eq!(units.len(), grid.num_units());
+    units.sort_by_key(|u| (store.shard_hint(u.unit), u.unit.linear(grid)));
     let mut total_bytes = 0usize;
-    for mode in 0..grid.order() {
-        for part in 0..grid.parts()[mode] {
-            let rows = grid.part_len(mode, part);
-            let slab: Vec<usize> = grid.slab(mode, part).collect();
-            let sub_factors: Vec<(u64, Mat)> = slab
-                .iter()
-                .map(|&l| (l as u64, models[l].factors[mode].clone()))
-                .collect();
-            let factor = match cfg.init {
-                InitKind::Random => {
-                    let mut rng =
-                        StdRng::seed_from_u64(cfg.seed ^ ((mode as u64) << 32) ^ part as u64);
-                    random_factor(rows, cfg.rank, &mut rng)
-                }
-                InitKind::SlabMean => {
-                    let mut acc = Mat::zeros(rows, cfg.rank);
-                    for (_, u) in &sub_factors {
-                        acc.add_assign(u).map_err(TwoPcpError::from)?;
-                    }
-                    acc.scale(1.0 / sub_factors.len().max(1) as f64);
-                    acc
-                }
-            };
-            let data = UnitData {
-                unit: UnitId::new(mode, part),
-                factor,
-                sub_factors,
-            };
-            total_bytes += data.payload_bytes();
-            store.write(&data)?;
-        }
+    for unit in &units {
+        total_bytes += unit.payload_bytes();
+        store.write(unit)?;
     }
-    Ok((u_norm_sq, total_bytes))
+    Ok(total_bytes)
 }
 
-/// Phase 1 over a dense tensor with in-process parallel block workers.
+// ---------------------------------------------------------------------------
+// Streaming in-process path
+// ---------------------------------------------------------------------------
+
+/// Phase 1 over a streaming [`BlockSource`] with in-process parallel block
+/// workers: blocks are pulled one batch (= thread budget) at a time,
+/// decomposed, and dropped before the next batch loads, so peak tensor
+/// residency is [`Phase1Result::peak_block_bytes`], not the tensor.
+///
+/// # Errors
+/// Source, configuration, ALS or storage failures.
+pub fn run_phase1_source<S: UnitStore>(
+    src: &mut dyn BlockSource,
+    cfg: &TwoPcpConfig,
+    store: &mut S,
+) -> Result<Phase1Result> {
+    let grid = grid_for(cfg, src.dims())?;
+    let nblocks = grid.num_blocks();
+    let batch_len = cfg.par.threads().max(1);
+    let mut block_norms_sq = Vec::with_capacity(nblocks);
+    let mut block_fits = Vec::with_capacity(nblocks);
+    let mut u_norm_sq = Vec::with_capacity(nblocks);
+    let mut factor_inputs: Vec<(u64, u16, Mat)> = Vec::with_capacity(nblocks * grid.order());
+    let mut ingested_bytes = 0u64;
+    let mut peak_block_bytes = 0u64;
+
+    let mut start = 0usize;
+    while start < nblocks {
+        let end = (start + batch_len).min(nblocks);
+        let mut blocks = Vec::with_capacity(end - start);
+        let mut resident = 0u64;
+        for lin in start..end {
+            let block = src.load_block(&grid, lin)?;
+            resident += block.payload_bytes() as u64;
+            block_norms_sq.push(block.fro_norm_sq());
+            blocks.push(block);
+        }
+        ingested_bytes += resident;
+        peak_block_bytes = peak_block_bytes.max(resident);
+        let results = tpcp_par::par_map(&cfg.par, &blocks, |i, block| {
+            decompose_block(block, cfg, cfg.seed.wrapping_add((start + i) as u64))
+        })
+        .map_err(TwoPcpError::from)?;
+        drop(blocks);
+        for (off, (model, fit)) in results.into_iter().enumerate() {
+            u_norm_sq.push(model.norm_sq());
+            block_fits.push(fit);
+            for (mode, factor) in model.factors.into_iter().enumerate() {
+                factor_inputs.push(((start + off) as u64, mode as u16, factor));
+            }
+        }
+        start = end;
+    }
+
+    let total_unit_bytes = assemble_units(&grid, cfg, factor_inputs, store)?;
+    Ok(Phase1Result {
+        grid,
+        block_norms_sq,
+        u_norm_sq,
+        block_fits,
+        total_unit_bytes,
+        ingested_bytes,
+        peak_block_bytes,
+    })
+}
+
+/// Phase 1 over a dense tensor — a thin adapter over
+/// [`run_phase1_source`] with an in-memory source (bit-identical to the
+/// historical eager path).
 ///
 /// # Errors
 /// Configuration, ALS or storage failures.
@@ -155,20 +334,13 @@ pub fn run_phase1_dense<S: UnitStore>(
     cfg: &TwoPcpConfig,
     store: &mut S,
 ) -> Result<Phase1Result> {
-    let grid = grid_for(cfg, x.dims())?;
-    let blocks = split_dense(x, &grid);
-    let block_norms_sq: Vec<f64> = blocks.iter().map(DenseTensor::fro_norm_sq).collect();
-    let results = par_map(&cfg.par, &blocks, |i, block| {
-        let report = cp_als_dense(block, &als_options(cfg, cfg.seed.wrapping_add(i as u64)))?;
-        let mut model = report.model;
-        balance_weights(&mut model);
-        Ok((model, report.final_fit))
-    })
-    .map_err(TwoPcpError::from)?;
-    finish_phase1(grid, cfg, results, block_norms_sq, store)
+    let mut src = DenseMemorySource::new(x);
+    run_phase1_source(&mut src, cfg, store)
 }
 
-/// Phase 1 over a sparse tensor with in-process parallel block workers.
+/// Phase 1 over a sparse tensor — a thin adapter over
+/// [`run_phase1_source`] with an in-memory source (bit-identical to the
+/// historical eager path).
 ///
 /// # Errors
 /// Configuration, ALS or storage failures.
@@ -177,39 +349,8 @@ pub fn run_phase1_sparse<S: UnitStore>(
     cfg: &TwoPcpConfig,
     store: &mut S,
 ) -> Result<Phase1Result> {
-    let grid = grid_for(cfg, x.dims())?;
-    let blocks = split_sparse(x, &grid);
-    let block_norms_sq: Vec<f64> = blocks.iter().map(SparseTensor::fro_norm_sq).collect();
-    let results = par_map(&cfg.par, &blocks, |i, block| {
-        if block.is_empty() {
-            // Footnote 3: empty sub-tensors get zero factors.
-            return Ok((CpModel::zeros(block.dims(), cfg.rank), 1.0));
-        }
-        let report = cp_als_sparse(block, &als_options(cfg, cfg.seed.wrapping_add(i as u64)))?;
-        let mut model = report.model;
-        balance_weights(&mut model);
-        Ok((model, report.final_fit))
-    })
-    .map_err(TwoPcpError::from)?;
-    finish_phase1(grid, cfg, results, block_norms_sq, store)
-}
-
-fn finish_phase1<S: UnitStore>(
-    grid: Grid,
-    cfg: &TwoPcpConfig,
-    results: Vec<(CpModel, f64)>,
-    block_norms_sq: Vec<f64>,
-    store: &mut S,
-) -> Result<Phase1Result> {
-    let (models, block_fits): (Vec<CpModel>, Vec<f64>) = results.into_iter().unzip();
-    let (u_norm_sq, total_unit_bytes) = assemble_units(&grid, cfg, &models, store)?;
-    Ok(Phase1Result {
-        grid,
-        block_norms_sq,
-        u_norm_sq,
-        block_fits,
-        total_unit_bytes,
-    })
+    let mut src = SparseMemorySource::new(x);
+    run_phase1_source(&mut src, cfg, store)
 }
 
 // ---------------------------------------------------------------------------
@@ -312,6 +453,7 @@ impl MapReduceJob for Phase1Job<'_> {
 
 /// Phase 1 executed as a MapReduce job over the tensor's non-zeros —
 /// the paper's distributed formulation, runnable on the in-process engine.
+/// A thin adapter over [`run_phase1_mapreduce_source`].
 ///
 /// # Errors
 /// Configuration, MapReduce or storage failures.
@@ -322,10 +464,62 @@ pub fn run_phase1_mapreduce<S: UnitStore>(
     mr_dir: &Path,
     counters: &JobCounters,
 ) -> Result<Phase1Result> {
-    let grid = grid_for(cfg, x.dims())?;
+    let mut src = SparseMemorySource::new(x);
+    run_phase1_mapreduce_source(&mut src, cfg, store, mr_dir, counters)
+}
 
-    let mut inputs: Vec<(Vec<u32>, f64)> = Vec::with_capacity(x.nnz());
-    x.for_each_entry(|idx, v| inputs.push((idx.to_vec(), v)));
+/// The MapReduce Phase 1 fed from a streaming [`BlockSource`]: blocks are
+/// pulled one at a time and flattened into the `⟨coords, value⟩` records
+/// the paper's mapper consumes (dense blocks contribute their non-zero
+/// cells, mirroring the COO view); unit assembly then runs through the
+/// shared shard-by-shard aggregation job.
+///
+/// **Memory note:** unlike [`run_phase1_source`], this path materialises
+/// the full COO record set as mapper input (the in-process engine takes a
+/// `Vec`; a real cluster would stream splits from DFS), so its footprint
+/// is O(nnz), not O(largest block) — [`Phase1Result::peak_block_bytes`]
+/// here reports only block-level residency during ingest. Use the
+/// in-process streaming path for tensors that do not fit in memory.
+///
+/// # Errors
+/// Source, configuration, MapReduce or storage failures.
+pub fn run_phase1_mapreduce_source<S: UnitStore>(
+    src: &mut dyn BlockSource,
+    cfg: &TwoPcpConfig,
+    store: &mut S,
+    mr_dir: &Path,
+    counters: &JobCounters,
+) -> Result<Phase1Result> {
+    let grid = grid_for(cfg, src.dims())?;
+    let nblocks = grid.num_blocks();
+
+    let mut inputs: Vec<(Vec<u32>, f64)> = Vec::new();
+    let mut ingested_bytes = 0u64;
+    let mut peak_block_bytes = 0u64;
+    for lin in 0..nblocks {
+        let coords = grid.block_coords(lin);
+        let offsets: Vec<u32> = grid
+            .block_ranges(&coords)
+            .iter()
+            .map(|r| r.start as u32)
+            .collect();
+        let block = src.load_block(&grid, lin)?;
+        let bytes = block.payload_bytes() as u64;
+        ingested_bytes += bytes;
+        peak_block_bytes = peak_block_bytes.max(bytes);
+        let mut push = |local: &[u32], v: f64| {
+            let global: Vec<u32> = local.iter().zip(&offsets).map(|(&c, &o)| c + o).collect();
+            inputs.push((global, v));
+        };
+        match block {
+            Block::Sparse(b) => b.for_each_entry(|idx, v| push(idx, v)),
+            Block::Dense(b) => {
+                // Mirror `SparseTensor::from_dense(x, 0.0)` blockwise: the
+                // non-zero cells in local row-major order.
+                SparseTensor::from_dense(&b, 0.0).for_each_entry(|idx, v| push(idx, v));
+            }
+        }
+    }
 
     let job = Phase1Job::new(&grid, cfg);
     let mut mr_cfg = MrConfig::new(mr_dir);
@@ -337,7 +531,6 @@ pub fn run_phase1_mapreduce<S: UnitStore>(
     let outputs = run_job(&job, inputs, &mr_cfg, counters)?;
 
     // Fill in results; blocks with no non-zeros never reach a reducer.
-    let nblocks = grid.num_blocks();
     let mut models: Vec<Option<CpModel>> = (0..nblocks).map(|_| None).collect();
     let mut block_fits = vec![1.0f64; nblocks];
     let mut block_norms_sq = vec![0.0f64; nblocks];
@@ -355,20 +548,29 @@ pub fn run_phase1_mapreduce<S: UnitStore>(
         })
         .collect();
 
-    let (u_norm_sq, total_unit_bytes) = assemble_units(&grid, cfg, &models, store)?;
+    let u_norm_sq: Vec<f64> = models.iter().map(CpModel::norm_sq).collect();
+    let mut factor_inputs: Vec<(u64, u16, Mat)> = Vec::with_capacity(nblocks * grid.order());
+    for (lin, model) in models.into_iter().enumerate() {
+        for (mode, factor) in model.factors.into_iter().enumerate() {
+            factor_inputs.push((lin as u64, mode as u16, factor));
+        }
+    }
+    let total_unit_bytes = assemble_units(&grid, cfg, factor_inputs, store)?;
     Ok(Phase1Result {
         grid,
         block_norms_sq,
         u_norm_sq,
         block_fits,
         total_unit_bytes,
+        ingested_bytes,
+        peak_block_bytes,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tpcp_storage::MemStore;
+    use tpcp_storage::{MemStore, ShardedStore};
 
     fn low_rank(dims: &[usize], f: usize, seed: u64) -> DenseTensor {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -402,6 +604,9 @@ mod tests {
         // Unit bytes match the paper's formula: per mode-partition
         // (4·2)·(1 + 4)·8 bytes; 6 units total.
         assert_eq!(result.total_unit_bytes, 6 * (4 * 2) * 5 * 8);
+        // The whole tensor streamed through, one batch at a time.
+        assert_eq!(result.ingested_bytes, (8 * 8 * 8 * 8) as u64);
+        assert!(result.peak_block_bytes >= (4 * 4 * 4 * 8) as u64);
     }
 
     #[test]
@@ -417,6 +622,24 @@ mod tests {
         let total_u: f64 = result.u_norm_sq.iter().sum();
         let total_x: f64 = result.block_norms_sq.iter().sum();
         assert!((total_u - total_x).abs() / total_x < 0.05);
+    }
+
+    #[test]
+    fn serial_streaming_residency_is_one_block() {
+        let x = low_rank(&[8, 6, 8], 2, 5);
+        let cfg = cfg(2, vec![2]).threads(1);
+        let mut store = MemStore::new();
+        let result = run_phase1_dense(&x, &cfg, &mut store).unwrap();
+        // With a serial budget, the batch is one block, so the peak
+        // residency is exactly the largest block.
+        let largest = result
+            .grid
+            .iter_blocks()
+            .map(|c| result.grid.block_dims(&c).iter().product::<usize>() * 8)
+            .max()
+            .unwrap() as u64;
+        assert_eq!(result.peak_block_bytes, largest);
+        assert_eq!(result.ingested_bytes, (x.len() * 8) as u64);
     }
 
     #[test]
@@ -471,6 +694,30 @@ mod tests {
         assert_eq!(s.map_input_records, sparse.nnz() as u64);
         assert_eq!(s.reduce_groups, 8);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_store_receives_identical_units() {
+        let x = low_rank(&[8, 8, 8], 2, 7);
+        let cfg = cfg(2, vec![2]);
+        let mut single = MemStore::new();
+        let mut sharded = ShardedStore::mem(3);
+        let a = run_phase1_dense(&x, &cfg, &mut single).unwrap();
+        let b = run_phase1_dense(&x, &cfg, &mut sharded).unwrap();
+        assert_eq!(a.block_fits, b.block_fits);
+        assert_eq!(a.u_norm_sq, b.u_norm_sq);
+        assert_eq!(a.total_unit_bytes, b.total_unit_bytes);
+        for lin in 0..a.grid.num_units() {
+            let unit = UnitId::from_linear(&a.grid, lin);
+            assert_eq!(single.read(unit).unwrap(), sharded.read(unit).unwrap());
+        }
+        // The units actually spread over more than one shard.
+        let populated = sharded
+            .per_shard_bytes()
+            .iter()
+            .filter(|(w, _)| *w > 0)
+            .count();
+        assert!(populated > 1, "expected units on multiple shards");
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! | [`ensemble_like`] | §I fn.2 ensemble simulations | configurable | 1.0 | smooth response surfaces |
 
 mod real_like;
+mod source;
 mod synth;
 
 pub use real_like::{ciao_like, enron_like, epinions_like, face_like, DatasetSpec};
+pub use source::ModelBlockSource;
 pub use synth::{dense_uniform, ensemble_like, low_rank_dense, low_rank_sparse};

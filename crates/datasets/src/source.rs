@@ -1,0 +1,154 @@
+//! Generator-backed streaming ingest: synthesise blocks on demand.
+//!
+//! The Table I/II workloads are "billion-scale dense tensors" — far too
+//! large to materialise just to feed Phase 1. [`ModelBlockSource`]
+//! implements [`tpcp_partition::BlockSource`] over a seeded CP model: a
+//! block request slices the (tiny) factor matrices to the block's row
+//! ranges and reconstructs only those cells, so the memory footprint is
+//! the factors plus one block, never the tensor.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpcp_cp::CpModel;
+use tpcp_linalg::Mat;
+use tpcp_partition::{assemble_dense, Block, BlockSource, Grid, SourceResult};
+use tpcp_tensor::{random_factor, DenseTensor};
+
+/// A [`BlockSource`] that reconstructs grid blocks from a CP model on
+/// demand instead of materialising the full tensor.
+///
+/// Deterministic: the same model yields the same blocks on every request,
+/// so a generator-backed run is reproducible like any other source.
+pub struct ModelBlockSource {
+    model: CpModel,
+    dims: Vec<usize>,
+    bytes_loaded: u64,
+}
+
+impl ModelBlockSource {
+    /// Wraps an explicit model.
+    pub fn from_model(model: CpModel) -> Self {
+        let dims = model.dims();
+        ModelBlockSource {
+            model,
+            dims,
+            bytes_loaded: 0,
+        }
+    }
+
+    /// A low-rank generator with the same factor construction as
+    /// [`crate::low_rank_dense`] at `noise = 0.0` (i.i.d. `[0, 1)` factor
+    /// entries from the seeded stream).
+    pub fn low_rank(dims: &[usize], rank: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, rank, &mut rng))
+            .collect();
+        let model = CpModel::new(vec![1.0; rank], factors).expect("consistent rank");
+        ModelBlockSource::from_model(model)
+    }
+
+    /// The backing model.
+    pub fn model(&self) -> &CpModel {
+        &self.model
+    }
+
+    /// Materialises the full tensor by pasting the generated blocks —
+    /// test/reference helper; defeats the purpose at scale.
+    pub fn materialize(&mut self, grid: &Grid) -> DenseTensor {
+        let blocks: Vec<DenseTensor> = (0..grid.num_blocks())
+            .map(|lin| {
+                self.load_block(grid, lin)
+                    .expect("generator cannot fail")
+                    .into_dense()
+            })
+            .collect();
+        assemble_dense(&blocks, grid)
+    }
+}
+
+impl BlockSource for ModelBlockSource {
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn load_block(&mut self, grid: &Grid, lin: usize) -> SourceResult<Block> {
+        assert_eq!(
+            grid.dims(),
+            &self.dims[..],
+            "grid/tensor dimension mismatch"
+        );
+        let coords = grid.block_coords(lin);
+        // The block's sub-model: each factor restricted to the block's row
+        // range (paper eq. 2) — reconstruction then touches only the
+        // block's cells.
+        let factors: Vec<Mat> = self
+            .model
+            .factors
+            .iter()
+            .enumerate()
+            .map(|(mode, f)| {
+                let r = grid.part_range(mode, coords[mode]);
+                f.row_block(r.start, r.end - r.start)
+            })
+            .collect();
+        let sub = CpModel {
+            weights: self.model.weights.clone(),
+            factors,
+        };
+        let block = sub.reconstruct_dense();
+        self.bytes_loaded += (block.len() * 8) as u64;
+        Ok(Block::Dense(block))
+    }
+
+    fn bytes_loaded(&self) -> u64 {
+        self.bytes_loaded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcp_partition::DenseMemorySource;
+
+    #[test]
+    fn generated_blocks_assemble_to_a_consistent_tensor() {
+        let mut src = ModelBlockSource::low_rank(&[6, 5, 4], 2, 11);
+        let grid = Grid::new(&[6, 5, 4], &[2, 2, 2]);
+        let x = src.materialize(&grid);
+        // Every block equals the corresponding slice of the materialised
+        // tensor — the generator and the in-memory source agree bitwise.
+        let mut mem = DenseMemorySource::new(&x);
+        for lin in 0..grid.num_blocks() {
+            let g = src.load_block(&grid, lin).unwrap().into_dense();
+            let m = mem.load_block(&grid, lin).unwrap().into_dense();
+            assert_eq!(g, m, "block {lin}");
+        }
+        assert!(src.bytes_loaded() >= (x.len() * 8) as u64);
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let grid = Grid::uniform(&[4, 4, 4], 2);
+        let a = ModelBlockSource::low_rank(&[4, 4, 4], 2, 3).materialize(&grid);
+        let b = ModelBlockSource::low_rank(&[4, 4, 4], 2, 3).materialize(&grid);
+        let c = ModelBlockSource::low_rank(&[4, 4, 4], 2, 4).materialize(&grid);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn matches_low_rank_dense_reference_values() {
+        // Same factor stream as low_rank_dense(noise = 0): cell values
+        // agree with the eager generator to reconstruction accuracy.
+        let dims = [5usize, 4, 3];
+        let eager = crate::low_rank_dense(&dims, 2, 0.0, 7);
+        let grid = Grid::uniform(&dims, 1);
+        let mut src = ModelBlockSource::low_rank(&dims, 2, 7);
+        let full = src.load_block(&grid, 0).unwrap().into_dense();
+        for (a, b) in full.as_slice().iter().zip(eager.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -11,10 +11,19 @@
 //! * *slab* enumeration — the set `[∗,…,∗,kᵢ,∗,…,∗]` of blocks sharing
 //!   partition `kᵢ` on mode `i`, which is the unit the update rules sum
 //!   over and the granularity of the paper's data-access units (Def. 4),
-//! * dense and sparse tensor splitting/reassembly.
+//! * dense and sparse tensor splitting/reassembly,
+//! * streaming ingest ([`BlockSource`]): yield one block at a time from an
+//!   in-memory tensor, an on-disk row-major file, or a generator, so the
+//!   full tensor is never resident (see `tpcp-datasets` for the generator
+//!   adapter).
 
 mod grid;
+mod source;
 mod split;
 
 pub use grid::{Grid, SlabIter};
+pub use source::{
+    write_raw_from_source, Block, BlockSource, DenseMemorySource, FileTensorSource, SourceError,
+    SourceResult, SparseMemorySource,
+};
 pub use split::{assemble_dense, split_dense, split_sparse};

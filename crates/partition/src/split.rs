@@ -1,21 +1,30 @@
-//! Splitting tensors into grid blocks and reassembling them.
+//! Eager splitting of tensors into grid blocks and reassembly.
+//!
+//! These are convenience wrappers over the streaming
+//! [`BlockSource`](crate::BlockSource) adapters — the block extraction
+//! logic itself lives in exactly one place, `source.rs`.
 
+use crate::source::{BlockSource, DenseMemorySource, SparseMemorySource};
 use crate::Grid;
-use tpcp_tensor::{DenseTensor, SparseBuilder, SparseTensor};
+use tpcp_tensor::{DenseTensor, SparseTensor};
 
 /// Splits a dense tensor into its grid blocks, returned in linear block-id
 /// order.
 ///
+/// Materialises every block at once; for tensors that do not fit in
+/// memory, stream the blocks through a [`crate::BlockSource`] instead.
+///
 /// # Panics
 /// Panics when the grid was built for different dimensions.
 pub fn split_dense(t: &DenseTensor, grid: &Grid) -> Vec<DenseTensor> {
-    assert_eq!(t.dims(), grid.dims(), "grid/tensor dimension mismatch");
-    let mut out = Vec::with_capacity(grid.num_blocks());
-    for coords in grid.iter_blocks() {
-        let ranges = grid.block_ranges(&coords);
-        out.push(t.slice(&ranges).expect("in-bounds by construction"));
-    }
-    out
+    let mut src = DenseMemorySource::new(t);
+    (0..grid.num_blocks())
+        .map(|lin| {
+            src.load_block(grid, lin)
+                .expect("in-memory source cannot fail")
+                .into_dense()
+        })
+        .collect()
 }
 
 /// Splits a sparse tensor into its grid blocks (coordinates re-based to each
@@ -28,37 +37,8 @@ pub fn split_dense(t: &DenseTensor, grid: &Grid) -> Vec<DenseTensor> {
 /// # Panics
 /// Panics when the grid was built for different dimensions.
 pub fn split_sparse(t: &SparseTensor, grid: &Grid) -> Vec<SparseTensor> {
-    assert_eq!(t.dims(), grid.dims(), "grid/tensor dimension mismatch");
-    let order = grid.order();
-    // part_of[m][row] = (partition index, offset within partition).
-    let mut part_of: Vec<Vec<(u32, u32)>> = Vec::with_capacity(order);
-    for m in 0..order {
-        let mut table = vec![(0u32, 0u32); grid.dims()[m]];
-        for k in 0..grid.parts()[m] {
-            let r = grid.part_range(m, k);
-            for (off, slot) in table[r.clone()].iter_mut().enumerate() {
-                *slot = (k as u32, off as u32);
-            }
-        }
-        part_of.push(table);
-    }
-
-    let mut builders: Vec<SparseBuilder> = grid
-        .iter_blocks()
-        .map(|c| SparseBuilder::new(&grid.block_dims(&c)))
-        .collect();
-
-    let mut local = vec![0usize; order];
-    for e in 0..t.nnz() {
-        let mut lin_block = 0usize;
-        for m in 0..order {
-            let (k, off) = part_of[m][t.mode_coords(m)[e] as usize];
-            lin_block = lin_block * grid.parts()[m] + k as usize;
-            local[m] = off as usize;
-        }
-        builders[lin_block].push(&local, t.values()[e]);
-    }
-    builders.into_iter().map(SparseBuilder::build).collect()
+    // One bucketing pass, blocks moved (not cloned) out of the source.
+    SparseMemorySource::new(t).take_blocks(grid)
 }
 
 /// Reassembles dense blocks (in linear block-id order) into the full tensor.

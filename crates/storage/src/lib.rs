@@ -11,7 +11,9 @@
 //! * [`UnitStore`] implementations: [`DiskStore`] (one page file per unit,
 //!   buffered I/O, fault injection for tests), [`SingleFileStore`] (all
 //!   units packed into one append-only, crash-tolerant container file —
-//!   the layout of a chunked array store) and [`MemStore`];
+//!   the layout of a chunked array store), [`MemStore`], and
+//!   [`ShardedStore`] — a router that spreads the unit space across `S`
+//!   backing shards (`TPCP_SHARDS`) with aggregated byte counters;
 //! * [`BufferPool`] — a byte-budgeted cache over a store with pluggable
 //!   [`ReplacementPolicy`]: LRU, MRU and the paper's forward-looking (FOR)
 //!   schedule-aware policy (§VII), plus pinning so a step's working set
@@ -32,6 +34,7 @@ pub mod codec;
 mod buffer;
 mod policy;
 mod prefetch;
+mod sharded;
 mod single_file;
 mod stats;
 mod store;
@@ -39,6 +42,7 @@ mod store;
 pub use buffer::{capacity_for_fraction, BufferPool};
 pub use policy::{ForwardPolicy, LruPolicy, MruPolicy, PolicyKind, ReplacementPolicy};
 pub use prefetch::{PrefetchConfig, PrefetchRead, PrefetchSource, PREFETCH_ENV_VAR};
+pub use sharded::{shard_of, shards_auto, ShardedStore, SHARDS_ENV_VAR};
 pub use single_file::SingleFileStore;
 pub use stats::IoStats;
 pub use store::{DiskStore, MemStore, UnitData, UnitStore};

@@ -62,6 +62,13 @@ pub trait UnitStore {
 
     /// Total payload bytes read so far (for reporting).
     fn bytes_read(&self) -> u64;
+
+    /// The shard `unit` routes to — `0` for unsharded stores. Lets
+    /// callers (Phase 1's unit emission) group writes shard-by-shard
+    /// without knowing the concrete store type.
+    fn shard_hint(&self, _unit: UnitId) -> usize {
+        0
+    }
 }
 
 /// A purely in-memory store — reference implementation for tests and the
