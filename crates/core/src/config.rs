@@ -94,6 +94,15 @@ pub struct TwoPcpConfig {
     /// factors, fits and swap counts are bit-identical at any shard
     /// count.
     pub shards: usize,
+    /// The zero-copy page read path: with mmap on, the on-disk unit
+    /// stores decode pages directly from memory maps — no scratch-buffer
+    /// copy — and hand the buffer pool borrowed page slabs, so a resident
+    /// unit materialises with exactly one copy (map → `Mat`). Defaults to
+    /// [`tpcp_storage::mmap_auto`], i.e. the `TPCP_MMAP` override or off.
+    /// Mmap moves bytes, never values — factors, fits and swap counts are
+    /// bit-identical with the flag on or off; irrelevant for in-memory
+    /// stores (`work_dir: None`).
+    pub mmap: bool,
 }
 
 impl TwoPcpConfig {
@@ -116,6 +125,7 @@ impl TwoPcpConfig {
             par: ParConfig::auto(),
             prefetch: PrefetchConfig::auto(),
             shards: tpcp_storage::shards_auto(),
+            mmap: tpcp_storage::mmap_auto(),
         }
     }
 
@@ -209,6 +219,12 @@ impl TwoPcpConfig {
         self
     }
 
+    /// Switches the zero-copy (mmap-backed) page read path on or off.
+    pub fn mmap(mut self, mmap: bool) -> Self {
+        self.mmap = mmap;
+        self
+    }
+
     /// Resolves the partition vector for an order-`n` tensor (broadcasting
     /// a singleton) and validates the configuration.
     ///
@@ -279,6 +295,10 @@ mod tests {
         assert!(!cfg.prefetch.is_active());
         let cfg = cfg.shards(3);
         assert_eq!(cfg.shards, 3);
+        let cfg = cfg.mmap(true);
+        assert!(cfg.mmap);
+        let cfg = cfg.mmap(false);
+        assert!(!cfg.mmap);
         assert_eq!(cfg.par(ParConfig::serial()).par, ParConfig::serial());
     }
 

@@ -103,11 +103,12 @@ impl TwoPcp {
         // route it to the unsharded arm rather than panicking here.
         match (&self.config.work_dir, self.config.shards) {
             (Some(dir), 0 | 1) => {
-                let store = DiskStore::open(dir.join("units"))?;
+                let store = DiskStore::open_with(dir.join("units"), self.config.mmap)?;
                 self.run(input, store)
             }
             (Some(dir), shards) => {
-                let store = ShardedStore::open_disk(dir.join("units"), shards)?;
+                let mut store = ShardedStore::open_disk(dir.join("units"), shards)?;
+                store.set_mmap(self.config.mmap);
                 self.run(input, store)
             }
             (None, 0 | 1) => self.run(input, MemStore::new()),

@@ -1,9 +1,10 @@
 //! The byte-budgeted buffer pool over a unit store.
 
+use crate::codec;
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::prefetch::{PrefetchConfig, PrefetchSource, Prefetcher, Staged};
 use crate::stats::IoStats;
-use crate::store::{UnitData, UnitStore};
+use crate::store::{PageRead, UnitData, UnitStore};
 use crate::{Result, StorageError};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -272,6 +273,14 @@ impl<'o, S: UnitStore> BufferPool<'o, S> {
     /// valid, otherwise a synchronous store read. Wall time spent blocked
     /// here — the synchronous read, or the tail of an in-flight prefetch —
     /// is the pipeline's `stall_ns`.
+    ///
+    /// The synchronous read prefers the store's borrowed-slab path
+    /// ([`UnitStore::read_slab`]): an mmap-backed store hands back a
+    /// `&[u8]` view of the raw page and the pool decodes it straight into
+    /// the unit that becomes resident — exactly one copy (map → `Mat`),
+    /// no scratch-buffer staging. Staged prefetch pages are likewise
+    /// admitted by move (the worker decoded them from its own map), so
+    /// the staging hop adds zero copies.
     fn fetch_unit(&mut self, unit: UnitId) -> Result<UnitData> {
         if self.prefetch.is_some() {
             self.drain_prefetched();
@@ -310,9 +319,27 @@ impl<'o, S: UnitStore> BufferPool<'o, S> {
             }
         }
         let start = Instant::now();
-        let result = self.store.read(unit);
+        let result = match self.store.read_slab(unit) {
+            Ok(PageRead::Owned(data)) => Ok((data, false)),
+            Ok(PageRead::Borrowed(page)) => codec::decode(page).and_then(|data| {
+                if data.unit == unit {
+                    Ok((data, true))
+                } else {
+                    Err(StorageError::Corrupt {
+                        reason: format!("page for {} served for {unit}", data.unit),
+                    })
+                }
+            }),
+            Err(e) => Err(e),
+        };
         self.stats.stall_ns += start.elapsed().as_nanos() as u64;
-        result
+        let (data, borrowed) = result?;
+        if borrowed {
+            self.stats.borrowed_reads += 1;
+            self.store
+                .note_borrowed_read(unit, data.payload_bytes() as u64);
+        }
+        Ok(data)
     }
 
     /// Byte capacity.

@@ -8,6 +8,8 @@
 //!
 //! * [`UnitData`] — the in-memory representation of one unit;
 //! * [`codec`] — an explicit, checksummed binary page format (no serde);
+//!   format v2 lays payloads out as contiguous 8-byte-aligned `f64` slabs
+//!   encoded/decoded with bulk byte copies (v1 pages remain readable);
 //! * [`UnitStore`] implementations: [`DiskStore`] (one page file per unit,
 //!   buffered I/O, fault injection for tests), [`SingleFileStore`] (all
 //!   units packed into one append-only, crash-tolerant container file —
@@ -27,7 +29,13 @@
 //!   background worker exactly which units the next steps will need, so
 //!   disk reads overlap compute instead of blocking it. Prefetch moves
 //!   bytes, never values — results and swap counts are bit-identical with
-//!   the pipeline on or off.
+//!   the pipeline on or off;
+//! * the zero-copy read path ([`mmap_auto`] / `TPCP_MMAP`,
+//!   [`DiskStore::set_mmap`], [`SingleFileStore::set_mmap`]): mmap-backed
+//!   stores hand the codec (and, via [`UnitStore::read_slab`], the buffer
+//!   pool) borrowed page views straight out of the page cache, so a
+//!   resident unit materialises with exactly one copy — map → `Mat`.
+//!   Like prefetch and sharding, mmap moves bytes, never values.
 
 pub mod codec;
 
@@ -45,7 +53,7 @@ pub use prefetch::{PrefetchConfig, PrefetchRead, PrefetchSource, PREFETCH_ENV_VA
 pub use sharded::{shard_of, shards_auto, ShardedStore, SHARDS_ENV_VAR};
 pub use single_file::SingleFileStore;
 pub use stats::IoStats;
-pub use store::{DiskStore, MemStore, UnitData, UnitStore};
+pub use store::{mmap_auto, DiskStore, MemStore, PageRead, UnitData, UnitStore, MMAP_ENV_VAR};
 
 use tpcp_schedule::UnitId;
 

@@ -25,6 +25,13 @@
 //! page is consumed, so a page staged before a write-back can never
 //! resurrect stale data. Swap counts, eviction decisions and all numerical
 //! results are bit-identical with the pipeline on or off.
+//!
+//! The staging hop itself is copy-free: the worker's [`PrefetchRead`]
+//! decodes the page (from its own memory map when the store runs with
+//! mmap on — one copy, map → `Mat`), and the decoded [`UnitData`] then
+//! *moves* through the staging channel and into the pool's entry map.
+//! [`DiskStore`](crate::DiskStore) readers additionally keep a bounded,
+//! inode-validated FD cache so hot units skip the open/close cycle.
 
 use crate::store::UnitData;
 use crate::Result;

@@ -9,7 +9,7 @@
 //! `TPCP_SHARDS` test leg and the sharded-equivalence proptests).
 
 use crate::prefetch::{PrefetchRead, PrefetchSource};
-use crate::store::{DiskStore, MemStore, UnitData, UnitStore};
+use crate::store::{DiskStore, MemStore, PageRead, UnitData, UnitStore};
 use crate::{Result, SingleFileStore};
 use std::path::Path;
 use tpcp_schedule::UnitId;
@@ -104,6 +104,13 @@ impl ShardedStore<DiskStore> {
         }
         Ok(ShardedStore::new(shards))
     }
+
+    /// Switches the mmap read path on or off for every shard.
+    pub fn set_mmap(&mut self, mmap: bool) {
+        for s in &mut self.shards {
+            s.set_mmap(mmap);
+        }
+    }
 }
 
 impl ShardedStore<SingleFileStore> {
@@ -119,6 +126,13 @@ impl ShardedStore<SingleFileStore> {
             )?);
         }
         Ok(ShardedStore::new(shards))
+    }
+
+    /// Switches the mmap read path on or off for every shard.
+    pub fn set_mmap(&mut self, mmap: bool) {
+        for s in &mut self.shards {
+            s.set_mmap(mmap);
+        }
     }
 }
 
@@ -138,6 +152,16 @@ impl<S: UnitStore> UnitStore for ShardedStore<S> {
     fn read(&mut self, unit: UnitId) -> Result<UnitData> {
         let s = self.shard_of(unit);
         self.shards[s].read(unit)
+    }
+
+    fn read_slab(&mut self, unit: UnitId) -> Result<PageRead<'_>> {
+        let s = self.shard_of(unit);
+        self.shards[s].read_slab(unit)
+    }
+
+    fn note_borrowed_read(&mut self, unit: UnitId, payload_bytes: u64) {
+        let s = self.shard_of(unit);
+        self.shards[s].note_borrowed_read(unit, payload_bytes);
     }
 
     fn contains(&self, unit: UnitId) -> bool {

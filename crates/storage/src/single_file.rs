@@ -18,8 +18,9 @@
 //! rewrites the file without dead pages.
 
 use crate::prefetch::{PrefetchRead, PrefetchSource};
-use crate::store::{UnitData, UnitStore};
+use crate::store::{mmap_auto, PageRead, UnitData, UnitStore};
 use crate::{codec, Result, StorageError};
+use memmap2::{Mmap, MmapOptions};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -54,6 +55,14 @@ struct PageRef {
 type SharedIndex = Arc<RwLock<HashMap<UnitId, PageRef>>>;
 
 /// All units in one append-only, checksummed container file.
+///
+/// With mmap enabled ([`SingleFileStore::set_mmap`],
+/// [`crate::mmap_auto`]), reads decode directly from a shared memory map
+/// of the container — no seek, no scratch-buffer copy — remapped lazily
+/// whenever the live index references a page beyond the mapped length
+/// (the container only ever grows, and committed pages never move, so a
+/// map stays valid for every offset it covers until a compaction replaces
+/// the file outright).
 pub struct SingleFileStore {
     path: PathBuf,
     file: File,
@@ -65,6 +74,10 @@ pub struct SingleFileStore {
     bytes_read: u64,
     /// Page buffer reused across `read()` calls (no per-fetch allocation).
     scratch: Vec<u8>,
+    /// Whether reads go through the container map instead of seek+read.
+    mmap: bool,
+    /// Lazily (re)created map of the container; dropped on compaction.
+    map: Option<Mmap>,
     /// Bumped by [`SingleFileStore::compact`]; prefetch readers hold the
     /// generation they were created under and refuse to read once it
     /// moves (their file handle points at the pre-compaction inode, so
@@ -83,6 +96,15 @@ impl SingleFileStore {
     /// # Errors
     /// I/O failures; [`StorageError::Corrupt`] for a bad file header.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with(path, mmap_auto())
+    }
+
+    /// Opens the container at `path` with the mmap read path explicitly
+    /// on or off.
+    ///
+    /// # Errors
+    /// I/O failures; [`StorageError::Corrupt`] for a bad file header.
+    pub fn open_with(path: impl AsRef<Path>, mmap: bool) -> Result<Self> {
         if let Some(parent) = path.as_ref().parent() {
             std::fs::create_dir_all(parent)?;
         }
@@ -101,6 +123,8 @@ impl SingleFileStore {
             bytes_written: 0,
             bytes_read: 0,
             scratch: Vec::new(),
+            mmap,
+            map: None,
             generation: Arc::new(AtomicU64::new(0)),
         };
         if len == 0 {
@@ -197,6 +221,43 @@ impl SingleFileStore {
         Ok(self.file.metadata()?.len())
     }
 
+    /// Switches the mmap read path on or off. Purely a transport choice:
+    /// the decoded data is bit-identical either way.
+    pub fn set_mmap(&mut self, mmap: bool) {
+        self.mmap = mmap;
+        if !mmap {
+            self.map = None;
+        }
+    }
+
+    /// Whether reads currently go through the container map.
+    pub fn mmap_enabled(&self) -> bool {
+        self.mmap
+    }
+
+    /// Ensures the cached map covers `page`, remapping a container that
+    /// has grown past the mapped length. Returns `false` (callers fall
+    /// back to seek+read) when mmap is off or mapping fails.
+    fn ensure_mapped(&mut self, page: PageRef) -> bool {
+        if !self.mmap {
+            return false;
+        }
+        let end = page.offset + PAGE_HEADER_LEN + u64::from(page.payload_len);
+        if self.map.as_ref().is_some_and(|m| m.len() as u64 >= end) {
+            return true;
+        }
+        self.map = map_with_headroom(&self.file, end.max(self.cursor));
+        self.map.as_ref().is_some_and(|m| m.len() as u64 >= end)
+    }
+
+    /// The mapped payload bytes of `page`. Call only after
+    /// [`SingleFileStore::ensure_mapped`] returned `true`.
+    fn mapped_page(&self, page: PageRef) -> &[u8] {
+        let start = (page.offset + PAGE_HEADER_LEN) as usize;
+        &self.map.as_ref().expect("ensure_mapped verified coverage")
+            [start..start + page.payload_len as usize]
+    }
+
     fn mark_dead(&mut self, offset: u64) -> Result<()> {
         self.file.seek(SeekFrom::Start(offset))?;
         self.file.write_all(&[DEAD])?;
@@ -217,8 +278,10 @@ impl SingleFileStore {
     /// # Errors
     /// I/O failures; the original file is replaced atomically via rename.
     pub fn compact(&mut self) -> Result<()> {
-        // Retire readers *before* the index moves to new-file offsets.
+        // Retire readers *before* the index moves to new-file offsets,
+        // and drop our own map — it covers the pre-compaction inode.
         self.generation.fetch_add(1, Ordering::SeqCst);
+        self.map = None;
         let tmp_path = self.path.with_extension("compact");
         {
             let mut out = std::io::BufWriter::new(File::create(&tmp_path)?);
@@ -284,6 +347,23 @@ impl SingleFileStore {
     }
 }
 
+/// Maps `file` read-only with ~2× headroom past `committed` (the highest
+/// byte the caller currently needs to reach). The container is
+/// append-only, so the headroom — pure address space today — becomes
+/// readable as pages land in it, and the *next* growth usually does not
+/// force a remap (a remap discards faulted PTEs, which was measured to
+/// cost more than the buffered read it replaces on write-heavy
+/// workloads). Reads stay below the committed length, so the
+/// beyond-end-of-file region is never touched.
+fn map_with_headroom(file: &File, committed: u64) -> Option<Mmap> {
+    let len = usize::try_from(committed.saturating_mul(2).max(1 << 20)).ok()?;
+    // SAFETY: committed pages never move or shrink (append-only file;
+    // compaction drops maps before replacing the container), and callers
+    // only dereference offsets of index-committed pages — always below
+    // the file's current length, never in the headroom.
+    unsafe { MmapOptions::new().len(len).map(file) }.ok()
+}
+
 /// Reads, decodes and identity-checks the page at `page` from `file`,
 /// reusing `scratch` as the page buffer. Shared by the store and its
 /// prefetch readers (each holds its own `File`, hence its own seek
@@ -315,6 +395,10 @@ struct SingleFileReader {
     file: File,
     index: SharedIndex,
     scratch: Vec<u8>,
+    /// Mirror of the store's mmap setting; the reader keeps its own map
+    /// over its own handle, remapped on growth just like the store's.
+    mmap: bool,
+    map: Option<Mmap>,
     /// Store generation this reader's file handle belongs to.
     generation: Arc<AtomicU64>,
     born_at: u64,
@@ -337,6 +421,25 @@ impl PrefetchRead for SingleFileReader {
             .get(&unit)
             .copied()
             .ok_or(StorageError::NotFound(unit))?;
+        if self.mmap {
+            let end = page.offset + PAGE_HEADER_LEN + u64::from(page.payload_len);
+            if self.map.as_ref().is_none_or(|m| (m.len() as u64) < end) {
+                // Same append-only argument as the store's map; the
+                // generation check above already refused the only case
+                // where offsets move (compaction).
+                self.map = map_with_headroom(&self.file, end);
+            }
+            if let Some(m) = self.map.as_ref().filter(|m| m.len() as u64 >= end) {
+                let start = (page.offset + PAGE_HEADER_LEN) as usize;
+                let data = codec::decode(&m[start..start + page.payload_len as usize])?;
+                if data.unit != unit {
+                    return Err(StorageError::Corrupt {
+                        reason: format!("page for {} indexed under {unit}", data.unit),
+                    });
+                }
+                return Ok(data);
+            }
+        }
         read_page_at(&mut self.file, page, unit, &mut self.scratch)
     }
 }
@@ -348,6 +451,8 @@ impl PrefetchSource for SingleFileStore {
             file,
             index: Arc::clone(&self.index),
             scratch: Vec::new(),
+            mmap: self.mmap,
+            map: None,
             born_at: self.generation.load(Ordering::SeqCst),
             generation: Arc::clone(&self.generation),
         }))
@@ -390,12 +495,39 @@ impl UnitStore for SingleFileStore {
 
     fn read(&mut self, unit: UnitId) -> Result<UnitData> {
         let page = self.page_ref(unit)?;
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let result = read_page_at(&mut self.file, page, unit, &mut scratch);
-        self.scratch = scratch;
-        let data = result?;
+        let mut via_map = None;
+        if self.ensure_mapped(page) {
+            let data = codec::decode(self.mapped_page(page))?;
+            if data.unit != unit {
+                return Err(StorageError::Corrupt {
+                    reason: format!("page for {} indexed under {unit}", data.unit),
+                });
+            }
+            via_map = Some(data);
+        }
+        let data = match via_map {
+            Some(data) => data,
+            None => {
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let result = read_page_at(&mut self.file, page, unit, &mut scratch);
+                self.scratch = scratch;
+                result?
+            }
+        };
         self.bytes_read += data.payload_bytes() as u64;
         Ok(data)
+    }
+
+    fn read_slab(&mut self, unit: UnitId) -> Result<PageRead<'_>> {
+        let page = self.page_ref(unit)?;
+        if self.ensure_mapped(page) {
+            return Ok(PageRead::Borrowed(self.mapped_page(page)));
+        }
+        self.read(unit).map(PageRead::Owned)
+    }
+
+    fn note_borrowed_read(&mut self, _unit: UnitId, payload_bytes: u64) {
+        self.bytes_read += payload_bytes;
     }
 
     fn contains(&self, unit: UnitId) -> bool {
@@ -578,6 +710,87 @@ mod tests {
             assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), big);
             assert_eq!(s.read(UnitId::new(0, 1)).unwrap(), small);
         }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn mmap_reads_match_buffered_and_follow_growth() {
+        let path = tmpfile("mmap");
+        let mut s = SingleFileStore::open_with(&path, true).unwrap();
+        assert!(s.mmap_enabled());
+        s.write(&unit(0, 1.0)).unwrap();
+        // First read maps the container…
+        assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), unit(0, 1.0));
+        // …appends land beyond the mapped length and force a remap…
+        for p in 1..6 {
+            s.write(&unit(p, p as f64)).unwrap();
+        }
+        assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), unit(0, 1.0));
+        for p in 1..6 {
+            assert_eq!(s.read(UnitId::new(0, p)).unwrap(), unit(p, p as f64));
+        }
+        // …and an overwrite (appended page, index switch) is visible too.
+        s.write(&unit(0, 42.0)).unwrap();
+        assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), unit(0, 42.0));
+        // Bitwise equal to a buffered-store view of the same container.
+        let mut buffered = SingleFileStore::open_with(&path, false).unwrap();
+        for p in 1..6 {
+            assert_eq!(
+                buffered.read(UnitId::new(0, p)).unwrap(),
+                s.read(UnitId::new(0, p)).unwrap()
+            );
+        }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_read_slab_hands_out_borrowed_pages() {
+        use crate::store::PageRead;
+        let path = tmpfile("mmap_slab");
+        let mut s = SingleFileStore::open_with(&path, true).unwrap();
+        s.write(&unit(2, 7.0)).unwrap();
+        match s.read_slab(UnitId::new(0, 2)).unwrap() {
+            PageRead::Borrowed(page) => {
+                assert_eq!(crate::codec::decode(page).unwrap(), unit(2, 7.0));
+            }
+            PageRead::Owned(_) => panic!("mmap container must hand out borrowed slabs"),
+        }
+        // Borrowed reads self-account only via the caller's note.
+        assert_eq!(s.bytes_read(), 0);
+        s.note_borrowed_read(UnitId::new(0, 2), 9);
+        assert_eq!(s.bytes_read(), 9);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn mmap_survives_compaction() {
+        let path = tmpfile("mmap_compact");
+        let mut s = SingleFileStore::open_with(&path, true).unwrap();
+        for _ in 0..5 {
+            s.write(&unit(0, 3.0)).unwrap();
+        }
+        s.write(&unit(1, 4.0)).unwrap();
+        assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), unit(0, 3.0)); // map live
+        s.compact().unwrap();
+        // The map was dropped with the old inode; reads remap the new one.
+        assert_eq!(s.read(UnitId::new(0, 0)).unwrap(), unit(0, 3.0));
+        assert_eq!(s.read(UnitId::new(0, 1)).unwrap(), unit(1, 4.0));
+        let mut r = s.prefetch_reader().unwrap();
+        assert_eq!(r.read(UnitId::new(0, 1)).unwrap(), unit(1, 4.0));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn mmap_reader_follows_live_index() {
+        let path = tmpfile("mmap_reader");
+        let mut s = SingleFileStore::open_with(&path, true).unwrap();
+        s.write(&unit(0, 1.0)).unwrap();
+        let mut r = s.prefetch_reader().unwrap();
+        assert_eq!(r.read(UnitId::new(0, 0)).unwrap(), unit(0, 1.0));
+        // Overwrites append past the reader's mapped length: remap path.
+        s.write(&unit(0, 8.0)).unwrap();
+        assert_eq!(r.read(UnitId::new(0, 0)).unwrap(), unit(0, 8.0));
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 

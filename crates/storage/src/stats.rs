@@ -36,6 +36,11 @@ pub struct IoStats {
     /// in-flight prefetch. This is the swap cost actually paid on the
     /// critical path; prefetch exists to shrink it.
     pub stall_ns: u64,
+    /// Synchronous fetches served through the zero-copy borrowed-slab
+    /// path (an mmap-backed store handed the pool a raw page view and the
+    /// pool decoded it straight into residency). A subset of `fetches`;
+    /// like prefetch, the transport never changes what counts as a swap.
+    pub borrowed_reads: u64,
 }
 
 impl IoStats {
@@ -82,6 +87,7 @@ impl IoStats {
             prefetch_hits: self.prefetch_hits - earlier.prefetch_hits,
             prefetched_bytes: self.prefetched_bytes - earlier.prefetched_bytes,
             stall_ns: self.stall_ns - earlier.stall_ns,
+            borrowed_reads: self.borrowed_reads - earlier.borrowed_reads,
         }
     }
 }
@@ -97,6 +103,7 @@ impl std::ops::AddAssign<&IoStats> for IoStats {
         self.prefetch_hits += o.prefetch_hits;
         self.prefetched_bytes += o.prefetched_bytes;
         self.stall_ns += o.stall_ns;
+        self.borrowed_reads += o.borrowed_reads;
     }
 }
 
@@ -105,7 +112,7 @@ impl std::fmt::Display for IoStats {
         write!(
             f,
             "swaps={} hits={} evictions={} write_backs={} read={}B written={}B \
-             prefetch_hits={} prefetched={}B stall={:.2}ms",
+             prefetch_hits={} prefetched={}B stall={:.2}ms borrowed={}",
             self.fetches,
             self.hits,
             self.evictions,
@@ -114,7 +121,8 @@ impl std::fmt::Display for IoStats {
             self.bytes_written,
             self.prefetch_hits,
             self.prefetched_bytes,
-            self.stall_ms()
+            self.stall_ms(),
+            self.borrowed_reads
         )
     }
 }
@@ -147,6 +155,7 @@ mod tests {
             prefetch_hits: 1,
             prefetched_bytes: 60,
             stall_ns: 1_000,
+            borrowed_reads: 1,
         };
         let late = IoStats {
             fetches: 7,
@@ -158,6 +167,7 @@ mod tests {
             prefetch_hits: 4,
             prefetched_bytes: 200,
             stall_ns: 5_000,
+            borrowed_reads: 3,
         };
         let d = late.since(&early);
         assert_eq!(d.fetches, 5);
@@ -169,6 +179,7 @@ mod tests {
         assert_eq!(d.prefetch_hits, 3);
         assert_eq!(d.prefetched_bytes, 140);
         assert_eq!(d.stall_ns, 4_000);
+        assert_eq!(d.borrowed_reads, 2);
         assert_eq!(d.swaps(), 5);
     }
 
@@ -184,6 +195,7 @@ mod tests {
             prefetch_hits: 1,
             prefetched_bytes: 60,
             stall_ns: 1_000,
+            borrowed_reads: 1,
         };
         let b = IoStats {
             fetches: 7,
@@ -195,6 +207,7 @@ mod tests {
             prefetch_hits: 4,
             prefetched_bytes: 200,
             stall_ns: 5_000,
+            borrowed_reads: 4,
         };
         let m = IoStats::merged([&a, &b]);
         // Every counter sums — in particular stall_ns and prefetch_hits
@@ -208,6 +221,7 @@ mod tests {
         assert_eq!(m.prefetch_hits, 5);
         assert_eq!(m.prefetched_bytes, 260);
         assert_eq!(m.stall_ns, 6_000);
+        assert_eq!(m.borrowed_reads, 5);
         assert_eq!(IoStats::merged([]), IoStats::default());
     }
 

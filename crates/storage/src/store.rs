@@ -2,12 +2,45 @@
 
 use crate::prefetch::{PrefetchRead, PrefetchSource};
 use crate::{codec, Result, StorageError};
+use memmap2::Mmap;
 use std::collections::HashMap;
-use std::fs;
-use std::io::{Read, Write};
+use std::fs::{self, File};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use tpcp_linalg::Mat;
 use tpcp_schedule::UnitId;
+
+/// Name of the environment variable enabling mmap-backed page reads
+/// process-wide (`1` / `on` / `true` / `yes`; anything else — or absence —
+/// leaves the buffered scratch-copy read path in place).
+pub const MMAP_ENV_VAR: &str = "TPCP_MMAP";
+
+/// The automatic mmap setting: `TPCP_MMAP` when set to an affirmative
+/// value, otherwise off. Stores opened without an explicit flag start
+/// here, so a `TPCP_MMAP=1` test leg exercises the zero-copy read path
+/// across the whole workspace.
+pub fn mmap_auto() -> bool {
+    match std::env::var(MMAP_ENV_VAR) {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "1" | "on" | "true" | "yes"
+        ),
+        Err(_) => false,
+    }
+}
+
+/// Result of [`UnitStore::read_slab`]: either the decoded unit (the
+/// classic owned path) or a borrowed, still-encoded page slab that the
+/// caller decodes itself. Mmap-backed stores return `Borrowed` views
+/// straight out of the page cache, so the only copy on the whole read
+/// path is the codec's slab → [`Mat`] materialisation.
+pub enum PageRead<'a> {
+    /// The store decoded the page itself.
+    Owned(UnitData),
+    /// A borrowed view of the raw page; decode with [`codec::decode`] and
+    /// report the payload size back via [`UnitStore::note_borrowed_read`].
+    Borrowed(&'a [u8]),
+}
 
 /// In-memory payload of one data-access unit `⟨i, kᵢ⟩` (paper Def. 4).
 #[derive(Clone, Debug, PartialEq)]
@@ -69,6 +102,24 @@ pub trait UnitStore {
     fn shard_hint(&self, _unit: UnitId) -> usize {
         0
     }
+
+    /// Loads a unit, preferring to hand back a borrowed page slab when
+    /// the store is mmap-backed ([`PageRead::Borrowed`]); the default
+    /// delegates to [`UnitStore::read`]. A caller that decodes a borrowed
+    /// slab must report the payload size via
+    /// [`UnitStore::note_borrowed_read`] so byte accounting stays
+    /// identical to the owned path.
+    ///
+    /// # Errors
+    /// Same failure modes as [`UnitStore::read`].
+    fn read_slab(&mut self, unit: UnitId) -> Result<PageRead<'_>> {
+        self.read(unit).map(PageRead::Owned)
+    }
+
+    /// Accounts a read served through a [`PageRead::Borrowed`] slab (the
+    /// store could not know the payload size before the caller decoded
+    /// it). No-op for stores that never return borrowed slabs.
+    fn note_borrowed_read(&mut self, _unit: UnitId, _payload_bytes: u64) {}
 }
 
 /// A purely in-memory store — reference implementation for tests and the
@@ -136,12 +187,172 @@ impl PrefetchSource for MemStore {
     }
 }
 
+/// Inode of the file at `path`'s metadata, used to validate cached page
+/// handles. `None` on targets without stable inode numbers, which simply
+/// turns every cache probe into a miss (reopen-per-read, today's
+/// behaviour).
+fn inode_of(meta: &fs::Metadata) -> Option<u64> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        Some(meta.ino())
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = meta;
+        None
+    }
+}
+
+/// One cached page handle: the open file, its inode at open time, and —
+/// in mmap mode — a mapping of the whole page. `map_attempted` caches a
+/// failed mapping attempt too, so a target where `mmap(2)` is unavailable
+/// still gets full FD reuse instead of retrying the syscall per read.
+struct CachedPage {
+    ino: Option<u64>,
+    file: File,
+    map: Option<Mmap>,
+    map_attempted: bool,
+    last_used: u64,
+}
+
+/// A small bounded cache of open page files keyed by unit.
+///
+/// [`DiskStore`] commits pages with write-then-rename, so for a given
+/// *inode* a page file's content never changes; a cached handle is valid
+/// exactly while the path still resolves to the inode it was opened
+/// under. Each probe therefore costs one `stat` instead of an
+/// `open`/`read`/`close` cycle — and in mmap mode the cached mapping is
+/// reused outright, making repeat reads of a hot unit zero-syscall.
+struct FdCache {
+    cap: usize,
+    tick: u64,
+    entries: HashMap<UnitId, CachedPage>,
+}
+
+impl FdCache {
+    /// Default bound: enough for the prefetch depth plus a hot working
+    /// set, small enough to never threaten the process FD budget.
+    const DEFAULT_CAP: usize = 64;
+
+    fn new(cap: usize) -> Self {
+        FdCache {
+            cap: cap.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Returns a validated handle for `unit`, (re)opening the page file
+    /// when it is not cached or the path's inode moved (an overwrite
+    /// committed a new file). With `mmap`, the handle carries a mapping of
+    /// the whole page; mapping failure degrades to the plain handle.
+    ///
+    /// # Errors
+    /// [`StorageError::NotFound`] when no page file exists; I/O errors
+    /// from `stat`/`open`.
+    fn entry(&mut self, dir: &Path, unit: UnitId, mmap: bool) -> Result<&mut CachedPage> {
+        self.tick += 1;
+        let path = unit_path_in(dir, unit);
+        let ino = match fs::metadata(&path) {
+            Ok(meta) => inode_of(&meta),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.entries.remove(&unit);
+                return Err(StorageError::NotFound(unit));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let valid = ino.is_some() && self.entries.get(&unit).is_some_and(|c| c.ino == ino);
+        if !valid {
+            let file = match File::open(&path) {
+                Ok(f) => f,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    self.entries.remove(&unit);
+                    return Err(StorageError::NotFound(unit));
+                }
+                Err(e) => return Err(e.into()),
+            };
+            if self.entries.len() >= self.cap && !self.entries.contains_key(&unit) {
+                self.evict_lru();
+            }
+            self.entries.insert(
+                unit,
+                CachedPage {
+                    ino,
+                    file,
+                    map: None,
+                    map_attempted: false,
+                    last_used: self.tick,
+                },
+            );
+        }
+        let entry = self.entries.get_mut(&unit).expect("present: just checked");
+        entry.last_used = self.tick;
+        if mmap && !entry.map_attempted {
+            entry.map_attempted = true;
+            // SAFETY: page files are immutable per inode (write-then-
+            // rename), so the mapped bytes can never move or shrink under
+            // the map — see `Mmap::map`'s contract.
+            entry.map = unsafe { Mmap::map(&entry.file) }.ok();
+        }
+        Ok(entry)
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(&victim) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, c)| c.last_used)
+            .map(|(u, _)| u)
+        {
+            self.entries.remove(&victim);
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Reads and decodes `unit`'s page through a validated [`FdCache`] handle:
+/// straight from the cached mapping in mmap mode (one copy, map → `Mat`),
+/// otherwise through the cached descriptor and `scratch`.
+fn read_cached(
+    cache: &mut FdCache,
+    dir: &Path,
+    unit: UnitId,
+    mmap: bool,
+    scratch: &mut Vec<u8>,
+) -> Result<UnitData> {
+    let entry = cache.entry(dir, unit, mmap)?;
+    let data = if let Some(map) = &entry.map {
+        codec::decode(map)?
+    } else {
+        entry.file.seek(SeekFrom::Start(0))?;
+        scratch.clear();
+        entry.file.read_to_end(scratch)?;
+        codec::decode(scratch)?
+    };
+    if data.unit != unit {
+        return Err(StorageError::Corrupt {
+            reason: format!("page for {} found under path of {unit}", data.unit),
+        });
+    }
+    Ok(data)
+}
+
 /// Disk-backed store: one checksummed page file per unit in a directory.
 ///
 /// Reads and writes go through the [`codec`] page format, so torn or
 /// corrupted files are detected rather than silently consumed. The
 /// `inject_*_failures` knobs let tests exercise error paths
 /// deterministically.
+///
+/// With mmap enabled ([`DiskStore::set_mmap`], [`mmap_auto`]), reads
+/// decode directly from a memory map of the page file — no scratch-buffer
+/// copy — and [`UnitStore::read_slab`] hands the raw mapped page to the
+/// caller so the buffer pool can decode it straight into residency.
 pub struct DiskStore {
     dir: PathBuf,
     bytes_written: u64,
@@ -150,14 +361,29 @@ pub struct DiskStore {
     inject_write_failures: u32,
     /// Page buffer reused across `read()` calls (no per-fetch allocation).
     scratch: Vec<u8>,
+    /// Whether reads go through memory maps instead of buffered copies.
+    mmap: bool,
+    /// Validated page-handle cache (mmap mode; maps are reused across
+    /// reads of the same committed page).
+    cache: FdCache,
 }
 
 impl DiskStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir`, with the
+    /// mmap read path per [`mmap_auto`] (the `TPCP_MMAP` override).
     ///
     /// # Errors
     /// I/O failure creating the directory.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with(dir, mmap_auto())
+    }
+
+    /// Opens (creating if needed) a store rooted at `dir`, with the mmap
+    /// read path explicitly on or off.
+    ///
+    /// # Errors
+    /// I/O failure creating the directory.
+    pub fn open_with(dir: impl AsRef<Path>, mmap: bool) -> Result<Self> {
         fs::create_dir_all(dir.as_ref())?;
         Ok(DiskStore {
             dir: dir.as_ref().to_path_buf(),
@@ -166,7 +392,25 @@ impl DiskStore {
             inject_read_failures: 0,
             inject_write_failures: 0,
             scratch: Vec::new(),
+            mmap,
+            cache: FdCache::new(FdCache::DEFAULT_CAP),
         })
+    }
+
+    /// Switches the mmap read path on or off. Purely a transport choice:
+    /// the decoded data is bit-identical either way. Disabling drops the
+    /// handle cache — the buffered path never consults it, so keeping the
+    /// descriptors and mappings open would pin them for no benefit.
+    pub fn set_mmap(&mut self, mmap: bool) {
+        self.mmap = mmap;
+        if !mmap {
+            self.cache.entries.clear();
+        }
+    }
+
+    /// Whether reads currently go through memory maps.
+    pub fn mmap_enabled(&self) -> bool {
+        self.mmap
     }
 
     /// Path of the page file for `unit`.
@@ -201,6 +445,13 @@ impl UnitStore for DiskStore {
             f.flush()?;
         }
         fs::rename(&tmp_path, &final_path)?;
+        // The rename unlinked the unit's previous inode: retire the cached
+        // handle (and its map) now, while we are already paying write-side
+        // I/O cost. Unmapping a dead inode tears down its page-cache pages
+        // — measured at ~100µs — which must not land on the next read's
+        // critical path (the inode check would catch the staleness anyway;
+        // this is purely about *when* the teardown bill is paid).
+        self.cache.entries.remove(&data.unit);
         self.bytes_written += data.payload_bytes() as u64;
         Ok(())
     }
@@ -210,9 +461,41 @@ impl UnitStore for DiskStore {
             self.inject_read_failures -= 1;
             return Err(StorageError::Injected);
         }
-        let data = read_unit_page(&self.dir, unit, &mut self.scratch)?;
+        let data = if self.mmap {
+            read_cached(&mut self.cache, &self.dir, unit, true, &mut self.scratch)?
+        } else {
+            read_unit_page(&self.dir, unit, &mut self.scratch)?
+        };
         self.bytes_read += data.payload_bytes() as u64;
         Ok(data)
+    }
+
+    fn read_slab(&mut self, unit: UnitId) -> Result<PageRead<'_>> {
+        if self.inject_read_failures > 0 || !self.mmap {
+            return self.read(unit).map(PageRead::Owned);
+        }
+        // Ensure a current handle (and, when possible, mapping) is cached,
+        // then hand out a borrowed view of the map; when mapping is
+        // unavailable for this inode, decode through the cached descriptor
+        // instead — the failed attempt is cached too, so no reopen and no
+        // mmap retry per read.
+        let has_map = self.cache.entry(&self.dir, unit, true)?.map.is_some();
+        if has_map {
+            let entry = &self.cache.entries[&unit];
+            return Ok(PageRead::Borrowed(
+                entry.map.as_deref().expect("mapped: just checked"),
+            ));
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = read_cached(&mut self.cache, &self.dir, unit, true, &mut scratch);
+        self.scratch = scratch;
+        let data = result?;
+        self.bytes_read += data.payload_bytes() as u64;
+        Ok(PageRead::Owned(data))
+    }
+
+    fn note_borrowed_read(&mut self, _unit: UnitId, payload_bytes: u64) {
+        self.bytes_read += payload_bytes;
     }
 
     fn contains(&self, unit: UnitId) -> bool {
@@ -255,17 +538,27 @@ fn read_unit_page(dir: &Path, unit: UnitId, scratch: &mut Vec<u8>) -> Result<Uni
 }
 
 /// A [`PrefetchRead`] handle onto a [`DiskStore`] directory: one file per
-/// unit means the handle only needs the directory path — each read opens
-/// the page file afresh, so it always observes the latest committed page
-/// (writes are write-then-rename, hence atomic for readers).
+/// unit means the handle only needs the directory path. Open descriptors
+/// (and, in mmap mode, page mappings) are kept in a bounded [`FdCache`]
+/// validated by inode, so the handle still always observes the latest
+/// committed page (writes are write-then-rename, hence a fresh inode)
+/// while repeat reads of a hot unit skip the open/close cycle entirely.
 struct DiskReader {
     dir: PathBuf,
     scratch: Vec<u8>,
+    mmap: bool,
+    cache: FdCache,
 }
 
 impl PrefetchRead for DiskReader {
     fn read(&mut self, unit: UnitId) -> Result<UnitData> {
-        read_unit_page(&self.dir, unit, &mut self.scratch)
+        read_cached(
+            &mut self.cache,
+            &self.dir,
+            unit,
+            self.mmap,
+            &mut self.scratch,
+        )
     }
 }
 
@@ -278,6 +571,8 @@ impl PrefetchSource for DiskStore {
         Some(Box::new(DiskReader {
             dir: self.dir.clone(),
             scratch: Vec::new(),
+            mmap: self.mmap,
+            cache: FdCache::new(FdCache::DEFAULT_CAP),
         }))
     }
 }
@@ -435,6 +730,118 @@ mod tests {
         assert_eq!(u.payload_bytes(), 40);
         assert!(u.sub_factor(1).is_some());
         assert!(u.sub_factor(2).is_none());
+    }
+
+    #[test]
+    fn mmap_reads_match_buffered_reads_bitwise() {
+        let dir = tmpdir("mmap_equiv");
+        let units: Vec<UnitId> = (0..4).map(|p| UnitId::new(0, p)).collect();
+        {
+            let mut s = DiskStore::open_with(&dir, false).unwrap();
+            for (i, &u) in units.iter().enumerate() {
+                s.write(&sample(u, i as f64)).unwrap();
+            }
+        }
+        let mut buffered = DiskStore::open_with(&dir, false).unwrap();
+        let mut mapped = DiskStore::open_with(&dir, true).unwrap();
+        assert!(mapped.mmap_enabled() && !buffered.mmap_enabled());
+        for &u in &units {
+            assert_eq!(buffered.read(u).unwrap(), mapped.read(u).unwrap());
+        }
+        assert_eq!(buffered.bytes_read(), mapped.bytes_read());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mmap_store_sees_latest_committed_page_after_overwrite() {
+        // The FD cache keys validity on the inode: an overwrite commits a
+        // fresh inode (write-then-rename), so a cached map must never
+        // serve the old page.
+        let dir = tmpdir("mmap_overwrite");
+        let mut s = DiskStore::open_with(&dir, true).unwrap();
+        let u = UnitId::new(0, 0);
+        s.write(&sample(u, 1.0)).unwrap();
+        assert_eq!(s.read(u).unwrap(), sample(u, 1.0)); // caches the map
+        s.write(&sample(u, 9.0)).unwrap();
+        assert_eq!(s.read(u).unwrap(), sample(u, 9.0));
+        let mut r = s.prefetch_reader().unwrap();
+        assert_eq!(r.read(u).unwrap(), sample(u, 9.0));
+        s.write(&sample(u, 11.0)).unwrap();
+        assert_eq!(r.read(u).unwrap(), sample(u, 11.0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // Mapping is implemented on Unix only; elsewhere read_slab degrades
+    // to owned reads, which the other tests cover.
+    #[cfg(unix)]
+    #[test]
+    fn read_slab_borrows_only_in_mmap_mode() {
+        let dir = tmpdir("slab");
+        let u = UnitId::new(1, 2);
+        {
+            let mut s = DiskStore::open_with(&dir, false).unwrap();
+            s.write(&sample(u, 4.0)).unwrap();
+            assert!(matches!(s.read_slab(u), Ok(PageRead::Owned(d)) if d == sample(u, 4.0)));
+        }
+        let mut s = DiskStore::open_with(&dir, true).unwrap();
+        match s.read_slab(u).unwrap() {
+            PageRead::Borrowed(page) => {
+                let d = codec::decode(page).unwrap();
+                assert_eq!(d, sample(u, 4.0));
+            }
+            PageRead::Owned(_) => panic!("mmap store must hand out borrowed slabs"),
+        }
+        // Borrowed reads do not self-account; the caller reports them.
+        assert_eq!(s.bytes_read(), 0);
+        s.note_borrowed_read(u, sample(u, 4.0).payload_bytes() as u64);
+        assert_eq!(s.bytes_read(), sample(u, 4.0).payload_bytes() as u64);
+        // Missing units surface NotFound, not a silent fallback.
+        assert!(matches!(
+            s.read_slab(UnitId::new(9, 9)),
+            Err(StorageError::NotFound(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_slab_honours_fault_injection() {
+        let dir = tmpdir("slab_fault");
+        let mut s = DiskStore::open_with(&dir, true).unwrap();
+        let u = UnitId::new(0, 0);
+        s.write(&sample(u, 1.0)).unwrap();
+        s.inject_read_failures(1);
+        assert!(matches!(s.read_slab(u), Err(StorageError::Injected)));
+        assert!(s.read_slab(u).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fd_cache_is_bounded_and_validates_inodes() {
+        let dir = tmpdir("fdcache");
+        let mut s = DiskStore::open_with(&dir, false).unwrap();
+        let units: Vec<UnitId> = (0..5).map(|p| UnitId::new(0, p)).collect();
+        for (i, &u) in units.iter().enumerate() {
+            s.write(&sample(u, i as f64)).unwrap();
+        }
+        let mut cache = FdCache::new(2);
+        let mut scratch = Vec::new();
+        for (i, &u) in units.iter().enumerate() {
+            let d = read_cached(&mut cache, &dir, u, false, &mut scratch).unwrap();
+            assert_eq!(d, sample(u, i as f64));
+            assert!(cache.len() <= 2, "cache grew past its bound");
+        }
+        // Overwrite while cached: the inode check forces a reopen.
+        let last = units[4];
+        s.write(&sample(last, 99.0)).unwrap();
+        let d = read_cached(&mut cache, &dir, last, false, &mut scratch).unwrap();
+        assert_eq!(d, sample(last, 99.0));
+        // Deleting the file surfaces NotFound and drops the entry.
+        fs::remove_file(s.unit_path(last)).unwrap();
+        assert!(matches!(
+            read_cached(&mut cache, &dir, last, false, &mut scratch),
+            Err(StorageError::NotFound(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

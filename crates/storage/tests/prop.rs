@@ -239,16 +239,155 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
-    /// Any single-byte corruption of a page is detected.
+    /// Any single-byte corruption of a page is detected — for the current
+    /// v2 slab layout and legacy v1 pages alike.
     #[test]
     fn codec_detects_any_single_byte_flip(
         pos_frac in 0.0f64..1.0,
         bit in 0u8..8,
+        v1 in any::<bool>(),
     ) {
         let data = unit_data(3, 4, 7.0);
-        let mut page = codec::encode(&data);
+        let mut page = if v1 {
+            codec::encode_v1(&data)
+        } else {
+            codec::encode(&data)
+        };
         let pos = ((page.len() - 1) as f64 * pos_frac) as usize;
         page[pos] ^= 1 << bit;
         prop_assert!(codec::decode(&page).is_err(), "flip at {pos} undetected");
+    }
+
+    /// Any truncation of a page is detected (the checksum trailer moves or
+    /// vanishes, so no prefix can validate).
+    #[test]
+    fn codec_detects_any_truncation(
+        cut_frac in 0.0f64..1.0,
+        v1 in any::<bool>(),
+    ) {
+        let data = unit_data(2, 3, -4.5);
+        let page = if v1 {
+            codec::encode_v1(&data)
+        } else {
+            codec::encode(&data)
+        };
+        let cut = ((page.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(codec::decode(&page[..cut]).is_err(), "cut to {cut} undetected");
+    }
+
+    /// Pages written in the legacy v1 layout decode bit-identically to
+    /// their v2 re-encoding under the current reader, for arbitrary unit
+    /// shapes.
+    #[test]
+    fn codec_v1_pages_decode_identically(
+        mode in 0usize..4,
+        part in 0usize..100,
+        rows in 0usize..6,
+        cols in 0usize..6,
+        subs in proptest::collection::vec((0u64..64, 1usize..4, 1usize..4), 0..5),
+        seed in -100.0f64..100.0,
+    ) {
+        let data = UnitData {
+            unit: UnitId::new(mode, part),
+            factor: Mat::filled(rows, cols, seed),
+            sub_factors: subs
+                .iter()
+                .map(|&(b, r, c)| (b, Mat::filled(r, c, seed * 0.5)))
+                .collect(),
+        };
+        let from_v1 = codec::decode(&codec::encode_v1(&data)).unwrap();
+        let from_v2 = codec::decode(&codec::encode(&data)).unwrap();
+        prop_assert_eq!(&from_v1, &data);
+        prop_assert_eq!(&from_v1, &from_v2);
+    }
+
+    /// The unrolled 8-bytes-per-iteration `fnv1a` is pinned bit-identical
+    /// to the byte-at-a-time reference implementation for arbitrary input
+    /// (lengths straddle every chunk/remainder boundary).
+    #[test]
+    fn fnv1a_matches_byte_at_a_time_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        fn reference(data: &[u8]) -> u64 {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in data {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash
+        }
+        prop_assert_eq!(codec::fnv1a(&data), reference(&data));
+    }
+
+    /// The mmap read path moves bytes, never values: an mmap-backed
+    /// single-file store run through a random pool workload observes and
+    /// persists exactly what the buffered run does, counter for counter.
+    #[test]
+    fn mmap_pool_runs_match_buffered_runs(
+        ops in ops(),
+        policy_idx in 0usize..3,
+        capacity_units in 1usize..7,
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        let dir = std::env::temp_dir().join(format!(
+            "tpcp_prop_mmap_{}_{}",
+            std::process::id(),
+            std::thread::current().name().map(str::to_owned).unwrap_or_default().len(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let unit_bytes = unit_data(0, 3, 0.0).payload_bytes();
+
+        let run = |mmap: bool, tag: &str| -> (Vec<f64>, tpcp_storage::IoStats, Vec<f64>) {
+            let mut store = SingleFileStore::open_with(
+                dir.join(format!("{tag}.seg")), mmap).unwrap();
+            for part in 0..6 {
+                store.write(&unit_data(part, 3, part as f64)).unwrap();
+            }
+            let mut pool = BufferPool::new(store, unit_bytes * capacity_units, policy);
+            let mut observed = Vec::new();
+            let mut version = 100.0;
+            for op in &ops {
+                match op {
+                    Op::Touch { part, mutate } => {
+                        let id = UnitId::new(0, *part);
+                        pool.acquire(&[id]).unwrap();
+                        observed.push(pool.get(id).unwrap().factor.get(0, 0));
+                        if *mutate {
+                            version += 1.0;
+                            *pool.get_mut(id).unwrap() = unit_data(*part, 3, version);
+                        }
+                        pool.release(&[id]);
+                    }
+                    Op::Flush => pool.flush().unwrap(),
+                }
+            }
+            pool.flush_and_clear().unwrap();
+            let stats = pool.stats();
+            let mut store = pool.into_store().unwrap();
+            let finals: Vec<f64> = (0..6)
+                .map(|p| store.read(UnitId::new(0, p)).unwrap().factor.get(0, 0))
+                .collect();
+            (observed, stats, finals)
+        };
+
+        let off = run(false, "off");
+        let on = run(true, "on");
+        prop_assert_eq!(&off.0, &on.0, "observed values diverged");
+        prop_assert_eq!(off.1.fetches, on.1.fetches, "swap counts diverged");
+        prop_assert_eq!(off.1.hits, on.1.hits);
+        prop_assert_eq!(off.1.evictions, on.1.evictions);
+        prop_assert_eq!(off.1.write_backs, on.1.write_backs);
+        prop_assert_eq!(off.1.bytes_read, on.1.bytes_read, "byte accounting diverged");
+        prop_assert_eq!(off.1.bytes_written, on.1.bytes_written);
+        prop_assert_eq!(off.1.borrowed_reads, 0, "buffered run must not borrow");
+        if cfg!(unix) {
+            prop_assert_eq!(
+                on.1.borrowed_reads, on.1.fetches,
+                "every mmap fetch must take the borrowed-slab path"
+            );
+        }
+        prop_assert_eq!(&off.2, &on.2, "final store contents diverged");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
