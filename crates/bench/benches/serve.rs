@@ -1,0 +1,194 @@
+//! Serving-path latency: every query opcode measured end-to-end through
+//! a real `tpcp-serve` instance on loopback (frame encode → TCP → router
+//! → model evaluation → response decode), plus the query cache's effect.
+//!
+//! Two traffic shapes per opcode:
+//!
+//! * `serve/<op>_miss` — every request names fresh coordinates, so the
+//!   cache never hits and the cost is dominated by model evaluation;
+//! * `serve/<op>_hit` — one hot request repeated, so after the first
+//!   round-trip the router answers from the LRU.
+//!
+//! The artifact `BENCH_serve.json` reports the *server-side* per-opcode
+//! p50/p99 (from the STATS histograms — the same numbers an operator
+//! reads off a production daemon) and the aggregate cache hit rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+use tpcp_cp::CpModel;
+use tpcp_linalg::Mat;
+use tpcp_serve::{Client, ModelRegistry, ServeOptions, Server};
+use tpcp_tensor::random_factor;
+use twopcp::{Model, ModelMeta};
+
+/// Where the machine-readable artifact lands (the workspace root).
+const ARTIFACT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+
+const DIMS: [usize; 3] = [64, 48, 32];
+const RANK: usize = 16;
+
+fn build_model(dir: &std::path::Path) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let factors: Vec<Mat> = DIMS
+        .iter()
+        .map(|&d| random_factor(d, RANK, &mut rng))
+        .collect();
+    let model = Model::new(
+        ModelMeta {
+            name: "bench".into(),
+            rank: RANK,
+            dims: DIMS.to_vec(),
+            seed: 17,
+            fit: 0.97,
+            schedule: "HO".into(),
+            parts: vec![2],
+        },
+        CpModel::new(vec![1.0; RANK], factors).unwrap(),
+    )
+    .unwrap();
+    model.save(dir.join("bench.2pcpm")).unwrap();
+}
+
+fn start_server(dir: &std::path::Path) -> (Server, String) {
+    let registry = Arc::new(ModelRegistry::open(dir).unwrap());
+    let mut opts = ServeOptions::new(dir);
+    opts.addr = "127.0.0.1:0".into();
+    let server = Server::start_with_registry(opts, registry).unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+/// Varied coordinates so `_miss` rounds never repeat a request payload.
+fn coords(i: usize) -> Vec<usize> {
+    DIMS.iter()
+        .enumerate()
+        .map(|(m, &d)| (i * 7 + m * 3 + i / d) % d)
+        .collect()
+}
+
+fn bench_opcodes(c: &mut Criterion, addr: &str) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(20);
+
+    let mut client = Client::connect(addr).unwrap();
+    let mut i = 0usize;
+
+    group.bench_function("ping", |b| {
+        b.iter(|| client.ping().unwrap());
+    });
+    group.bench_function("entry_miss", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(client.entry("bench", &coords(i)).unwrap())
+        });
+    });
+    group.bench_function("entry_hit", |b| {
+        b.iter(|| black_box(client.entry("bench", &[1, 2, 3]).unwrap()));
+    });
+    group.bench_function("fiber_miss", |b| {
+        b.iter(|| {
+            i += 1;
+            let cs = coords(i);
+            black_box(client.fiber("bench", 0, &cs[1..]).unwrap())
+        });
+    });
+    group.bench_function("fiber_hit", |b| {
+        b.iter(|| black_box(client.fiber("bench", 0, &[2, 3]).unwrap()));
+    });
+    group.bench_function("slice_miss", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(client.slice("bench", 0, 1, &[i % DIMS[2]]).unwrap())
+        });
+    });
+    group.bench_function("slice_hit", |b| {
+        b.iter(|| black_box(client.slice("bench", 0, 1, &[5]).unwrap()));
+    });
+    group.bench_function("top_k_miss", |b| {
+        b.iter(|| {
+            i += 1;
+            let cs = coords(i);
+            black_box(client.top_k("bench", 0, &cs[1..], 8).unwrap())
+        });
+    });
+    group.bench_function("top_k_hit", |b| {
+        b.iter(|| black_box(client.top_k("bench", 0, &[2, 3], 8).unwrap()));
+    });
+    group.bench_function("similar_miss", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(client.similar("bench", 0, i % DIMS[0], 8).unwrap())
+        });
+    });
+    group.bench_function("similar_hit", |b| {
+        b.iter(|| black_box(client.similar("bench", 0, 7, 8).unwrap()));
+    });
+    group.bench_function("meta", |b| {
+        b.iter(|| black_box(client.meta("bench").unwrap()));
+    });
+    group.finish();
+}
+
+fn write_artifact(addr: &str) {
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+
+    let mut out = String::from("{\n  \"bench\": \"serve\",\n  \"opcodes\": [\n");
+    let reported: Vec<_> = stats.ops.iter().filter(|s| s.snapshot.count > 0).collect();
+    for (i, op) in reported.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"opcode\": \"{}\", \"count\": {}, \"errors\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"mean_us\": {:.1}}}",
+            op.name,
+            op.snapshot.count,
+            op.snapshot.errors,
+            op.snapshot.quantile_us(0.50),
+            op.snapshot.quantile_us(0.99),
+            op.snapshot.total_ns as f64 / 1000.0 / op.snapshot.count.max(1) as f64,
+        ));
+        out.push_str(if i + 1 < reported.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let total = stats.cache_hits + stats.cache_misses;
+    out.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
+        stats.cache_hits,
+        stats.cache_misses,
+        if total == 0 {
+            0.0
+        } else {
+            stats.cache_hits as f64 / total as f64
+        }
+    ));
+    out.push_str(
+        "  \"notes\": \"p50/p99 are server-side, read from the STATS log2-microsecond \
+         histograms over the whole bench run (miss- and hit-shaped traffic mixed); \
+         _hit cells in the criterion console output isolate cached responses, _miss \
+         cells isolate fresh evaluation.\"\n}\n",
+    );
+    match std::fs::write(ARTIFACT_PATH, &out) {
+        Ok(()) => eprintln!("serve: artifact written to {ARTIFACT_PATH}"),
+        Err(e) => eprintln!("serve: could not write artifact: {e}"),
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("tpcp_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    build_model(&dir);
+    let (server, addr) = start_server(&dir);
+
+    bench_opcodes(c, &addr);
+    write_artifact(&addr);
+
+    let mut admin = Client::connect(&addr).unwrap();
+    admin.shutdown().unwrap();
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -18,12 +18,12 @@ fn bench_table2(c: &mut Criterion) {
         b.iter(|| {
             let report = cp_als_dense(
                 black_box(&x),
-                &AlsOptions {
-                    rank: 4,
-                    max_iters: 6,
-                    tol: 1e-2,
-                    ..Default::default()
-                },
+                &AlsOptions::builder()
+                    .rank(4)
+                    .max_iters(6)
+                    .tol(1e-2)
+                    .build()
+                    .unwrap(),
             )
             .unwrap();
             black_box(report.final_fit)

@@ -6,6 +6,101 @@ use tpcp_par::ParConfig;
 use tpcp_schedule::ScheduleKind;
 use tpcp_storage::{PolicyKind, PrefetchConfig};
 
+/// An invalid configuration detected by a builder's `build()`.
+///
+/// Converts into [`TwoPcpError::Config`] at the pipeline boundary, so
+/// `?` works in driver code while builder call sites keep the precise
+/// type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// What was wrong with the configuration.
+    pub reason: String,
+}
+
+impl ConfigError {
+    fn new(reason: impl Into<String>) -> Self {
+        ConfigError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid config: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for TwoPcpError {
+    fn from(e: ConfigError) -> Self {
+        TwoPcpError::Config { reason: e.reason }
+    }
+}
+
+/// Name of the environment variable giving `tpcp-serve` / `tpcp-query`
+/// their default address.
+pub const SERVE_ADDR_ENV_VAR: &str = "TPCP_SERVE_ADDR";
+
+/// Every `TPCP_*` environment override, parsed once.
+///
+/// The individual crates own their variables' grammar ([`ParConfig`],
+/// [`PrefetchConfig`], [`tpcp_storage::shards_auto`],
+/// [`tpcp_storage::mmap_auto`]); this type records *which* variables are
+/// actually set and their parsed values, and [`TwoPcpConfig::new`] is
+/// the single place in the driver that applies them — everything built
+/// on a config (examples, tests, the serving daemon) inherits the
+/// environment through it.
+#[derive(Clone, Debug, Default)]
+pub struct EnvOverrides {
+    /// `TPCP_THREADS` → shared worker-thread budget.
+    pub par: Option<ParConfig>,
+    /// `TPCP_PREFETCH` → prefetch pipeline depth / off.
+    pub prefetch: Option<PrefetchConfig>,
+    /// `TPCP_SHARDS` → unit-store shard count.
+    pub shards: Option<usize>,
+    /// `TPCP_MMAP` → zero-copy page read path.
+    pub mmap: Option<bool>,
+    /// `TPCP_SERVE_ADDR` → serving daemon listen address.
+    pub serve_addr: Option<String>,
+}
+
+impl EnvOverrides {
+    /// Reads every override from the process environment. Variables that
+    /// are unset stay `None`; set variables parse under their owning
+    /// crate's rules (malformed values fall back to that crate's
+    /// defaults, exactly as before this type existed).
+    pub fn from_env() -> Self {
+        let set = |name: &str| std::env::var_os(name).is_some();
+        EnvOverrides {
+            par: set(tpcp_par::THREADS_ENV_VAR).then(ParConfig::auto),
+            prefetch: set(tpcp_storage::PREFETCH_ENV_VAR).then(PrefetchConfig::auto),
+            shards: set(tpcp_storage::SHARDS_ENV_VAR).then(tpcp_storage::shards_auto),
+            mmap: set(tpcp_storage::MMAP_ENV_VAR).then(tpcp_storage::mmap_auto),
+            serve_addr: std::env::var(SERVE_ADDR_ENV_VAR).ok(),
+        }
+    }
+
+    /// Applies the set overrides to `config`, leaving unset knobs alone.
+    #[must_use]
+    pub fn apply(&self, mut config: TwoPcpConfig) -> TwoPcpConfig {
+        if let Some(par) = self.par {
+            config.par = par;
+        }
+        if let Some(prefetch) = self.prefetch {
+            config.prefetch = prefetch;
+        }
+        if let Some(shards) = self.shards {
+            config.shards = shards;
+        }
+        if let Some(mmap) = self.mmap {
+            config.mmap = mmap;
+        }
+        config
+    }
+}
+
 /// How the global sub-factors `A(i)(kᵢ)` are initialised before Phase 2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum InitKind {
@@ -29,6 +124,29 @@ pub struct Phase1Options {
     /// Route Phase 1 through the MapReduce substrate (paper Observation #1)
     /// instead of in-process threads. Requires `work_dir`.
     pub use_mapreduce: bool,
+}
+
+impl Phase1Options {
+    /// Sets the per-block ALS iteration budget.
+    #[must_use]
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Sets the per-block ALS convergence tolerance.
+    #[must_use]
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Routes Phase 1 through the MapReduce substrate.
+    #[must_use]
+    pub fn mapreduce(mut self, use_mapreduce: bool) -> Self {
+        self.use_mapreduce = use_mapreduce;
+        self
+    }
 }
 
 impl Default for Phase1Options {
@@ -108,8 +226,12 @@ pub struct TwoPcpConfig {
 impl TwoPcpConfig {
     /// A configuration with the paper's preferred defaults: Hilbert-order
     /// schedule, forward-looking replacement, 2 partitions per mode.
+    ///
+    /// This is the single place the `TPCP_*` environment overrides enter
+    /// the driver: env-free defaults first, then
+    /// [`EnvOverrides::from_env`] on top.
     pub fn new(rank: usize) -> Self {
-        TwoPcpConfig {
+        EnvOverrides::from_env().apply(TwoPcpConfig {
             rank,
             parts: vec![2],
             schedule: ScheduleKind::HilbertOrder,
@@ -122,10 +244,19 @@ impl TwoPcpConfig {
             work_dir: None,
             init: InitKind::SlabMean,
             phase1: Phase1Options::default(),
-            par: ParConfig::auto(),
-            prefetch: PrefetchConfig::auto(),
-            shards: tpcp_storage::shards_auto(),
-            mmap: tpcp_storage::mmap_auto(),
+            par: ParConfig::hardware(),
+            prefetch: PrefetchConfig::default(),
+            shards: 1,
+            mmap: false,
+        })
+    }
+
+    /// A validating builder over the same defaults as
+    /// [`TwoPcpConfig::new`] (environment overrides included).
+    pub fn builder() -> TwoPcpConfigBuilder {
+        TwoPcpConfigBuilder {
+            config: TwoPcpConfig::new(0),
+            rank_set: false,
         }
     }
 
@@ -265,6 +396,144 @@ impl TwoPcpConfig {
             });
         }
         Ok(parts)
+    }
+}
+
+/// Builder for [`TwoPcpConfig`] whose [`build`](TwoPcpConfigBuilder::build)
+/// rejects invalid settings up front, instead of deferring every mistake
+/// to `resolved_parts` deep inside a run.
+#[derive(Clone, Debug)]
+pub struct TwoPcpConfigBuilder {
+    config: TwoPcpConfig,
+    rank_set: bool,
+}
+
+impl TwoPcpConfigBuilder {
+    /// Sets the decomposition rank `F` (required).
+    pub fn rank(mut self, rank: usize) -> Self {
+        self.config.rank = rank;
+        self.rank_set = true;
+        self
+    }
+
+    /// Sets the per-mode partition counts.
+    pub fn parts(mut self, parts: Vec<usize>) -> Self {
+        self.config = self.config.parts(parts);
+        self
+    }
+
+    /// Sets the Phase-2 update schedule.
+    pub fn schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.config = self.config.schedule(schedule);
+        self
+    }
+
+    /// Sets the buffer replacement policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.config = self.config.policy(policy);
+        self
+    }
+
+    /// Sets the buffer size as a fraction of the total space requirement.
+    pub fn buffer_fraction(mut self, fraction: f64) -> Self {
+        self.config = self.config.buffer_fraction(fraction);
+        self
+    }
+
+    /// Sets the virtual-iteration budget.
+    pub fn max_virtual_iters(mut self, iters: usize) -> Self {
+        self.config = self.config.max_virtual_iters(iters);
+        self
+    }
+
+    /// Sets the Phase-2 stopping tolerance.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.config = self.config.tol(tol);
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config = self.config.seed(seed);
+        self
+    }
+
+    /// Uses an on-disk unit store rooted at `dir`.
+    pub fn work_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config = self.config.work_dir(dir);
+        self
+    }
+
+    /// Sets the sub-factor initialisation strategy.
+    pub fn init(mut self, init: InitKind) -> Self {
+        self.config = self.config.init(init);
+        self
+    }
+
+    /// Sets the Phase-1 options.
+    pub fn phase1(mut self, phase1: Phase1Options) -> Self {
+        self.config = self.config.phase1(phase1);
+        self
+    }
+
+    /// Sets the shared worker-thread budget (`0` = decide automatically).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config = self.config.threads(threads);
+        self
+    }
+
+    /// Sets the shared thread budget from an explicit [`ParConfig`].
+    pub fn par(mut self, par: ParConfig) -> Self {
+        self.config = self.config.par(par);
+        self
+    }
+
+    /// Sets the Phase-2 prefetch pipeline configuration.
+    pub fn prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.config = self.config.prefetch(prefetch);
+        self
+    }
+
+    /// Sets the unit-store shard count (`1` = unsharded).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config = self.config.shards(shards);
+        self
+    }
+
+    /// Switches the zero-copy (mmap-backed) page read path on or off.
+    pub fn mmap(mut self, mmap: bool) -> Self {
+        self.config = self.config.mmap(mmap);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    /// [`ConfigError`] when the rank is zero or unset, the buffer
+    /// fraction is not positive, the partition vector is empty or
+    /// contains zeros, or the shard count is zero.
+    pub fn build(self) -> std::result::Result<TwoPcpConfig, ConfigError> {
+        let c = &self.config;
+        if !self.rank_set {
+            return Err(ConfigError::new("rank is required — call .rank(F)"));
+        }
+        if c.rank == 0 {
+            return Err(ConfigError::new("rank must be positive"));
+        }
+        // `partial_cmp` so NaN (incomparable) is rejected too.
+        if c.buffer_fraction.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(ConfigError::new("buffer_fraction must be positive"));
+        }
+        if c.parts.is_empty() {
+            return Err(ConfigError::new("parts must not be empty"));
+        }
+        if c.parts.contains(&0) {
+            return Err(ConfigError::new("partition counts must be positive"));
+        }
+        if c.shards == 0 {
+            return Err(ConfigError::new("shard count must be positive"));
+        }
+        Ok(self.config)
     }
 }
 

@@ -274,10 +274,7 @@ mod tests {
                 .max_virtual_iters(30)
                 .tol(1e-6)
                 .work_dir(&dir)
-                .phase1(Phase1Options {
-                    use_mapreduce: true,
-                    ..Default::default()
-                }),
+                .phase1(Phase1Options::default().mapreduce(true)),
         )
         .decompose_dense(&x)
         .unwrap();

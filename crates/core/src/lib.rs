@@ -50,11 +50,16 @@ pub mod swapsim;
 
 mod config;
 mod driver;
+mod model;
 mod pq;
 mod update;
 
-pub use config::{InitKind, Phase1Options, TwoPcpConfig};
+pub use config::{
+    ConfigError, EnvOverrides, InitKind, Phase1Options, TwoPcpConfig, TwoPcpConfigBuilder,
+    SERVE_ADDR_ENV_VAR,
+};
 pub use driver::{TwoPcp, TwoPcpOutcome};
+pub use model::{Model, ModelMeta, MODEL_EXT, MODEL_MAGIC, MODEL_VERSION};
 pub use naive::{naive_cp_out_of_core, NaiveOocOptions, NaiveOocReport};
 pub use phase1::{
     run_phase1_dense, run_phase1_mapreduce, run_phase1_mapreduce_source, run_phase1_source,
@@ -93,6 +98,11 @@ pub enum TwoPcpError {
         /// Explanation of the invalid setting.
         reason: String,
     },
+    /// Malformed model container or invalid model query.
+    Model {
+        /// Explanation of the failure.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for TwoPcpError {
@@ -106,6 +116,7 @@ impl std::fmt::Display for TwoPcpError {
             TwoPcpError::MapReduce(e) => write!(f, "mapreduce: {e}"),
             TwoPcpError::WorkerPanic { message } => write!(f, "worker panicked: {message}"),
             TwoPcpError::Config { reason } => write!(f, "config: {reason}"),
+            TwoPcpError::Model { reason } => write!(f, "model: {reason}"),
         }
     }
 }

@@ -1,0 +1,733 @@
+//! The saved-model artifact: a decomposition promoted from the driver's
+//! loose `(factors, λ, fit)` outputs into a self-describing, queryable
+//! on-disk container.
+//!
+//! # Container format (`.2pcpm`)
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"2PCPMODL"
+//! 8       4     container version (u32 LE, currently 1)
+//! 12      4     metadata length `m` (u32 LE)
+//! 16      m     metadata block (layout below)
+//! 16+m    8     FNV-1a 64 checksum of bytes [0, 16+m)
+//! …       pad   zero padding to the next 8-byte boundary
+//! then, for each mode h = 0 .. order:
+//!         8     page length (u64 LE)
+//!         …     codec-v2 page of `UnitData { unit: (h, 0), factor: A⁽ʰ⁾ }`
+//!         pad   zero padding to the next 8-byte boundary
+//! ```
+//!
+//! Metadata block (all little-endian):
+//!
+//! ```text
+//! u16 name_len, name (UTF-8)
+//! u32 rank
+//! u32 order
+//! u64 × order   dims
+//! u64 seed
+//! f64 fit
+//! u16 sched_len, schedule abbreviation (UTF-8, e.g. "HO")
+//! u32 parts_len, u64 × parts_len   phase-1 grid provenance
+//! f64 × rank    component weights λ
+//! ```
+//!
+//! Factor matrices ride as ordinary codec-v2 pages — the same
+//! checksummed, bulk-copy format the unit stores swap — so the reader is
+//! `tpcp_storage::codec::decode` over an `Mmap` (buffered fallback when
+//! `TPCP_MMAP` is off), and a corrupted factor fails the same way a
+//! corrupted swap page does.
+//!
+//! Besides persistence, [`Model`] is the shared query surface: the
+//! serving daemon (`tpcp-serve`) and in-process verification both answer
+//! entry/fiber/slice/top-k/similarity questions through these methods,
+//! which is what makes served answers bitwise-comparable to local ones.
+
+use crate::{config::TwoPcpConfig, driver::TwoPcpOutcome, Result, TwoPcpError};
+use std::io::Write;
+use std::path::Path;
+use tpcp_cp::CpModel;
+use tpcp_linalg::Mat;
+use tpcp_schedule::UnitId;
+use tpcp_storage::{codec, mmap_auto, UnitData};
+
+/// Magic bytes opening a model container.
+pub const MODEL_MAGIC: &[u8; 8] = b"2PCPMODL";
+/// Container format version written by [`Model::save`].
+pub const MODEL_VERSION: u32 = 1;
+/// Conventional file extension for saved models.
+pub const MODEL_EXT: &str = "2pcpm";
+
+/// Hard ceilings rejected at load time before any allocation is sized
+/// from untrusted header fields.
+const MAX_META_LEN: u32 = 1 << 20;
+const MAX_ORDER: u32 = 64;
+const MAX_RANK: u32 = 1 << 20;
+
+/// Descriptive metadata stored alongside the factors: everything needed
+/// to answer "what is this model?" without decoding a page.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelMeta {
+    /// Human-readable model name (the registry key when served).
+    pub name: String,
+    /// Decomposition rank `F`.
+    pub rank: usize,
+    /// Tensor shape `I₁ … I_N`.
+    pub dims: Vec<usize>,
+    /// RNG seed the decomposition ran with.
+    pub seed: u64,
+    /// Exact fit against the input tensor (paper §III-B).
+    pub fit: f64,
+    /// Phase-2 schedule provenance (abbreviation, e.g. `"HO"`).
+    pub schedule: String,
+    /// Phase-1 grid provenance: partitions per mode.
+    pub parts: Vec<usize>,
+}
+
+/// A saved/loadable decomposition: metadata plus the CP model itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Model {
+    /// Descriptive metadata (see [`ModelMeta`]).
+    pub meta: ModelMeta,
+    /// The underlying weighted factors.
+    pub cp: CpModel,
+}
+
+fn model_err(reason: impl Into<String>) -> TwoPcpError {
+    TwoPcpError::Model {
+        reason: reason.into(),
+    }
+}
+
+impl Model {
+    /// Wraps a CP model with metadata, validating that they agree.
+    ///
+    /// # Errors
+    /// [`TwoPcpError::Model`] when `meta.rank`/`meta.dims` disagree with
+    /// the factors.
+    pub fn new(meta: ModelMeta, cp: CpModel) -> Result<Self> {
+        if meta.rank != cp.rank() {
+            return Err(model_err(format!(
+                "metadata rank {} != factor rank {}",
+                meta.rank,
+                cp.rank()
+            )));
+        }
+        if meta.dims != cp.dims() {
+            return Err(model_err(format!(
+                "metadata dims {:?} != factor dims {:?}",
+                meta.dims,
+                cp.dims()
+            )));
+        }
+        Ok(Model { meta, cp })
+    }
+
+    /// Promotes a driver outcome into a named artifact, recording the
+    /// run's provenance (seed, schedule, grid) from its config.
+    pub fn from_outcome(name: &str, outcome: &TwoPcpOutcome, config: &TwoPcpConfig) -> Self {
+        Model {
+            meta: ModelMeta {
+                name: name.to_string(),
+                rank: outcome.model.rank(),
+                dims: outcome.model.dims(),
+                seed: config.seed,
+                fit: outcome.fit,
+                schedule: config.schedule.abbrev().to_string(),
+                parts: config.parts.clone(),
+            },
+            cp: outcome.model.clone(),
+        }
+    }
+
+    /// Decomposition rank `F`.
+    pub fn rank(&self) -> usize {
+        self.cp.rank()
+    }
+
+    /// Tensor order `N`.
+    pub fn order(&self) -> usize {
+        self.cp.order()
+    }
+
+    /// Tensor shape.
+    pub fn dims(&self) -> Vec<usize> {
+        self.cp.dims()
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence
+    // ------------------------------------------------------------------
+
+    /// Serialises the container into a byte vector (the exact bytes
+    /// [`Model::save`] writes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let meta = self.encode_meta();
+        let mut out = Vec::with_capacity(meta.len() + 64);
+        out.extend_from_slice(MODEL_MAGIC);
+        out.extend_from_slice(&MODEL_VERSION.to_le_bytes());
+        out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        out.extend_from_slice(&meta);
+        let sum = codec::fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        pad8(&mut out);
+        for (h, factor) in self.cp.factors.iter().enumerate() {
+            let page = codec::encode(&UnitData {
+                unit: UnitId::new(h, 0),
+                factor: factor.clone(),
+                sub_factors: Vec::new(),
+            });
+            out.extend_from_slice(&(page.len() as u64).to_le_bytes());
+            out.extend_from_slice(&page);
+            pad8(&mut out);
+        }
+        out
+    }
+
+    /// Writes the container to `path`, atomically (write to a sibling
+    /// temp file, then rename over the destination).
+    ///
+    /// # Errors
+    /// [`TwoPcpError::Storage`] on I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = path.with_extension("2pcpm.tmp");
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&self.to_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a container from `path`, honouring the `TPCP_MMAP` default
+    /// for the read transport.
+    ///
+    /// # Errors
+    /// [`TwoPcpError::Storage`] on I/O failure, [`TwoPcpError::Model`]
+    /// on a malformed or corrupted container.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        Self::load_with(path, mmap_auto())
+    }
+
+    /// Loads a container, choosing the transport explicitly: `mmap`
+    /// parses straight out of the mapping; otherwise the file is read
+    /// into a buffer first.
+    pub fn load_with(path: impl AsRef<Path>, mmap: bool) -> Result<Self> {
+        let path = path.as_ref();
+        if mmap {
+            let file = std::fs::File::open(path)?;
+            if let Ok(map) = unsafe { memmap2::Mmap::map(&file) } {
+                map.advise_willneed(0, map.len());
+                return Self::from_bytes(&map);
+            }
+            // Mapping can fail (empty file, exotic fs) — fall through to
+            // the buffered read, which reports the real parse error.
+        }
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Parses a container from bytes (the inverse of [`Model::to_bytes`]).
+    ///
+    /// # Errors
+    /// [`TwoPcpError::Model`] describing the first malformed field; all
+    /// length fields are bounds-checked before use, so truncated or
+    /// hostile inputs fail cleanly instead of panicking.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 16 {
+            return Err(model_err("container shorter than its fixed header"));
+        }
+        if &bytes[0..8] != MODEL_MAGIC {
+            return Err(model_err("bad magic: not a 2PCP model container"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != MODEL_VERSION {
+            return Err(model_err(format!(
+                "unsupported container version {version} (expected {MODEL_VERSION})"
+            )));
+        }
+        let meta_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        if meta_len > MAX_META_LEN {
+            return Err(model_err(format!(
+                "metadata length {meta_len} exceeds the {MAX_META_LEN}-byte cap"
+            )));
+        }
+        let meta_end = 16 + meta_len as usize;
+        if bytes.len() < meta_end + 8 {
+            return Err(model_err("container truncated inside the metadata block"));
+        }
+        let stored = u64::from_le_bytes(bytes[meta_end..meta_end + 8].try_into().unwrap());
+        let actual = codec::fnv1a(&bytes[..meta_end]);
+        if stored != actual {
+            return Err(model_err(format!(
+                "metadata checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+            )));
+        }
+        let meta = decode_meta(&bytes[16..meta_end])?;
+
+        // Factor pages: length-prefixed, 8-aligned, one per mode.
+        let mut pos = align8(meta_end + 8);
+        let mut factors = Vec::with_capacity(meta.dims.len());
+        for h in 0..meta.dims.len() {
+            if bytes.len() < pos + 8 {
+                return Err(model_err(format!("container truncated before factor {h}")));
+            }
+            let page_len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+            pos += 8;
+            let Some(end) = pos
+                .checked_add(page_len as usize)
+                .filter(|&e| e <= bytes.len())
+            else {
+                return Err(model_err(format!(
+                    "factor {h} page length {page_len} overruns the container"
+                )));
+            };
+            let unit = codec::decode(&bytes[pos..end])
+                .map_err(|e| model_err(format!("factor {h} page: {e}")))?;
+            if unit.unit != UnitId::new(h, 0) || !unit.sub_factors.is_empty() {
+                return Err(model_err(format!("factor {h} page carries the wrong unit")));
+            }
+            if unit.factor.rows() != meta.dims[h] || unit.factor.cols() != meta.rank {
+                return Err(model_err(format!(
+                    "factor {h} is {}×{}, metadata says {}×{}",
+                    unit.factor.rows(),
+                    unit.factor.cols(),
+                    meta.dims[h],
+                    meta.rank
+                )));
+            }
+            factors.push(unit.factor);
+            pos = align8(end);
+        }
+        let cp = CpModel::new(meta_weights(&bytes[16..meta_end], &meta), factors)
+            .map_err(|e| model_err(format!("factors disagree with metadata: {e}")))?;
+        Model::new(meta, cp)
+    }
+
+    fn encode_meta(&self) -> Vec<u8> {
+        let m = &self.meta;
+        let mut out = Vec::new();
+        out.extend_from_slice(&(m.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(m.name.as_bytes());
+        out.extend_from_slice(&(m.rank as u32).to_le_bytes());
+        out.extend_from_slice(&(m.dims.len() as u32).to_le_bytes());
+        for &d in &m.dims {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&m.seed.to_le_bytes());
+        out.extend_from_slice(&m.fit.to_le_bytes());
+        out.extend_from_slice(&(m.schedule.len() as u16).to_le_bytes());
+        out.extend_from_slice(m.schedule.as_bytes());
+        out.extend_from_slice(&(m.parts.len() as u32).to_le_bytes());
+        for &p in &m.parts {
+            out.extend_from_slice(&(p as u64).to_le_bytes());
+        }
+        for &w in &self.cp.weights {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (shared by the serving daemon and in-process verification)
+    // ------------------------------------------------------------------
+
+    /// Reconstructs a single tensor entry `X̃[coords]`.
+    ///
+    /// # Errors
+    /// [`TwoPcpError::Model`] when `coords` has the wrong arity or an
+    /// index is out of range.
+    pub fn entry(&self, coords: &[usize]) -> Result<f64> {
+        let dims = self.cp.dims();
+        if coords.len() != dims.len() {
+            return Err(model_err(format!(
+                "entry wants {} coordinates, got {}",
+                dims.len(),
+                coords.len()
+            )));
+        }
+        let mut prod = self.cp.weights.clone();
+        for (h, (&c, factor)) in coords.iter().zip(&self.cp.factors).enumerate() {
+            if c >= dims[h] {
+                return Err(model_err(format!(
+                    "coordinate {c} out of range for mode {h} (dim {})",
+                    dims[h]
+                )));
+            }
+            for (p, &a) in prod.iter_mut().zip(factor.row(c)) {
+                *p *= a;
+            }
+        }
+        Ok(prod.iter().sum())
+    }
+
+    /// Reconstructs the mode-`mode` fiber at `fixed` — the length-`I_mode`
+    /// vector obtained by varying `mode` while the other coordinates are
+    /// pinned to `fixed` (given in ascending mode order, `mode` omitted).
+    pub fn fiber(&self, mode: usize, fixed: &[usize]) -> Result<Vec<f64>> {
+        let prod = self.pinned_product(&[mode], fixed)?;
+        let a = &self.cp.factors[mode];
+        Ok((0..a.rows()).map(|i| dot(a.row(i), &prod)).collect())
+    }
+
+    /// Reconstructs the 2-D slice with free modes `mode_r` (rows) and
+    /// `mode_c` (columns), remaining coordinates pinned to `fixed`
+    /// (ascending mode order, both free modes omitted).
+    pub fn slice(&self, mode_r: usize, mode_c: usize, fixed: &[usize]) -> Result<Mat> {
+        if mode_r == mode_c {
+            return Err(model_err("slice needs two distinct free modes"));
+        }
+        let prod = self.pinned_product(&[mode_r, mode_c], fixed)?;
+        // out = (A_r ⊙ prod) · A_cᵀ  — scale A_r's columns by the pinned
+        // product, then one matmul_t gives every (i, j) at once.
+        let mut scaled = self.cp.factors[mode_r].clone();
+        scaled.scale_columns(&prod);
+        scaled
+            .matmul_t(&self.cp.factors[mode_c])
+            .map_err(TwoPcpError::Linalg)
+    }
+
+    /// The `k` largest entries of the mode-`mode` fiber at `fixed`,
+    /// as `(index, value)` sorted by value descending (ties by index).
+    pub fn top_k(&self, mode: usize, fixed: &[usize], k: usize) -> Result<Vec<(usize, f64)>> {
+        let fiber = self.fiber(mode, fixed)?;
+        let mut ranked: Vec<(usize, f64)> = fiber.into_iter().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        Ok(ranked)
+    }
+
+    /// Cosine similarity between rows `i` and `j` of mode `mode`'s factor
+    /// (each row weighted by λ). Zero-norm rows compare as `0.0`.
+    pub fn cosine(&self, mode: usize, i: usize, j: usize) -> Result<f64> {
+        let a = self.factor_checked(mode)?;
+        for &r in &[i, j] {
+            if r >= a.rows() {
+                return Err(model_err(format!(
+                    "row {r} out of range for mode {mode} (dim {})",
+                    a.rows()
+                )));
+            }
+        }
+        Ok(weighted_cosine(a.row(i), a.row(j), &self.cp.weights))
+    }
+
+    /// The `k` rows of mode `mode`'s factor most cosine-similar to `row`
+    /// (the row itself excluded), as `(index, similarity)` sorted by
+    /// similarity descending (ties by index).
+    pub fn similar_rows(&self, mode: usize, row: usize, k: usize) -> Result<Vec<(usize, f64)>> {
+        let a = self.factor_checked(mode)?;
+        if row >= a.rows() {
+            return Err(model_err(format!(
+                "row {row} out of range for mode {mode} (dim {})",
+                a.rows()
+            )));
+        }
+        let anchor = a.row(row);
+        let mut ranked: Vec<(usize, f64)> = (0..a.rows())
+            .filter(|&r| r != row)
+            .map(|r| (r, weighted_cosine(anchor, a.row(r), &self.cp.weights)))
+            .collect();
+        ranked.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
+        ranked.truncate(k);
+        Ok(ranked)
+    }
+
+    /// `λ_f · Π_{m ∉ free} A⁽ᵐ⁾[fixed_m, f]` — the component products with
+    /// every non-free mode pinned. `fixed` lists one coordinate per pinned
+    /// mode, ascending; `free` is the (small) set of unpinned modes.
+    fn pinned_product(&self, free: &[usize], fixed: &[usize]) -> Result<Vec<f64>> {
+        let dims = self.cp.dims();
+        for &m in free {
+            if m >= dims.len() {
+                return Err(model_err(format!(
+                    "mode {m} out of range for an order-{} tensor",
+                    dims.len()
+                )));
+            }
+        }
+        if fixed.len() + free.len() != dims.len() {
+            return Err(model_err(format!(
+                "expected {} pinned coordinates, got {}",
+                dims.len() - free.len(),
+                fixed.len()
+            )));
+        }
+        let mut prod = self.cp.weights.clone();
+        let mut pinned = fixed.iter();
+        for (h, factor) in self.cp.factors.iter().enumerate() {
+            if free.contains(&h) {
+                continue;
+            }
+            let &c = pinned.next().expect("arity checked above");
+            if c >= dims[h] {
+                return Err(model_err(format!(
+                    "coordinate {c} out of range for mode {h} (dim {})",
+                    dims[h]
+                )));
+            }
+            for (p, &a) in prod.iter_mut().zip(factor.row(c)) {
+                *p *= a;
+            }
+        }
+        Ok(prod)
+    }
+
+    fn factor_checked(&self, mode: usize) -> Result<&Mat> {
+        self.cp.factors.get(mode).ok_or_else(|| {
+            model_err(format!(
+                "mode {mode} out of range for an order-{} tensor",
+                self.cp.order()
+            ))
+        })
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Cosine of the λ-weighted rows: weights scale each component the same
+/// way reconstruction does, so "similar" means similar contribution.
+fn weighted_cosine(a: &[f64], b: &[f64], weights: &[f64]) -> f64 {
+    let (mut ab, mut aa, mut bb) = (0.0, 0.0, 0.0);
+    for ((&x, &y), &w) in a.iter().zip(b).zip(weights) {
+        let (wx, wy) = (w * x, w * y);
+        ab += wx * wy;
+        aa += wx * wx;
+        bb += wy * wy;
+    }
+    if aa == 0.0 || bb == 0.0 {
+        return 0.0;
+    }
+    ab / (aa.sqrt() * bb.sqrt())
+}
+
+fn pad8(buf: &mut Vec<u8>) {
+    while !buf.len().is_multiple_of(8) {
+        buf.push(0);
+    }
+}
+
+fn align8(pos: usize) -> usize {
+    pos.div_ceil(8) * 8
+}
+
+/// A bounds-checked little-endian reader over the metadata block.
+struct MetaReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MetaReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(model_err("metadata block truncated"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn string(&mut self) -> Result<String> {
+        let n = self.u16()? as usize;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| model_err("metadata string not UTF-8"))
+    }
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<ModelMeta> {
+    let mut r = MetaReader { bytes, pos: 0 };
+    let name = r.string()?;
+    let rank = r.u32()?;
+    if rank == 0 || rank > MAX_RANK {
+        return Err(model_err(format!("metadata rank {rank} out of range")));
+    }
+    let order = r.u32()?;
+    if order == 0 || order > MAX_ORDER {
+        return Err(model_err(format!("metadata order {order} out of range")));
+    }
+    let dims: Vec<usize> = (0..order)
+        .map(|_| r.u64().map(|d| d as usize))
+        .collect::<Result<_>>()?;
+    let seed = r.u64()?;
+    let fit = r.f64()?;
+    let schedule = r.string()?;
+    let parts_len = r.u32()?;
+    if parts_len > MAX_ORDER {
+        return Err(model_err(format!(
+            "metadata parts count {parts_len} out of range"
+        )));
+    }
+    let parts: Vec<usize> = (0..parts_len)
+        .map(|_| r.u64().map(|p| p as usize))
+        .collect::<Result<_>>()?;
+    // The weights follow; their arity is checked by `meta_weights`.
+    Ok(ModelMeta {
+        name,
+        rank: rank as usize,
+        dims,
+        seed,
+        fit,
+        schedule,
+        parts,
+    })
+}
+
+/// Re-walks the metadata block to extract the trailing λ vector (decoded
+/// separately so `decode_meta` stays a pure header parse).
+fn meta_weights(bytes: &[u8], meta: &ModelMeta) -> Vec<f64> {
+    let tail = meta.rank * 8;
+    if bytes.len() < tail {
+        return Vec::new(); // arity mismatch — CpModel::new rejects it
+    }
+    bytes[bytes.len() - tail..]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tpcp_tensor::random_factor;
+
+    fn sample_model() -> Model {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let dims = [6usize, 5, 4];
+        let rank = 3;
+        let factors: Vec<Mat> = dims
+            .iter()
+            .map(|&d| random_factor(d, rank, &mut rng))
+            .collect();
+        let cp = CpModel::new(vec![2.0, 1.0, 0.5], factors).unwrap();
+        Model::new(
+            ModelMeta {
+                name: "demo".into(),
+                rank,
+                dims: dims.to_vec(),
+                seed: 11,
+                fit: 0.93,
+                schedule: "HO".into(),
+                parts: vec![2, 2, 2],
+            },
+            cp,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_bytes_is_identity() {
+        let m = sample_model();
+        let again = Model::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn roundtrip_file_both_transports() {
+        let m = sample_model();
+        let dir = std::env::temp_dir().join(format!("tpcp_model_rt_{}", std::process::id()));
+        let path = dir.join("demo.2pcpm");
+        m.save(&path).unwrap();
+        for mmap in [false, true] {
+            let again = Model::load_with(&path, mmap).unwrap();
+            assert_eq!(m, again, "transport mmap={mmap}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queries_match_dense_reconstruction() {
+        let m = sample_model();
+        let x = m.cp.reconstruct_dense();
+        let dims = m.dims();
+        // Every entry, bitwise.
+        for i in 0..dims[0] {
+            for j in 0..dims[1] {
+                for k in 0..dims[2] {
+                    let direct = x.get(&[i, j, k]).unwrap();
+                    assert_eq!(m.entry(&[i, j, k]).unwrap(), direct);
+                }
+            }
+        }
+        // Mode-1 fiber at (i=2, k=3) against entries (tolerance, not
+        // bitwise: the fiber path multiplies modes in a different order).
+        let fiber = m.fiber(1, &[2, 3]).unwrap();
+        for (j, &v) in fiber.iter().enumerate() {
+            assert!((v - m.entry(&[2, j, 3]).unwrap()).abs() < 1e-12);
+        }
+        // Slice (modes 0×2) at j=1 against entries.
+        let slice = m.slice(0, 2, &[1]).unwrap();
+        for i in 0..dims[0] {
+            for k in 0..dims[2] {
+                assert!((slice.get(i, k) - m.entry(&[i, 1, k]).unwrap()).abs() < 1e-12);
+            }
+        }
+        // Top-k is the sorted fiber prefix.
+        let top = m.top_k(1, &[2, 3], 2).unwrap();
+        let mut sorted: Vec<(usize, f64)> = fiber.iter().copied().enumerate().collect();
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        assert_eq!(top, sorted[..2]);
+    }
+
+    #[test]
+    fn cosine_is_reflexive_and_bounded() {
+        let m = sample_model();
+        assert!((m.cosine(0, 2, 2).unwrap() - 1.0).abs() < 1e-12);
+        let sims = m.similar_rows(0, 0, 10).unwrap();
+        assert_eq!(sims.len(), m.dims()[0] - 1);
+        assert!(sims
+            .iter()
+            .all(|&(r, s)| r != 0 && (-1.0001..=1.0001).contains(&s)));
+        assert!(sims.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn bad_queries_are_errors_not_panics() {
+        let m = sample_model();
+        assert!(m.entry(&[0, 0]).is_err()); // wrong arity
+        assert!(m.entry(&[99, 0, 0]).is_err()); // out of range
+        assert!(m.fiber(7, &[0, 0]).is_err()); // bad mode
+        assert!(m.slice(1, 1, &[0, 0]).is_err()); // duplicate free modes
+        assert!(m.cosine(0, 0, 99).is_err());
+        assert!(m.similar_rows(9, 0, 3).is_err());
+    }
+
+    #[test]
+    fn corrupted_containers_are_rejected() {
+        let good = sample_model().to_bytes();
+        // Flip a metadata byte — checksum must catch it.
+        let mut bad = good.clone();
+        bad[20] ^= 0xff;
+        assert!(Model::from_bytes(&bad).is_err());
+        // Truncations at every prefix parse as errors, never panic.
+        for cut in [0, 4, 15, 16, 40, good.len() - 1] {
+            assert!(Model::from_bytes(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(Model::from_bytes(&bad).is_err());
+        // Hostile declared metadata length.
+        let mut bad = good;
+        bad[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Model::from_bytes(&bad).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the `.2pcpm` model container: save/load must be an
+//! identity (bitwise factors, metadata intact) for arbitrary shapes, and
+//! header corruption must be rejected with an error, never a panic.
+
+use proptest::prelude::*;
+use tpcp_cp::CpModel;
+use tpcp_linalg::Mat;
+use twopcp::{Model, ModelMeta};
+
+/// Strategy: a random well-formed model (order 1–4, rank 1–5, small dims,
+/// finite weights and factor entries).
+fn models() -> impl Strategy<Value = Model> {
+    let names = proptest::collection::vec(0usize..36, 1..17).prop_map(|ix| {
+        const CS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        ix.into_iter().map(|i| CS[i] as char).collect::<String>()
+    });
+    (
+        1usize..=4,
+        1usize..=5,
+        any::<u64>(),
+        -1.0f64..1.0,
+        names,
+        proptest::collection::vec(1usize..6, 1..5),
+    )
+        .prop_flat_map(|(order, rank, seed, fit, name, parts)| {
+            let dims = proptest::collection::vec(1usize..7, order..=order);
+            let weights = proptest::collection::vec(-100.0f64..100.0, rank..=rank);
+            (Just((rank, seed, fit, name, parts)), dims, weights)
+        })
+        .prop_flat_map(|((rank, seed, fit, name, parts), dims, weights)| {
+            let total: usize = dims.iter().map(|d| d * rank).sum();
+            let entries = proptest::collection::vec(-10.0f64..10.0, total..=total);
+            (Just((rank, seed, fit, name, parts, dims, weights)), entries)
+        })
+        .prop_map(|((rank, seed, fit, name, parts, dims, weights), entries)| {
+            let mut rest = entries.as_slice();
+            let factors: Vec<Mat> = dims
+                .iter()
+                .map(|&d| {
+                    let (head, tail) = rest.split_at(d * rank);
+                    rest = tail;
+                    Mat::from_vec(d, rank, head.to_vec())
+                })
+                .collect();
+            Model::new(
+                ModelMeta {
+                    name,
+                    rank,
+                    dims,
+                    seed,
+                    fit,
+                    schedule: "HO".into(),
+                    parts,
+                },
+                CpModel::new(weights, factors).unwrap(),
+            )
+            .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `from_bytes(to_bytes(m))` is the identity: metadata intact,
+    /// weights and every factor entry bitwise-equal.
+    #[test]
+    fn roundtrip_is_bitwise_identity(model in models()) {
+        let bytes = model.to_bytes();
+        let back = Model::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back.meta.name, &model.meta.name);
+        prop_assert_eq!(back.meta.rank, model.meta.rank);
+        prop_assert_eq!(&back.meta.dims, &model.meta.dims);
+        prop_assert_eq!(back.meta.seed, model.meta.seed);
+        prop_assert_eq!(back.meta.fit.to_bits(), model.meta.fit.to_bits());
+        prop_assert_eq!(&back.meta.schedule, &model.meta.schedule);
+        prop_assert_eq!(&back.meta.parts, &model.meta.parts);
+        for (a, b) in back.cp.weights.iter().zip(&model.cp.weights) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (fa, fb) in back.cp.factors.iter().zip(&model.cp.factors) {
+            prop_assert_eq!((fa.rows(), fa.cols()), (fb.rows(), fb.cols()));
+            for (a, b) in fa.as_slice().iter().zip(fb.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Corrupting any byte of the checksummed header region makes the
+    /// container load fail with an error — never a panic.
+    #[test]
+    fn header_corruption_is_rejected(model in models(), pos_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let bytes = model.to_bytes();
+        // The checksummed region is the 16-byte prefix plus the metadata
+        // block; even the smallest model's metadata is > 59 bytes, so the
+        // first 75 bytes are always inside it. Corrupt one of those.
+        let span = 75usize.min(bytes.len());
+        let pos = ((span as f64) * pos_frac) as usize;
+        let pos = pos.min(span - 1);
+        let mut bad = bytes.clone();
+        bad[pos] ^= flip;
+        prop_assert!(Model::from_bytes(&bad).is_err(), "flip at {} accepted", pos);
+    }
+
+    /// Arbitrary corruption anywhere in the container either errors or
+    /// yields a structurally valid model — it never panics or loops.
+    #[test]
+    fn arbitrary_corruption_never_panics(model in models(), pos_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let bytes = model.to_bytes();
+        let pos = (((bytes.len()) as f64) * pos_frac) as usize;
+        let pos = pos.min(bytes.len() - 1);
+        let mut bad = bytes;
+        bad[pos] ^= flip;
+        if let Ok(m) = Model::from_bytes(&bad) {
+            // If it decodes, it must be self-consistent.
+            prop_assert_eq!(m.cp.factors.len(), m.meta.dims.len());
+            prop_assert_eq!(m.cp.weights.len(), m.meta.rank);
+        }
+    }
+
+    /// Truncating the container at any point is an error, never a panic.
+    #[test]
+    fn truncation_is_rejected(model in models(), cut_frac in 0.0f64..1.0) {
+        let bytes = model.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut = cut.min(bytes.len() - 1);
+        prop_assert!(Model::from_bytes(&bytes[..cut]).is_err());
+    }
+}

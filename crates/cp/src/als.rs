@@ -52,6 +52,94 @@ impl AlsOptions {
             ..Default::default()
         }
     }
+
+    /// A validating builder over [`AlsOptions::default`]'s values.
+    pub fn builder() -> AlsOptionsBuilder {
+        AlsOptionsBuilder {
+            options: AlsOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`AlsOptions`] whose [`build`](AlsOptionsBuilder::build)
+/// rejects invalid settings before a run starts.
+#[derive(Clone, Debug)]
+pub struct AlsOptionsBuilder {
+    options: AlsOptions,
+}
+
+impl AlsOptionsBuilder {
+    /// Sets the decomposition rank `F`.
+    pub fn rank(mut self, rank: usize) -> Self {
+        self.options.rank = rank;
+        self
+    }
+
+    /// Sets the full-iteration budget.
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.options.max_iters = max_iters;
+        self
+    }
+
+    /// Sets the convergence threshold.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.options.tol = tol;
+        self
+    }
+
+    /// Sets the relative ridge.
+    pub fn ridge(mut self, ridge: f64) -> Self {
+        self.options.ridge = ridge;
+        self
+    }
+
+    /// Sets the initialisation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Provides explicit initial factors (overrides the seed).
+    pub fn init(mut self, init: Vec<Mat>) -> Self {
+        self.options.init = Some(init);
+        self
+    }
+
+    /// Sets the kernel thread budget.
+    pub fn par(mut self, par: ParConfig) -> Self {
+        self.options.par = par;
+        self
+    }
+
+    /// Validates and produces the options.
+    ///
+    /// # Errors
+    /// [`CpError::ZeroRank`] on `rank == 0`; [`CpError::BadFactors`] on a
+    /// non-finite tolerance/ridge, a negative ridge, or explicit initial
+    /// factors whose column count disagrees with the rank.
+    pub fn build(self) -> Result<AlsOptions> {
+        let o = &self.options;
+        if o.rank == 0 {
+            return Err(CpError::ZeroRank);
+        }
+        if !o.tol.is_finite() || !o.ridge.is_finite() || o.ridge < 0.0 {
+            return Err(CpError::BadFactors {
+                reason: "tol and ridge must be finite and ridge non-negative".into(),
+            });
+        }
+        if let Some(init) = &o.init {
+            if let Some((h, m)) = init.iter().enumerate().find(|(_, m)| m.cols() != o.rank) {
+                return Err(CpError::BadFactors {
+                    reason: format!(
+                        "initial factor {h} has {} columns, expected rank {}",
+                        m.cols(),
+                        o.rank
+                    ),
+                });
+            }
+        }
+        Ok(self.options)
+    }
 }
 
 /// Outcome of an ALS run: the model plus convergence diagnostics.

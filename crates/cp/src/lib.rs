@@ -18,7 +18,7 @@ mod als;
 mod model;
 mod mttkrp;
 
-pub use als::{cp_als_dense, cp_als_sparse, AlsOptions, AlsReport};
+pub use als::{cp_als_dense, cp_als_sparse, AlsOptions, AlsOptionsBuilder, AlsReport};
 pub use model::CpModel;
 pub use mttkrp::{mttkrp_dense, mttkrp_dense_par, mttkrp_sparse, mttkrp_sparse_par};
 

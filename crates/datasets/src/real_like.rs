@@ -211,12 +211,12 @@ mod tests {
         // Low-rank structure plus 5% pixel noise: rank-8 ALS fits well.
         let report = tpcp_cp::cp_als_dense(
             &t,
-            &tpcp_cp::AlsOptions {
-                rank: 8,
-                max_iters: 30,
-                tol: 1e-6,
-                ..Default::default()
-            },
+            &tpcp_cp::AlsOptions::builder()
+                .rank(8)
+                .max_iters(30)
+                .tol(1e-6)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         assert!(report.final_fit > 0.95, "fit {}", report.final_fit);

@@ -163,12 +163,12 @@ mod tests {
         let t = low_rank_dense(&[8, 8, 8], 2, 0.0, 3);
         let report = tpcp_cp::cp_als_dense(
             &t,
-            &tpcp_cp::AlsOptions {
-                rank: 2,
-                max_iters: 150,
-                tol: 1e-9,
-                ..Default::default()
-            },
+            &tpcp_cp::AlsOptions::builder()
+                .rank(2)
+                .max_iters(150)
+                .tol(1e-9)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         assert!(report.final_fit > 0.99, "fit {}", report.final_fit);

@@ -387,21 +387,21 @@ mod tests {
         let report = haten2_cp(&x, &cfg).unwrap();
 
         // The same math in-memory: CP-ALS with identical seeding.
-        let opts = tpcp_cp::AlsOptions {
-            rank: 2,
-            max_iters: 8,
-            tol: 0.0,
-            ridge: 1e-9,
-            seed: 7,
-            init: Some({
+        let opts = tpcp_cp::AlsOptions::builder()
+            .rank(2)
+            .max_iters(8)
+            .tol(0.0)
+            .ridge(1e-9)
+            .seed(7)
+            .init({
                 let mut rng = rand::rngs::StdRng::seed_from_u64(7);
                 x.dims()
                     .iter()
                     .map(|&d| random_factor(d, 2, &mut rng))
                     .collect()
-            }),
-            ..Default::default()
-        };
+            })
+            .build()
+            .unwrap();
         let reference = tpcp_cp::cp_als_sparse(&x, &opts).unwrap();
         // HaTen2-sim does not rebalance between iterations, so allow a
         // small numerical gap rather than bitwise equality.

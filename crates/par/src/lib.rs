@@ -63,6 +63,16 @@ impl ParConfig {
         ParConfig { threads: 1 }
     }
 
+    /// The hardware budget: [`std::thread::available_parallelism`] alone,
+    /// ignoring `TPCP_THREADS`. Callers that centralise environment
+    /// handling (e.g. `twopcp::EnvOverrides`) start here and layer the
+    /// override themselves.
+    pub fn hardware() -> Self {
+        ParConfig {
+            threads: hardware_threads(),
+        }
+    }
+
     /// An explicit budget of `n` threads; `0` means "decide automatically"
     /// and resolves exactly like [`ParConfig::auto`].
     pub fn with_threads(n: usize) -> Self {

@@ -1,0 +1,325 @@
+//! A blocking client for the tpcp-serve protocol.
+//!
+//! One [`Client`] wraps one [`TcpStream`] and issues one request at a
+//! time (the protocol is strictly request/response per connection).
+//! Decoding goes through the same [`protocol`](crate::protocol) helpers
+//! the server encodes with.
+
+use crate::metrics::OpSnapshot;
+use crate::protocol::{
+    enc, read_frame, write_frame, Dec, Opcode, ProtoError, Result, Status, MAX_RESPONSE_PAYLOAD,
+};
+use std::net::TcpStream;
+
+/// MODEL_META decoded.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetaReport {
+    /// Model name.
+    pub name: String,
+    /// Registry version the answering session has pinned.
+    pub version: u64,
+    /// Decomposition rank.
+    pub rank: usize,
+    /// Tensor shape.
+    pub dims: Vec<usize>,
+    /// Decomposition seed.
+    pub seed: u64,
+    /// Fit against the input tensor.
+    pub fit: f64,
+    /// Schedule provenance abbreviation.
+    pub schedule: String,
+    /// Phase-1 grid provenance.
+    pub parts: Vec<usize>,
+}
+
+/// One opcode's row in a STATS response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpStat {
+    /// Wire opcode byte.
+    pub opcode: u8,
+    /// Opcode name (derived client-side).
+    pub name: &'static str,
+    /// Counters and histogram.
+    pub snapshot: OpSnapshot,
+}
+
+/// STATS decoded.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsReport {
+    /// Per-opcode counters, in wire order.
+    pub ops: Vec<OpStat>,
+    /// Query-cache hits.
+    pub cache_hits: u64,
+    /// Query-cache misses.
+    pub cache_misses: u64,
+    /// Query-cache resident entries.
+    pub cache_len: u64,
+    /// Registry reload generation.
+    pub generation: u64,
+}
+
+impl StatsReport {
+    /// The row for `op`, if the server reported one.
+    pub fn op(&self, op: Opcode) -> Option<&OpStat> {
+        self.ops.iter().find(|s| s.opcode == op as u8)
+    }
+}
+
+/// RELOAD decoded.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReloadReport {
+    /// Models served after the rescan.
+    pub models: u32,
+    /// New registry generation.
+    pub generation: u64,
+    /// Per-file load errors (those files were skipped).
+    pub errors: Vec<String>,
+}
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7171`).
+    pub fn connect(addr: &str) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Issues one raw request and returns the OK payload.
+    ///
+    /// # Errors
+    /// [`ProtoError::Remote`] carrying the server's status and message
+    /// when the response is not OK; transport errors otherwise.
+    pub fn request(&mut self, op: Opcode, payload: &[u8]) -> Result<Vec<u8>> {
+        write_frame(&mut self.stream, op as u8, 0, payload)?;
+        let frame = read_frame(&mut self.stream, MAX_RESPONSE_PAYLOAD)?;
+        if frame.status != Status::Ok as u16 {
+            let message = Dec::new(&frame.payload)
+                .string()
+                .unwrap_or_else(|_| "<no message>".into());
+            return Err(ProtoError::Remote {
+                status: frame.status,
+                message,
+            });
+        }
+        Ok(frame.payload)
+    }
+
+    /// PING.
+    pub fn ping(&mut self) -> Result<()> {
+        self.request(Opcode::Ping, &[])?;
+        Ok(())
+    }
+
+    /// LIST_MODELS → `(name, version)` pairs, sorted by name.
+    pub fn list_models(&mut self) -> Result<Vec<(String, u64)>> {
+        let payload = self.request(Opcode::ListModels, &[])?;
+        let mut d = Dec::new(&payload);
+        let n = d.u32()?;
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let name = d.string()?;
+            let version = d.u64()?;
+            out.push((name, version));
+        }
+        d.finish()?;
+        Ok(out)
+    }
+
+    /// MODEL_META for `name`.
+    pub fn meta(&mut self, name: &str) -> Result<MetaReport> {
+        let mut req = Vec::new();
+        enc::string(&mut req, name);
+        let payload = self.request(Opcode::ModelMeta, &req)?;
+        let mut d = Dec::new(&payload);
+        let name = d.string()?;
+        let version = d.u64()?;
+        let rank = d.u32()? as usize;
+        let order = d.u32()?;
+        let dims = (0..order)
+            .map(|_| d.u64().map(|v| v as usize))
+            .collect::<Result<Vec<_>>>()?;
+        let seed = d.u64()?;
+        let fit = d.f64()?;
+        let schedule = d.string()?;
+        let n_parts = d.u32()?;
+        let parts = (0..n_parts)
+            .map(|_| d.u64().map(|v| v as usize))
+            .collect::<Result<Vec<_>>>()?;
+        d.finish()?;
+        Ok(MetaReport {
+            name,
+            version,
+            rank,
+            dims,
+            seed,
+            fit,
+            schedule,
+            parts,
+        })
+    }
+
+    /// GET_ENTRY: one reconstructed tensor value.
+    pub fn entry(&mut self, name: &str, coords: &[usize]) -> Result<f64> {
+        let mut req = Vec::new();
+        enc::string(&mut req, name);
+        enc::coords(&mut req, coords);
+        let payload = self.request(Opcode::GetEntry, &req)?;
+        let mut d = Dec::new(&payload);
+        let v = d.f64()?;
+        d.finish()?;
+        Ok(v)
+    }
+
+    /// GET_FIBER: the mode-`mode` fiber at `fixed`.
+    pub fn fiber(&mut self, name: &str, mode: usize, fixed: &[usize]) -> Result<Vec<f64>> {
+        let mut req = Vec::new();
+        enc::string(&mut req, name);
+        enc::u16(&mut req, mode as u16);
+        enc::coords(&mut req, fixed);
+        let payload = self.request(Opcode::GetFiber, &req)?;
+        let mut d = Dec::new(&payload);
+        let n = d.u32()?;
+        let out = (0..n).map(|_| d.f64()).collect::<Result<Vec<_>>>()?;
+        d.finish()?;
+        Ok(out)
+    }
+
+    /// GET_SLICE: `(rows, cols, row-major values)`.
+    pub fn slice(
+        &mut self,
+        name: &str,
+        mode_r: usize,
+        mode_c: usize,
+        fixed: &[usize],
+    ) -> Result<(usize, usize, Vec<f64>)> {
+        let mut req = Vec::new();
+        enc::string(&mut req, name);
+        enc::u16(&mut req, mode_r as u16);
+        enc::u16(&mut req, mode_c as u16);
+        enc::coords(&mut req, fixed);
+        let payload = self.request(Opcode::GetSlice, &req)?;
+        let mut d = Dec::new(&payload);
+        let rows = d.u32()? as usize;
+        let cols = d.u32()? as usize;
+        let data = (0..rows * cols)
+            .map(|_| d.f64())
+            .collect::<Result<Vec<_>>>()?;
+        d.finish()?;
+        Ok((rows, cols, data))
+    }
+
+    /// TOP_K: the `k` largest fiber entries as `(index, value)`.
+    pub fn top_k(
+        &mut self,
+        name: &str,
+        mode: usize,
+        fixed: &[usize],
+        k: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        let mut req = Vec::new();
+        enc::string(&mut req, name);
+        enc::u16(&mut req, mode as u16);
+        enc::u32(&mut req, k as u32);
+        enc::coords(&mut req, fixed);
+        let payload = self.request(Opcode::TopK, &req)?;
+        decode_ranked(&payload)
+    }
+
+    /// SIMILAR: the `k` most cosine-similar factor rows.
+    pub fn similar(
+        &mut self,
+        name: &str,
+        mode: usize,
+        row: usize,
+        k: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        let mut req = Vec::new();
+        enc::string(&mut req, name);
+        enc::u16(&mut req, mode as u16);
+        enc::u64(&mut req, row as u64);
+        enc::u32(&mut req, k as u32);
+        let payload = self.request(Opcode::Similar, &req)?;
+        decode_ranked(&payload)
+    }
+
+    /// STATS.
+    pub fn stats(&mut self) -> Result<StatsReport> {
+        let payload = self.request(Opcode::Stats, &[])?;
+        let mut d = Dec::new(&payload);
+        let n_ops = d.u8()?;
+        let mut ops = Vec::with_capacity(n_ops as usize);
+        for _ in 0..n_ops {
+            let opcode = d.u8()?;
+            let count = d.u64()?;
+            let errors = d.u64()?;
+            let total_ns = d.u64()?;
+            let n_buckets = d.u8()?;
+            let buckets = (0..n_buckets)
+                .map(|_| d.u64())
+                .collect::<Result<Vec<_>>>()?;
+            ops.push(OpStat {
+                opcode,
+                name: Opcode::from_u8(opcode).map(|o| o.name()).unwrap_or("?"),
+                snapshot: OpSnapshot {
+                    count,
+                    errors,
+                    total_ns,
+                    buckets,
+                },
+            });
+        }
+        let cache_hits = d.u64()?;
+        let cache_misses = d.u64()?;
+        let cache_len = d.u64()?;
+        let generation = d.u64()?;
+        d.finish()?;
+        Ok(StatsReport {
+            ops,
+            cache_hits,
+            cache_misses,
+            cache_len,
+            generation,
+        })
+    }
+
+    /// RELOAD (admin): rescan the model directory.
+    pub fn reload(&mut self) -> Result<ReloadReport> {
+        let payload = self.request(Opcode::Reload, &[])?;
+        let mut d = Dec::new(&payload);
+        let models = d.u32()?;
+        let generation = d.u64()?;
+        let n_err = d.u32()?;
+        let errors = (0..n_err).map(|_| d.string()).collect::<Result<Vec<_>>>()?;
+        d.finish()?;
+        Ok(ReloadReport {
+            models,
+            generation,
+            errors,
+        })
+    }
+
+    /// SHUTDOWN (admin): stop the server after this response.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.request(Opcode::Shutdown, &[])?;
+        Ok(())
+    }
+}
+
+fn decode_ranked(payload: &[u8]) -> Result<Vec<(usize, f64)>> {
+    let mut d = Dec::new(payload);
+    let n = d.u32()?;
+    let out = (0..n)
+        .map(|_| {
+            let i = d.u64()? as usize;
+            let v = d.f64()?;
+            Ok((i, v))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    d.finish()?;
+    Ok(out)
+}

@@ -1,0 +1,41 @@
+//! **tpcp-serve** — a tensor-serving daemon for decomposed 2PCP models.
+//!
+//! A decomposition saved with [`twopcp::Model::save`] becomes a served
+//! artifact: `tpcp-serve` loads every `*.2pcpm` container in a directory
+//! and answers concurrent queries — entry/fiber/slice reconstruction,
+//! top-k along a mode, factor-row cosine similarity — over a versioned
+//! length-prefixed binary protocol on plain TCP.
+//!
+//! Layering (the pgsqlite/spark2026 shape):
+//!
+//! * [`protocol`] — the frame codec and payload encodings, shared
+//!   verbatim by server and client so the two sides cannot drift;
+//! * [`registry`] — named + versioned models with `ArcSwap`-style hot
+//!   reload (RELOAD opcode or SIGHUP);
+//! * [`router`] — opcode dispatch over the registry, with per-session
+//!   version pinning (a hot swap never mixes versions mid-connection);
+//! * [`cache`] — an LRU of normalized-request → response, keyed on the
+//!   pinned model version so swaps self-invalidate;
+//! * [`metrics`] — per-opcode counters and log2-µs latency histograms,
+//!   served by the STATS opcode;
+//! * [`server`] — the bounded accept loop and session threads;
+//! * [`client`] — a blocking client used by `tpcp-query`, the
+//!   integration tests and the bench.
+//!
+//! The wire contract is specified in `docs/protocol.md`.
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod router;
+pub mod server;
+
+pub use cache::QueryCache;
+pub use client::{Client, MetaReport, ReloadReport, StatsReport};
+pub use metrics::{Metrics, OpSnapshot};
+pub use protocol::{Opcode, ProtoError, Status};
+pub use registry::{ModelEntry, ModelRegistry};
+pub use router::{Router, SessionState};
+pub use server::{ServeOptions, Server, DEFAULT_ADDR};

@@ -1,0 +1,417 @@
+//! The wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"2PCP"
+//! 4       1     protocol version (currently 1)
+//! 5       1     opcode
+//! 6       2     status (u16 LE; 0 in requests, result code in responses)
+//! 8       4     payload length (u32 LE)
+//! 12      …     payload
+//! ```
+//!
+//! Defensive limits are asymmetric: requests are capped at 64 KiB (a
+//! hostile client cannot make the server allocate more than that before
+//! validation), responses at 16 MiB (a slice of a large model). A frame
+//! declaring more than the cap is rejected *before* any allocation and
+//! the connection is closed. Payload field encodings are documented per
+//! opcode in `docs/protocol.md`; the [`enc`]/[`Dec`] helpers here are the
+//! single implementation both the router and the client use.
+
+use std::io::{Read, Write};
+
+/// Frame magic.
+pub const MAGIC: [u8; 4] = *b"2PCP";
+/// Protocol version spoken by this build.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header length in bytes.
+pub const HEADER_LEN: usize = 12;
+/// Largest payload a server accepts in a request frame.
+pub const MAX_REQUEST_PAYLOAD: u32 = 64 * 1024;
+/// Largest payload a client accepts in a response frame.
+pub const MAX_RESPONSE_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Request opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness probe; empty payload both ways.
+    Ping = 0x01,
+    /// Enumerate served models (name + pinned version).
+    ListModels = 0x02,
+    /// Metadata of one model (shape, rank, seed, fit, provenance).
+    ModelMeta = 0x03,
+    /// Reconstruct a single tensor entry.
+    GetEntry = 0x04,
+    /// Reconstruct a mode-`m` fiber.
+    GetFiber = 0x05,
+    /// Reconstruct a 2-D slice.
+    GetSlice = 0x06,
+    /// Top-k entries of a fiber.
+    TopK = 0x07,
+    /// Factor rows most cosine-similar to a given row.
+    Similar = 0x08,
+    /// Per-opcode latency histograms + cache counters.
+    Stats = 0x09,
+    /// Admin: rescan the model directory (hot swap).
+    Reload = 0x0a,
+    /// Admin: stop the server after this response.
+    Shutdown = 0x0b,
+}
+
+impl Opcode {
+    /// All opcodes, in wire order (drives STATS iteration and docs).
+    pub const ALL: [Opcode; 11] = [
+        Opcode::Ping,
+        Opcode::ListModels,
+        Opcode::ModelMeta,
+        Opcode::GetEntry,
+        Opcode::GetFiber,
+        Opcode::GetSlice,
+        Opcode::TopK,
+        Opcode::Similar,
+        Opcode::Stats,
+        Opcode::Reload,
+        Opcode::Shutdown,
+    ];
+
+    /// Decodes a wire opcode byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        Opcode::ALL.into_iter().find(|&op| op as u8 == b)
+    }
+
+    /// Human-readable opcode name (STATS reports, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Ping => "PING",
+            Opcode::ListModels => "LIST_MODELS",
+            Opcode::ModelMeta => "MODEL_META",
+            Opcode::GetEntry => "GET_ENTRY",
+            Opcode::GetFiber => "GET_FIBER",
+            Opcode::GetSlice => "GET_SLICE",
+            Opcode::TopK => "TOP_K",
+            Opcode::Similar => "SIMILAR",
+            Opcode::Stats => "STATS",
+            Opcode::Reload => "RELOAD",
+            Opcode::Shutdown => "SHUTDOWN",
+        }
+    }
+}
+
+/// Response status codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum Status {
+    /// Success; payload is the opcode's response encoding.
+    Ok = 0,
+    /// The frame itself was malformed (bad magic/version).
+    BadFrame = 1,
+    /// The opcode byte is not one this server speaks.
+    UnknownOpcode = 2,
+    /// No model of the requested name is loaded.
+    UnknownModel = 3,
+    /// The request payload was malformed or out of range.
+    BadRequest = 4,
+    /// Server-side failure evaluating the query.
+    Internal = 5,
+    /// Declared payload length exceeded the defensive cap.
+    TooLarge = 6,
+    /// Session limit reached; retry later.
+    Busy = 7,
+}
+
+impl Status {
+    /// Decodes a wire status code.
+    pub fn from_u16(v: u16) -> Option<Status> {
+        [
+            Status::Ok,
+            Status::BadFrame,
+            Status::UnknownOpcode,
+            Status::UnknownModel,
+            Status::BadRequest,
+            Status::Internal,
+            Status::TooLarge,
+            Status::Busy,
+        ]
+        .into_iter()
+        .find(|&s| s as u16 == v)
+    }
+}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Raw opcode byte (kept raw so unknown opcodes can be reported).
+    pub opcode: u8,
+    /// Status field (0 in requests).
+    pub status: u16,
+    /// Opcode-specific payload.
+    pub payload: Vec<u8>,
+}
+
+/// Protocol-layer failures.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport failure (includes truncation / mid-frame disconnect,
+    /// surfaced as `UnexpectedEof`).
+    Io(std::io::Error),
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol version.
+    BadVersion(u8),
+    /// Declared payload length exceeds the cap — rejected unread.
+    TooLarge {
+        /// The length the header declared.
+        declared: u32,
+        /// The cap it exceeded.
+        cap: u32,
+    },
+    /// The peer answered with an error status.
+    Remote {
+        /// The wire status code.
+        status: u16,
+        /// The error message carried in the payload.
+        message: String,
+    },
+    /// A payload did not parse as its opcode's encoding.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "io: {e}"),
+            ProtoError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::TooLarge { declared, cap } => {
+                write!(f, "declared payload {declared} exceeds cap {cap}")
+            }
+            ProtoError::Remote { status, message } => {
+                let name = Status::from_u16(*status)
+                    .map(|s| format!("{s:?}"))
+                    .unwrap_or_else(|| status.to_string());
+                write!(f, "server error {name}: {message}")
+            }
+            ProtoError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Convenience result alias for the protocol layer.
+pub type Result<T> = std::result::Result<T, ProtoError>;
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, opcode: u8, status: u16, payload: &[u8]) -> Result<()> {
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4] = VERSION;
+    header[5] = opcode;
+    header[6..8].copy_from_slice(&status.to_le_bytes());
+    header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, enforcing `max_payload` *before* allocating.
+///
+/// # Errors
+/// [`ProtoError::Io`] on transport failure or truncation,
+/// [`ProtoError::BadMagic`]/[`ProtoError::BadVersion`] on a foreign
+/// stream, [`ProtoError::TooLarge`] when the declared length exceeds the
+/// cap (nothing past the header is read in that case).
+pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Frame> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(ProtoError::BadMagic(header[0..4].try_into().unwrap()));
+    }
+    if header[4] != VERSION {
+        return Err(ProtoError::BadVersion(header[4]));
+    }
+    let status = u16::from_le_bytes(header[6..8].try_into().unwrap());
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if len > max_payload {
+        return Err(ProtoError::TooLarge {
+            declared: len,
+            cap: max_payload,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Frame {
+        opcode: header[5],
+        status,
+        payload,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Payload encoding helpers (little-endian throughout)
+// ----------------------------------------------------------------------
+
+/// Append-only payload writers; the router and client share them so the
+/// two sides cannot drift.
+pub mod enc {
+    /// `u16 len + UTF-8 bytes`.
+    pub fn string(out: &mut Vec<u8>, s: &str) {
+        let len = s.len().min(u16::MAX as usize);
+        out.extend_from_slice(&(len as u16).to_le_bytes());
+        out.extend_from_slice(&s.as_bytes()[..len]);
+    }
+    /// `u16 LE`.
+    pub fn u16(out: &mut Vec<u8>, v: u16) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    /// `u32 LE`.
+    pub fn u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    /// `u64 LE`.
+    pub fn u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    /// `f64 LE` (bit pattern preserved — this is what makes served
+    /// answers bitwise-comparable to local ones).
+    pub fn f64(out: &mut Vec<u8>, v: f64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    /// `u16 count + u64 × count` (coordinate lists).
+    pub fn coords(out: &mut Vec<u8>, cs: &[usize]) {
+        u16(out, cs.len() as u16);
+        for &c in cs {
+            u64(out, c as u64);
+        }
+    }
+}
+
+/// Bounds-checked payload reader: every accessor fails cleanly on
+/// truncated input instead of panicking.
+pub struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Starts reading `bytes` from the front.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Fails unless the payload was consumed exactly.
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(ProtoError::Malformed(format!(
+                "{} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(ProtoError::Malformed("payload truncated".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    /// Reads a `u16 LE`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    /// Reads a `u32 LE`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    /// Reads a `u64 LE`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// Reads an `f64 LE`.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// Reads a `u16 len + UTF-8` string.
+    pub fn string(&mut self) -> Result<String> {
+        let n = self.u16()? as usize;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| ProtoError::Malformed("string not UTF-8".into()))
+    }
+    /// Reads a `u16 count + u64 × count` coordinate list.
+    pub fn coords(&mut self) -> Result<Vec<usize>> {
+        let n = self.u16()? as usize;
+        (0..n).map(|_| self.u64().map(|v| v as usize)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Opcode::GetEntry as u8, 0, b"hello").unwrap();
+        let f = read_frame(&mut Cursor::new(&buf), MAX_REQUEST_PAYLOAD).unwrap();
+        assert_eq!(f.opcode, Opcode::GetEntry as u8);
+        assert_eq!(f.status, 0);
+        assert_eq!(f.payload, b"hello");
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_unread() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, 0, &[]).unwrap();
+        buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        match read_frame(&mut Cursor::new(&buf), MAX_REQUEST_PAYLOAD) {
+            Err(ProtoError::TooLarge { declared, .. }) => assert_eq!(declared, u32::MAX),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, 0, b"payload").unwrap();
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN + 2] {
+            match read_frame(&mut Cursor::new(&buf[..cut]), MAX_REQUEST_PAYLOAD) {
+                Err(ProtoError::Io(_)) => {}
+                other => panic!("cut {cut}: expected Io, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dec_is_bounds_checked() {
+        let mut d = Dec::new(&[1, 2]);
+        assert!(d.u64().is_err());
+        let mut payload = Vec::new();
+        enc::string(&mut payload, "abc");
+        let mut d = Dec::new(&payload[..3]); // length says 3, only 1 byte follows
+        assert!(d.string().is_err());
+    }
+}

@@ -1,0 +1,328 @@
+//! Request routing: one decoded frame in, one response frame out.
+//!
+//! The router owns nothing mutable per request — it borrows the shared
+//! [`ModelRegistry`], [`QueryCache`] and [`Metrics`], plus the calling
+//! session's [`SessionState`]. Model resolution goes through the session
+//! *pin map*: the first time a session names a model it captures the
+//! current registry entry and keeps answering from it, so a hot reload
+//! mid-session never mixes versions within one connection. Error
+//! responses carry a human-readable message string as payload; the
+//! connection stays usable after any status except a frame-layer error.
+
+use crate::cache::QueryCache;
+use crate::metrics::Metrics;
+use crate::protocol::{enc, Dec, Frame, Opcode, Status};
+use crate::registry::{ModelEntry, ModelRegistry};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use twopcp::TwoPcpError;
+
+/// Ceiling on `k` in TOP_K / SIMILAR requests (defensive: bounds the
+/// response size independently of model shape).
+pub const MAX_K: u32 = 1 << 20;
+
+/// Per-connection state: the models this session has pinned.
+#[derive(Default)]
+pub struct SessionState {
+    pins: HashMap<String, Arc<ModelEntry>>,
+}
+
+impl SessionState {
+    /// Fresh state with no pins.
+    pub fn new() -> Self {
+        SessionState::default()
+    }
+
+    /// Resolves `name`, pinning the registry's current entry on first
+    /// use so later reloads do not change this session's answers.
+    fn resolve(&mut self, registry: &ModelRegistry, name: &str) -> Option<Arc<ModelEntry>> {
+        if let Some(pinned) = self.pins.get(name) {
+            return Some(pinned.clone());
+        }
+        let entry = registry.snapshot().get(name)?.clone();
+        self.pins.insert(name.to_string(), entry.clone());
+        Some(entry)
+    }
+}
+
+/// A routed response, plus whether the server should stop.
+pub struct Response {
+    /// Wire status code.
+    pub status: Status,
+    /// Response payload (an error message string on non-OK statuses).
+    pub payload: Vec<u8>,
+    /// `true` after a SHUTDOWN request was acknowledged.
+    pub shutdown: bool,
+}
+
+impl Response {
+    fn ok(payload: Vec<u8>) -> Self {
+        Response {
+            status: Status::Ok,
+            payload,
+            shutdown: false,
+        }
+    }
+
+    fn err(status: Status, message: impl AsRef<str>) -> Self {
+        let mut payload = Vec::new();
+        enc::string(&mut payload, message.as_ref());
+        Response {
+            status,
+            payload,
+            shutdown: false,
+        }
+    }
+}
+
+/// Stateless dispatcher over the shared serving state.
+pub struct Router {
+    /// Served models.
+    pub registry: Arc<ModelRegistry>,
+    /// Response cache.
+    pub cache: Arc<QueryCache>,
+    /// Per-opcode counters and histograms.
+    pub metrics: Arc<Metrics>,
+}
+
+impl Router {
+    /// Routes one request frame, recording latency and outcome in
+    /// [`Metrics`].
+    pub fn handle(&self, session: &mut SessionState, frame: &Frame) -> Response {
+        let start = Instant::now();
+        let Some(op) = Opcode::from_u8(frame.opcode) else {
+            // Unknown opcodes have no metrics slot; answer without one.
+            return Response::err(
+                Status::UnknownOpcode,
+                format!("opcode {:#04x} not recognised", frame.opcode),
+            );
+        };
+        let resp = self.dispatch(session, op, &frame.payload);
+        self.metrics
+            .record(op, start.elapsed(), resp.status == Status::Ok);
+        resp
+    }
+
+    fn dispatch(&self, session: &mut SessionState, op: Opcode, payload: &[u8]) -> Response {
+        match op {
+            Opcode::Ping => Response::ok(Vec::new()),
+            Opcode::ListModels => self.list_models(),
+            Opcode::Stats => self.stats(),
+            Opcode::Reload => self.reload(),
+            Opcode::Shutdown => Response {
+                status: Status::Ok,
+                payload: Vec::new(),
+                shutdown: true,
+            },
+            Opcode::ModelMeta
+            | Opcode::GetEntry
+            | Opcode::GetFiber
+            | Opcode::GetSlice
+            | Opcode::TopK
+            | Opcode::Similar => self.model_query(session, op, payload),
+        }
+    }
+
+    fn list_models(&self) -> Response {
+        let snap = self.registry.snapshot();
+        let mut names: Vec<&String> = snap.keys().collect();
+        names.sort();
+        let mut out = Vec::new();
+        enc::u32(&mut out, names.len() as u32);
+        for name in names {
+            enc::string(&mut out, name);
+            enc::u64(&mut out, snap[name].version);
+        }
+        Response::ok(out)
+    }
+
+    fn stats(&self) -> Response {
+        let mut out = Vec::new();
+        out.push(Opcode::ALL.len() as u8);
+        for op in Opcode::ALL {
+            let s = self.metrics.snapshot(op);
+            out.push(op as u8);
+            enc::u64(&mut out, s.count);
+            enc::u64(&mut out, s.errors);
+            enc::u64(&mut out, s.total_ns);
+            out.push(s.buckets.len() as u8);
+            for b in s.buckets {
+                enc::u64(&mut out, b);
+            }
+        }
+        let (hits, misses, len) = self.cache.counters();
+        enc::u64(&mut out, hits);
+        enc::u64(&mut out, misses);
+        enc::u64(&mut out, len);
+        enc::u64(&mut out, self.registry.generation());
+        Response::ok(out)
+    }
+
+    fn reload(&self) -> Response {
+        let (count, errors) = self.registry.reload();
+        let mut out = Vec::new();
+        enc::u32(&mut out, count as u32);
+        enc::u64(&mut out, self.registry.generation());
+        enc::u32(&mut out, errors.len() as u32);
+        for e in &errors {
+            enc::string(&mut out, e);
+        }
+        Response::ok(out)
+    }
+
+    /// All model-addressed opcodes: resolve the pin, consult the cache,
+    /// evaluate on miss.
+    fn model_query(&self, session: &mut SessionState, op: Opcode, payload: &[u8]) -> Response {
+        let mut dec = Dec::new(payload);
+        let name = match dec.string() {
+            Ok(n) => n,
+            Err(e) => return Response::err(Status::BadRequest, e.to_string()),
+        };
+        let Some(entry) = session.resolve(&self.registry, &name) else {
+            return Response::err(Status::UnknownModel, format!("no model named {name:?}"));
+        };
+        if let Some(cached) = self.cache.get(op as u8, entry.version, payload) {
+            return Response::ok(cached);
+        }
+        let result = match op {
+            Opcode::ModelMeta => meta_response(&entry),
+            Opcode::GetEntry => entry_response(&entry, dec),
+            Opcode::GetFiber => fiber_response(&entry, dec),
+            Opcode::GetSlice => slice_response(&entry, dec),
+            Opcode::TopK => top_k_response(&entry, dec),
+            Opcode::Similar => similar_response(&entry, dec),
+            _ => unreachable!("non-model opcode in model_query"),
+        };
+        match result {
+            Ok(out) => {
+                self.cache
+                    .put(op as u8, entry.version, payload, out.clone());
+                Response::ok(out)
+            }
+            Err(resp) => resp,
+        }
+    }
+}
+
+type QueryResult = std::result::Result<Vec<u8>, Response>;
+
+/// Maps a model-layer error onto a wire status: query-shape problems are
+/// the client's fault, anything else is ours.
+fn query_err(e: TwoPcpError) -> Response {
+    match e {
+        TwoPcpError::Model { reason } => Response::err(Status::BadRequest, reason),
+        other => Response::err(Status::Internal, other.to_string()),
+    }
+}
+
+fn bad(e: impl std::fmt::Display) -> Response {
+    Response::err(Status::BadRequest, e.to_string())
+}
+
+fn meta_response(entry: &ModelEntry) -> QueryResult {
+    let m = &entry.model.meta;
+    let mut out = Vec::new();
+    enc::string(&mut out, &m.name);
+    enc::u64(&mut out, entry.version);
+    enc::u32(&mut out, m.rank as u32);
+    enc::u32(&mut out, m.dims.len() as u32);
+    for &d in &m.dims {
+        enc::u64(&mut out, d as u64);
+    }
+    enc::u64(&mut out, m.seed);
+    enc::f64(&mut out, m.fit);
+    enc::string(&mut out, &m.schedule);
+    enc::u32(&mut out, m.parts.len() as u32);
+    for &p in &m.parts {
+        enc::u64(&mut out, p as u64);
+    }
+    Ok(out)
+}
+
+fn entry_response(entry: &ModelEntry, mut dec: Dec) -> QueryResult {
+    let coords = dec.coords().map_err(bad)?;
+    dec.finish().map_err(bad)?;
+    let v = entry.model.entry(&coords).map_err(query_err)?;
+    let mut out = Vec::new();
+    enc::f64(&mut out, v);
+    Ok(out)
+}
+
+fn fiber_response(entry: &ModelEntry, mut dec: Dec) -> QueryResult {
+    let mode = dec.u16().map_err(bad)? as usize;
+    let fixed = dec.coords().map_err(bad)?;
+    dec.finish().map_err(bad)?;
+    let fiber = entry.model.fiber(mode, &fixed).map_err(query_err)?;
+    let mut out = Vec::new();
+    enc::u32(&mut out, fiber.len() as u32);
+    for v in fiber {
+        enc::f64(&mut out, v);
+    }
+    Ok(out)
+}
+
+fn slice_response(entry: &ModelEntry, mut dec: Dec) -> QueryResult {
+    let mode_r = dec.u16().map_err(bad)? as usize;
+    let mode_c = dec.u16().map_err(bad)? as usize;
+    let fixed = dec.coords().map_err(bad)?;
+    dec.finish().map_err(bad)?;
+    let slice = entry
+        .model
+        .slice(mode_r, mode_c, &fixed)
+        .map_err(query_err)?;
+    let mut out = Vec::new();
+    enc::u32(&mut out, slice.rows() as u32);
+    enc::u32(&mut out, slice.cols() as u32);
+    for &v in slice.as_slice() {
+        enc::f64(&mut out, v);
+    }
+    Ok(out)
+}
+
+fn top_k_response(entry: &ModelEntry, mut dec: Dec) -> QueryResult {
+    let mode = dec.u16().map_err(bad)? as usize;
+    let k = dec.u32().map_err(bad)?;
+    let fixed = dec.coords().map_err(bad)?;
+    dec.finish().map_err(bad)?;
+    if k > MAX_K {
+        return Err(Response::err(
+            Status::BadRequest,
+            format!("k {k} exceeds cap {MAX_K}"),
+        ));
+    }
+    let top = entry
+        .model
+        .top_k(mode, &fixed, k as usize)
+        .map_err(query_err)?;
+    Ok(ranked_payload(&top))
+}
+
+fn similar_response(entry: &ModelEntry, mut dec: Dec) -> QueryResult {
+    let mode = dec.u16().map_err(bad)? as usize;
+    let row = dec.u64().map_err(bad)? as usize;
+    let k = dec.u32().map_err(bad)?;
+    dec.finish().map_err(bad)?;
+    if k > MAX_K {
+        return Err(Response::err(
+            Status::BadRequest,
+            format!("k {k} exceeds cap {MAX_K}"),
+        ));
+    }
+    let sims = entry
+        .model
+        .similar_rows(mode, row, k as usize)
+        .map_err(query_err)?;
+    Ok(ranked_payload(&sims))
+}
+
+/// `u32 count × (u64 index, f64 value)` — TOP_K and SIMILAR share it.
+fn ranked_payload(ranked: &[(usize, f64)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    enc::u32(&mut out, ranked.len() as u32);
+    for &(i, v) in ranked {
+        enc::u64(&mut out, i as u64);
+        enc::f64(&mut out, v);
+    }
+    out
+}

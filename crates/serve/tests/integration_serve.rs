@@ -1,0 +1,259 @@
+//! End-to-end serving tests: N concurrent clients must get answers
+//! bitwise-equal to direct in-process reconstruction, across a hot model
+//! swap — sessions that pinned the old version finish on it, sessions
+//! opened after the swap see the new one. Plus session-limit refusal and
+//! clean shutdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use tpcp_cp::CpModel;
+use tpcp_linalg::Mat;
+use tpcp_serve::{Client, ModelRegistry, Opcode, ProtoError, ServeOptions, Server, Status};
+use twopcp::{Model, ModelMeta};
+
+const DIMS: [usize; 3] = [9, 7, 5];
+const RANK: usize = 3;
+const N_CLIENTS: usize = 6;
+
+fn make_model(seed: u64) -> Model {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let factors: Vec<Mat> = DIMS
+        .iter()
+        .map(|&d| tpcp_tensor::random_factor(d, RANK, &mut rng))
+        .collect();
+    Model::new(
+        ModelMeta {
+            name: "demo".into(),
+            rank: RANK,
+            dims: DIMS.to_vec(),
+            seed,
+            fit: 0.95,
+            schedule: "HO".into(),
+            parts: vec![2],
+        },
+        CpModel::new(vec![2.0, 1.0, 0.5], factors).unwrap(),
+    )
+    .unwrap()
+}
+
+struct DirGuard(std::path::PathBuf);
+impl Drop for DirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn temp_dir(tag: &str) -> DirGuard {
+    let dir = std::env::temp_dir().join(format!("tpcp_serve_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    DirGuard(dir)
+}
+
+fn start(dir: &std::path::Path, max_sessions: usize) -> (Server, String) {
+    let registry = Arc::new(ModelRegistry::open(dir).unwrap());
+    let mut opts = ServeOptions::new(dir);
+    opts.addr = "127.0.0.1:0".into();
+    opts.max_sessions = max_sessions;
+    let server = Server::start_with_registry(opts, registry).unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+/// Every served answer a session produces must be bitwise-identical to
+/// the same query against `local` evaluated in-process.
+fn assert_session_matches(c: &mut Client, local: &Model, salt: usize) {
+    for q in 0..8 {
+        let coords: Vec<usize> = DIMS
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| (q * 3 + salt * 7 + m) % d)
+            .collect();
+        let served = c.entry("demo", &coords).unwrap();
+        assert_eq!(
+            served.to_bits(),
+            local.entry(&coords).unwrap().to_bits(),
+            "entry {coords:?} differs from in-process reconstruction"
+        );
+
+        let mode = q % 3;
+        let fixed: Vec<usize> = coords
+            .iter()
+            .enumerate()
+            .filter(|&(m, _)| m != mode)
+            .map(|(_, &i)| i)
+            .collect();
+        let served = c.fiber("demo", mode, &fixed).unwrap();
+        let expect = local.fiber(mode, &fixed).unwrap();
+        assert_eq!(served.len(), expect.len());
+        for (a, b) in served.iter().zip(&expect) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fiber mode {mode} differs");
+        }
+
+        assert_eq!(
+            c.top_k("demo", mode, &fixed, 4).unwrap(),
+            local.top_k(mode, &fixed, 4).unwrap()
+        );
+    }
+    let (rows, cols, served) = c.slice("demo", 0, 1, &[salt % DIMS[2]]).unwrap();
+    let expect = local.slice(0, 1, &[salt % DIMS[2]]).unwrap();
+    assert_eq!((rows, cols), (DIMS[0], DIMS[1]));
+    for (a, b) in served.iter().zip(expect.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "slice differs");
+    }
+    assert_eq!(
+        c.similar("demo", 0, salt % DIMS[0], 3).unwrap(),
+        local.similar_rows(0, salt % DIMS[0], 3).unwrap()
+    );
+}
+
+#[test]
+fn concurrent_clients_bitwise_match_across_hot_swap() {
+    let guard = temp_dir("swap");
+    let dir = guard.0.clone();
+    let v1 = make_model(11);
+    let v2 = make_model(22);
+    v1.save(dir.join("demo.2pcpm")).unwrap();
+    let (server, addr) = start(&dir, 32);
+
+    // Sanity: the two versions genuinely answer differently.
+    assert_ne!(
+        v1.entry(&[0, 0, 0]).unwrap().to_bits(),
+        v2.entry(&[0, 0, 0]).unwrap().to_bits()
+    );
+
+    // Old sessions: connect and pin v1 (first query pins), then hold at a
+    // barrier while the swap happens, then keep querying — answers must
+    // still be v1's.
+    let pinned = Arc::new(Barrier::new(N_CLIENTS + 1));
+    let swapped = Arc::new(Barrier::new(N_CLIENTS + 1));
+    let v1_versions = Arc::new(AtomicU64::new(0));
+    let mut old_sessions = Vec::new();
+    for salt in 0..N_CLIENTS {
+        let addr = addr.clone();
+        let local = make_model(11);
+        let pinned = pinned.clone();
+        let swapped = swapped.clone();
+        let versions = v1_versions.clone();
+        old_sessions.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            let meta = c.meta("demo").unwrap(); // pins
+            versions.fetch_max(meta.version, Ordering::AcqRel);
+            assert_session_matches(&mut c, &local, salt);
+            pinned.wait();
+            swapped.wait();
+            // The registry now serves v2, but this session pinned v1.
+            assert_eq!(c.meta("demo").unwrap().version, meta.version);
+            assert_session_matches(&mut c, &local, salt + 1);
+        }));
+    }
+    pinned.wait();
+
+    // Hot swap: overwrite the container and RELOAD over the wire.
+    v2.save(dir.join("demo.2pcpm")).unwrap();
+    let mut admin = Client::connect(&addr).unwrap();
+    let reload = admin.reload().unwrap();
+    assert_eq!(reload.models, 1);
+    assert!(reload.errors.is_empty());
+    swapped.wait();
+    for h in old_sessions {
+        h.join().unwrap();
+    }
+
+    // New sessions after the swap must see v2, bitwise.
+    let v1_version = v1_versions.load(Ordering::Acquire);
+    let mut new_sessions = Vec::new();
+    for salt in 0..N_CLIENTS {
+        let addr = addr.clone();
+        let local = make_model(22);
+        new_sessions.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            let meta = c.meta("demo").unwrap();
+            assert!(meta.version > v1_version, "new session still sees v1");
+            assert_session_matches(&mut c, &local, salt);
+        }));
+    }
+    for h in new_sessions {
+        h.join().unwrap();
+    }
+
+    // STATS: every exercised opcode has a populated histogram, and the
+    // repeated queries above produced cache hits.
+    let stats = admin.stats().unwrap();
+    for op in [
+        Opcode::ModelMeta,
+        Opcode::GetEntry,
+        Opcode::GetFiber,
+        Opcode::GetSlice,
+        Opcode::TopK,
+        Opcode::Similar,
+    ] {
+        let s = stats.op(op).expect("missing STATS row");
+        assert!(s.snapshot.count > 0, "{} count is zero", op.name());
+        assert_eq!(
+            s.snapshot.buckets.iter().sum::<u64>(),
+            s.snapshot.count,
+            "{} histogram does not sum to its count",
+            op.name()
+        );
+    }
+    assert!(
+        stats.cache_hits > 0,
+        "identical queries across clients produced no cache hits"
+    );
+    assert!(stats.generation >= 2, "reload did not bump the generation");
+
+    admin.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn session_limit_refuses_with_busy_then_recovers() {
+    let guard = temp_dir("busy");
+    let dir = guard.0.clone();
+    make_model(5).save(dir.join("demo.2pcpm")).unwrap();
+    let (server, addr) = start(&dir, 1);
+
+    let mut first = Client::connect(&addr).unwrap();
+    first.ping().unwrap();
+
+    // Give the accept loop a moment to register the first session, then a
+    // second connection must be refused with Busy.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let mut second = Client::connect(&addr).unwrap();
+    match second.ping() {
+        Err(ProtoError::Remote { status, .. }) => {
+            assert_eq!(status, Status::Busy as u16)
+        }
+        other => panic!("expected Busy refusal, got {other:?}"),
+    }
+
+    // Once the first session ends, a new one is admitted.
+    drop(first);
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let mut third = Client::connect(&addr).unwrap();
+    third.ping().unwrap();
+
+    third.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn shutdown_opcode_stops_the_server() {
+    let guard = temp_dir("stop");
+    let dir = guard.0.clone();
+    make_model(9).save(dir.join("demo.2pcpm")).unwrap();
+    let (server, addr) = start(&dir, 8);
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+    server.join().unwrap();
+
+    // The listener is gone: a fresh connection cannot complete a request.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    match Client::connect(&addr) {
+        Err(_) => {}
+        Ok(mut c) => assert!(c.ping().is_err(), "server still answering after shutdown"),
+    }
+}

@@ -14,7 +14,9 @@
 //! network access is available; call sites are written against the API
 //! intersection):
 //!
-//! * read-only maps only — no `MmapMut`, `Advice`, or `flush`;
+//! * read-only maps only — no `MmapMut` or `flush`; the only advice kind
+//!   is [`Mmap::advise_willneed`] (the real crate's
+//!   `advise_range(Advice::WillNeed, ..)`);
 //! * [`MmapOptions`] supports only `len` (no offset/stack/populate);
 //! * zero-length maps produce an empty slice without a system call
 //!   (`mmap(2)` rejects `len == 0`; the real crate special-cases this the
@@ -73,6 +75,27 @@ impl Mmap {
     /// Length of the mapping in bytes.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Advises the kernel that `[offset, offset + len)` will be read soon
+    /// (`madvise(MADV_WILLNEED)`), so the pages can be faulted in as one
+    /// batched read-ahead instead of one major fault per 4 KiB touched by
+    /// the decoder. Purely a scheduling hint: it moves page faults, never
+    /// bytes, and is a no-op on non-Unix targets, on empty ranges, and on
+    /// ranges outside the mapping. Failures are deliberately ignored —
+    /// the subsequent reads just fault on demand as before.
+    ///
+    /// Divergence note: the real `memmap2` exposes this as
+    /// `advise_range(Advice::WillNeed, ..)`; this shim keeps the one
+    /// advice kind the workspace uses as a named method.
+    pub fn advise_willneed(&self, offset: usize, len: usize) {
+        if len == 0 || offset >= self.len {
+            return;
+        }
+        let len = len.min(self.len - offset);
+        // SAFETY: `ptr + offset` stays inside the live mapping (bounds
+        // clamped above); madvise does not mutate or invalidate it.
+        sys::advise_willneed(unsafe { self.ptr.add(offset) }, len);
     }
 
     /// `true` when the mapping is empty.
@@ -190,6 +213,26 @@ mod sys {
             offset: i64,
         ) -> *mut core::ffi::c_void;
         fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+        fn madvise(addr: *mut core::ffi::c_void, len: usize, advice: i32) -> i32;
+    }
+
+    /// `MADV_WILLNEED` is 3 on every Unix this workspace targets (Linux,
+    /// macOS, the BSDs).
+    const MADV_WILLNEED: i32 = 3;
+
+    pub fn advise_willneed(ptr: *mut u8, len: usize) {
+        // madvise requires a page-aligned start address; round down and
+        // widen the length accordingly (advice on the extra head bytes of
+        // the page is harmless — they were going to be faulted anyway).
+        const PAGE: usize = 4096;
+        let addr = ptr as usize;
+        let aligned = addr & !(PAGE - 1);
+        let widened = len + (addr - aligned);
+        // SAFETY: the caller passes a sub-range of a live mapping; advice
+        // never mutates memory, and errors are ignored by contract.
+        unsafe {
+            let _ = madvise(aligned as *mut core::ffi::c_void, widened, MADV_WILLNEED);
+        }
     }
 
     pub fn map(file: &File, len: usize) -> io::Result<Mmap> {
@@ -238,6 +281,8 @@ mod sys {
     }
 
     pub fn unmap(_ptr: *mut u8, _len: usize) {}
+
+    pub fn advise_willneed(_ptr: *mut u8, _len: usize) {}
 }
 
 #[cfg(test)]
@@ -313,6 +358,25 @@ mod tests {
         w.write_all(b"ABCDEFGH").unwrap();
         w.flush().unwrap();
         assert_eq!(&map[8..16], b"ABCDEFGH");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn advise_willneed_is_harmless_everywhere() {
+        let path = tmp("advise", &[7u8; 10_000]);
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        // In-range, unaligned, clamped-past-end, empty and out-of-range
+        // advice must all be no-fail no-ops semantically: the bytes read
+        // back unchanged.
+        map.advise_willneed(0, map.len());
+        map.advise_willneed(4097, 100);
+        map.advise_willneed(9_000, 5_000);
+        map.advise_willneed(0, 0);
+        map.advise_willneed(1 << 30, 8);
+        assert!(map.iter().all(|&b| b == 7));
         drop(map);
         std::fs::remove_file(&path).unwrap();
     }

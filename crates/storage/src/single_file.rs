@@ -431,6 +431,12 @@ impl PrefetchRead for SingleFileReader {
             }
             if let Some(m) = self.map.as_ref().filter(|m| m.len() as u64 >= end) {
                 let start = (page.offset + PAGE_HEADER_LEN) as usize;
+                // Fault the page's backing range in as one batched
+                // read-ahead before the decoder walks it (the whole point
+                // of prefetching from a background thread is to keep major
+                // faults off the consumer; this keeps them batched on the
+                // worker too).
+                m.advise_willneed(start, page.payload_len as usize);
                 let data = codec::decode(&m[start..start + page.payload_len as usize])?;
                 if data.unit != unit {
                     return Err(StorageError::Corrupt {

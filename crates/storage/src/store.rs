@@ -294,6 +294,13 @@ impl FdCache {
             // rename), so the mapped bytes can never move or shrink under
             // the map — see `Mmap::map`'s contract.
             entry.map = unsafe { Mmap::map(&entry.file) }.ok();
+            if let Some(map) = &entry.map {
+                // Batch the fresh map's page faults into one read-ahead
+                // (madvise WILLNEED) instead of one major fault per 4 KiB
+                // the decoder touches; on the prefetch reader this keeps
+                // the background worker's reads sequential too.
+                map.advise_willneed(0, map.len());
+            }
         }
         Ok(entry)
     }

@@ -20,8 +20,15 @@ fn main() {
     // Rank-4 decomposition over a 2×2×2 block grid. With the default
     // in-memory store and a full-size buffer this is the "everything
     // fits" configuration; see the `out_of_core` example for the
-    // disk-backed one.
-    let config = TwoPcpConfig::new(4).parts(vec![2]).seed(1);
+    // disk-backed one. The builder validates the settings up front
+    // (zero rank, empty grids and the like are rejected here, not
+    // deep inside phase 1).
+    let config = TwoPcpConfig::builder()
+        .rank(4)
+        .parts(vec![2])
+        .seed(1)
+        .build()
+        .expect("invalid configuration");
     let outcome = TwoPcp::new(config)
         .decompose_dense(&x)
         .expect("decomposition failed");

@@ -151,10 +151,9 @@ fn mapreduce_phase1_accepts_a_file_backed_source() {
     let root = std::env::temp_dir().join(format!("tpcp_ingest_mr_wd_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
 
-    let mr_cfg = cfg().work_dir(&root).phase1(twopcp::Phase1Options {
-        use_mapreduce: true,
-        ..Default::default()
-    });
+    let mr_cfg = cfg()
+        .work_dir(&root)
+        .phase1(twopcp::Phase1Options::default().mapreduce(true));
     let baseline = TwoPcp::new(mr_cfg.clone()).decompose_dense(&x).unwrap();
     // A fresh work dir so the second run does not reuse on-disk units.
     let root2 = std::env::temp_dir().join(format!("tpcp_ingest_mr_wd2_{}", std::process::id()));

@@ -15,12 +15,12 @@ fn two_phase_matches_direct_als_fit() {
 
     let direct = tpcp_cp::cp_als_dense(
         &x,
-        &tpcp_cp::AlsOptions {
-            rank: 3,
-            max_iters: 60,
-            tol: 1e-6,
-            ..Default::default()
-        },
+        &tpcp_cp::AlsOptions::builder()
+            .rank(3)
+            .max_iters(60)
+            .tol(1e-6)
+            .build()
+            .unwrap(),
     )
     .unwrap();
 
@@ -91,10 +91,10 @@ fn mapreduce_phase1_agrees_with_threads() {
         .seed(2);
 
     let threaded = TwoPcp::new(base.clone()).decompose_dense(&x).unwrap();
-    let mr = TwoPcp::new(base.work_dir(&dir).phase1(Phase1Options {
-        use_mapreduce: true,
-        ..Default::default()
-    }))
+    let mr = TwoPcp::new(
+        base.work_dir(&dir)
+            .phase1(Phase1Options::default().mapreduce(true)),
+    )
     .decompose_dense(&x)
     .unwrap();
 

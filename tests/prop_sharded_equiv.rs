@@ -91,7 +91,7 @@ proptest! {
                 base_cfg(2, parts, seed)
                     .shards(shards)
                     .work_dir(root.join(format!("s{shards}")))
-                    .phase1(Phase1Options { use_mapreduce: true, ..Default::default() }),
+                    .phase1(Phase1Options::default().mapreduce(true)),
             )
             .decompose_sparse(&sp)
             .unwrap()
