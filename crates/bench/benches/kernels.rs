@@ -1,0 +1,188 @@
+//! Kernel backend ablation: `TiledKernel` vs `ReferenceKernel` on the
+//! five hot compute primitives behind the backend seam.
+//!
+//! Each cell measures one entry point — `matmul`, `t_matmul`, `matmul_t`,
+//! `gram`, and the fused dense 3-mode MTTKRP — at the paper's working
+//! rank (F = 16) on Phase-2-representative shapes, for both backends at
+//! 1 and 4 threads. The two backends are bitwise-identical by contract
+//! (pinned by the `kernel_equiv` suites), so the ratio is pure speed.
+//!
+//! A one-shot accounted pass per cell is written to `BENCH_kernels.json`
+//! at the workspace root: median ns/call, nominal GFLOP/s, and the
+//! tiled-vs-reference speedup ratio per (op × threads) cell, so the perf
+//! trajectory stays machine-readable across PRs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+use tpcp_cp::mttkrp_dense_kernel;
+use tpcp_linalg::{KernelKind, Mat};
+use tpcp_par::ParConfig;
+use tpcp_tensor::{random_factor, DenseTensor};
+
+/// Where the machine-readable artifact lands (the workspace root).
+const ARTIFACT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+
+/// The paper's working rank: every shape below is F = 16.
+const RANK: usize = 16;
+/// Long mode of the matrix operands (a Phase-2 slab's row count).
+const ROWS: usize = 960;
+/// Dense cube side for the fused MTTKRP (a Phase-1 block).
+const DIM: usize = 48;
+
+/// One artifact line: a cell name and its measured quantities.
+struct Cell {
+    name: String,
+    fields: Vec<(&'static str, f64)>,
+}
+
+fn write_artifact(cells: &[Cell]) {
+    let mut out = String::from("{\n  \"bench\": \"kernels\",\n  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!("    {{\"name\": \"{}\"", cell.name));
+        for (k, v) in &cell.fields {
+            if v.fract() == 0.0 && v.abs() < 9e15 {
+                out.push_str(&format!(", \"{k}\": {}", *v as i64));
+            } else {
+                out.push_str(&format!(", \"{k}\": {v:.3}"));
+            }
+        }
+        out.push('}');
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"notes\": \"ratio = reference_ns / tiled_ns (higher is better for the \
+         tiled backend). GFLOP/s are nominal: 2mkn for the products, 2mk^2 for \
+         gram (full, though tiled computes half and mirrors), 2|X|F for the \
+         fused MTTKRP. Backends are bitwise-identical by contract, so the \
+         ratio is pure speed.\"\n",
+    );
+    out.push_str("}\n");
+    match std::fs::write(ARTIFACT_PATH, &out) {
+        Ok(()) => eprintln!("kernels: artifact written to {ARTIFACT_PATH}"),
+        Err(e) => eprintln!("kernels: could not write artifact: {e}"),
+    }
+}
+
+/// Median ns per call of `f` over a few accounted batches (the artifact's
+/// one-shot number; criterion's own loop prints the console figures).
+fn measure_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::new();
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct Fixtures {
+    a: Mat,         // ROWS × RANK: the slab factor / MTTKRP output shape
+    small: Mat,     // RANK × RANK: the Hadamard-of-grams operand
+    b_tall: Mat,    // ROWS × RANK: second tall operand for t_matmul
+    x: DenseTensor, // DIM³ dense block
+    factors: Vec<Mat>,
+}
+
+fn fixtures() -> Fixtures {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    Fixtures {
+        a: random_factor(ROWS, RANK, &mut rng),
+        small: random_factor(RANK, RANK, &mut rng),
+        b_tall: random_factor(ROWS, RANK, &mut rng),
+        x: tpcp_tensor::random_dense(&[DIM, DIM, DIM], &mut rng),
+        factors: (0..3).map(|_| random_factor(DIM, RANK, &mut rng)).collect(),
+    }
+}
+
+/// One measurable entry point behind the seam.
+type Op<'a> = (&'static str, f64, Box<dyn Fn(&ParConfig, KernelKind) + 'a>);
+
+/// (op name, nominal flops, runner) for each kernel entry point.
+fn ops(fx: &Fixtures) -> Vec<Op<'_>> {
+    let refs: Vec<&Mat> = fx.factors.iter().collect();
+    let mkn = (ROWS * RANK * RANK) as f64;
+    vec![
+        (
+            "matmul",
+            2.0 * mkn,
+            Box::new(|par: &ParConfig, kind: KernelKind| {
+                black_box(fx.a.matmul_kernel(&fx.small, par, kind).unwrap());
+            }),
+        ),
+        (
+            "t_matmul",
+            2.0 * mkn,
+            Box::new(|par: &ParConfig, kind: KernelKind| {
+                black_box(fx.a.t_matmul_kernel(&fx.b_tall, par, kind).unwrap());
+            }),
+        ),
+        (
+            "matmul_t",
+            2.0 * mkn,
+            Box::new(|par: &ParConfig, kind: KernelKind| {
+                black_box(fx.a.matmul_t_kernel(&fx.small, par, kind).unwrap());
+            }),
+        ),
+        (
+            "gram",
+            2.0 * mkn,
+            Box::new(|par: &ParConfig, kind: KernelKind| {
+                black_box(fx.a.gram_kernel(par, kind));
+            }),
+        ),
+        (
+            "mttkrp",
+            2.0 * (DIM * DIM * DIM) as f64 * RANK as f64,
+            Box::new(move |par: &ParConfig, kind: KernelKind| {
+                black_box(mttkrp_dense_kernel(&fx.x, &refs, 0, par, kind).unwrap());
+            }),
+        ),
+    ]
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let fx = fixtures();
+    let mut cells = Vec::new();
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(15);
+    for (op, flops, run) in ops(&fx) {
+        for threads in [1usize, 4] {
+            let par = ParConfig::with_threads(threads);
+            let mut ns = [0.0f64; 2];
+            for (slot, kind) in [(0, KernelKind::Reference), (1, KernelKind::Tiled)] {
+                let label = kind.label();
+                let name = format!("{op}_{label}_t{threads}");
+                group.bench_function(name.as_str(), |b| b.iter(|| run(&par, kind)));
+                let iters = if op == "mttkrp" { 10 } else { 40 };
+                ns[slot] = measure_ns(iters, || run(&par, kind));
+                let gflops = flops / ns[slot];
+                eprintln!(
+                    "kernels/{name}: {:.0} ns/call, {gflops:.2} GFLOP/s",
+                    ns[slot]
+                );
+                cells.push(Cell {
+                    name,
+                    fields: vec![("ns_per_call", ns[slot]), ("gflops", gflops)],
+                });
+            }
+            let ratio = ns[0] / ns[1];
+            eprintln!("kernels/{op}_ratio_t{threads}: {ratio:.2}x tiled over reference");
+            cells.push(Cell {
+                name: format!("{op}_ratio_t{threads}"),
+                fields: vec![("tiled_over_reference", ratio)],
+            });
+        }
+    }
+    group.finish();
+    write_artifact(&cells);
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,5 +1,9 @@
 //! Criterion bench mirroring Table II at micro scale: naive in-memory
 //! CP-ALS vs the two-phase pipeline with LRU/FOR replacement.
+//!
+//! Bench names carry the active kernel backend (resolved from
+//! `TPCP_KERNEL`), so tiled and reference runs land in separate
+//! criterion series instead of polluting each other's history.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -7,12 +11,13 @@ use tpcp_cp::{cp_als_dense, AlsOptions};
 use tpcp_datasets::dense_uniform;
 use tpcp_schedule::ScheduleKind;
 use tpcp_storage::PolicyKind;
-use twopcp::{TwoPcp, TwoPcpConfig};
+use twopcp::{KernelKind, TwoPcp, TwoPcpConfig};
 
 fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     let x = dense_uniform(&[24, 24, 24], 0.49, 2);
+    let kernel = KernelKind::auto().resolved().label();
 
     group.bench_function("naive_cp", |b| {
         b.iter(|| {
@@ -31,7 +36,7 @@ fn bench_table2(c: &mut Criterion) {
     });
 
     for policy in [PolicyKind::Lru, PolicyKind::Forward] {
-        group.bench_function(format!("twopcp_2x2x2_{}", policy.abbrev()), |b| {
+        group.bench_function(format!("twopcp_2x2x2_{}_{kernel}", policy.abbrev()), |b| {
             b.iter(|| {
                 let outcome = TwoPcp::new(
                     TwoPcpConfig::new(4)

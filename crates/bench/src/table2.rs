@@ -18,7 +18,7 @@ use tpcp_datasets::dense_uniform;
 use tpcp_schedule::ScheduleKind;
 use tpcp_storage::PolicyKind;
 use tpcp_tensor::DenseTensor;
-use twopcp::{naive_cp_out_of_core, NaiveOocOptions, TwoPcp, TwoPcpConfig};
+use twopcp::{naive_cp_out_of_core, KernelKind, NaiveOocOptions, TwoPcp, TwoPcpConfig};
 
 /// Configuration of the Table II experiment.
 #[derive(Clone, Debug)]
@@ -221,11 +221,14 @@ pub fn render(cfg: &Table2Config, result: &Table2Result) -> String {
         ]);
     }
     let mut out = format!(
-        "Table II — execution times ({side}^3, density {dens}, rank {rank}, ZO schedule, buffer {buf:.2})\n",
+        "Table II — execution times ({side}^3, density {dens}, rank {rank}, ZO schedule, buffer {buf:.2}, {kern} kernels)\n",
         side = cfg.side,
         dens = cfg.density,
         rank = cfg.rank,
         buf = cfg.buffer_fraction,
+        // The runs above dispatch through the same Auto resolution, so
+        // this is the backend every Phase-1/Phase-2 row actually ran.
+        kern = KernelKind::auto().resolved().label(),
     );
     out.push_str(&render_table(
         &[
@@ -280,6 +283,10 @@ mod tests {
         let table = render(&cfg, &result);
         assert!(table.contains("Naive CP (OOC)"));
         assert!(table.contains("2x2x2"));
+        assert!(
+            table.contains(" kernels)"),
+            "title must attribute the active kernel backend"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

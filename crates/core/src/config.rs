@@ -2,6 +2,7 @@
 
 use crate::{Result, TwoPcpError};
 use std::path::PathBuf;
+use tpcp_linalg::{KernelKind, KERNEL_ENV_VAR};
 use tpcp_par::ParConfig;
 use tpcp_schedule::ScheduleKind;
 use tpcp_storage::{PolicyKind, PrefetchConfig};
@@ -62,6 +63,8 @@ pub struct EnvOverrides {
     pub shards: Option<usize>,
     /// `TPCP_MMAP` → zero-copy page read path.
     pub mmap: Option<bool>,
+    /// `TPCP_KERNEL` → compute-kernel backend.
+    pub kernel: Option<KernelKind>,
     /// `TPCP_SERVE_ADDR` → serving daemon listen address.
     pub serve_addr: Option<String>,
 }
@@ -78,6 +81,7 @@ impl EnvOverrides {
             prefetch: set(tpcp_storage::PREFETCH_ENV_VAR).then(PrefetchConfig::auto),
             shards: set(tpcp_storage::SHARDS_ENV_VAR).then(tpcp_storage::shards_auto),
             mmap: set(tpcp_storage::MMAP_ENV_VAR).then(tpcp_storage::mmap_auto),
+            kernel: set(KERNEL_ENV_VAR).then(KernelKind::auto),
             serve_addr: std::env::var(SERVE_ADDR_ENV_VAR).ok(),
         }
     }
@@ -96,6 +100,9 @@ impl EnvOverrides {
         }
         if let Some(mmap) = self.mmap {
             config.mmap = mmap;
+        }
+        if let Some(kernel) = self.kernel {
+            config.kernel = kernel;
         }
         config
     }
@@ -221,6 +228,13 @@ pub struct TwoPcpConfig {
     /// bit-identical with the flag on or off; irrelevant for in-memory
     /// stores (`work_dir: None`).
     pub mmap: bool,
+    /// The compute-kernel backend for every dense product under both
+    /// phases (matmul/gram/MTTKRP): the reference scalar loops, the
+    /// register-blocked tiled microkernels, or automatic selection
+    /// (defaults to [`KernelKind::Auto`], i.e. the `TPCP_KERNEL` override
+    /// or tiled). Backends are bit-identical — factors, fits and swap
+    /// counts never depend on this knob; it trades speed only.
+    pub kernel: KernelKind,
 }
 
 impl TwoPcpConfig {
@@ -248,6 +262,7 @@ impl TwoPcpConfig {
             prefetch: PrefetchConfig::default(),
             shards: 1,
             mmap: false,
+            kernel: KernelKind::Auto,
         })
     }
 
@@ -353,6 +368,13 @@ impl TwoPcpConfig {
     /// Switches the zero-copy (mmap-backed) page read path on or off.
     pub fn mmap(mut self, mmap: bool) -> Self {
         self.mmap = mmap;
+        self
+    }
+
+    /// Sets the compute-kernel backend (bit-identical across backends;
+    /// trades speed only).
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -506,16 +528,28 @@ impl TwoPcpConfigBuilder {
         self
     }
 
+    /// Sets the compute-kernel backend (bit-identical across backends;
+    /// trades speed only).
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.config = self.config.kernel(kernel);
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
     /// [`ConfigError`] when the rank is zero or unset, the buffer
     /// fraction is not positive, the partition vector is empty or
-    /// contains zeros, or the shard count is zero.
+    /// contains zeros, the shard count is zero, or the configuration
+    /// leaves the kernel backend to a `TPCP_KERNEL` value that doesn't
+    /// parse.
     pub fn build(self) -> std::result::Result<TwoPcpConfig, ConfigError> {
         let c = &self.config;
         if !self.rank_set {
             return Err(ConfigError::new("rank is required — call .rank(F)"));
+        }
+        if c.kernel == KernelKind::Auto {
+            validate_kernel_override(std::env::var(KERNEL_ENV_VAR).ok().as_deref())?;
         }
         if c.rank == 0 {
             return Err(ConfigError::new("rank must be positive"));
@@ -535,6 +569,24 @@ impl TwoPcpConfigBuilder {
         }
         Ok(self.config)
     }
+}
+
+/// Strict validation of a would-be `TPCP_KERNEL` value, used by
+/// [`TwoPcpConfigBuilder::build`] when the backend is left to the
+/// environment: the lenient readers ([`EnvOverrides::from_env`],
+/// [`KernelKind::auto`]) silently fall back on malformed values, but a
+/// validating build should fail loudly instead of quietly running a
+/// different backend than the operator asked for.
+///
+/// Takes the value as a parameter (rather than reading the environment
+/// itself) so tests can exercise the failure path without mutating
+/// process-global env vars under a parallel test runner.
+fn validate_kernel_override(value: Option<&str>) -> std::result::Result<(), ConfigError> {
+    if let Some(v) = value {
+        v.parse::<KernelKind>()
+            .map_err(|e| ConfigError::new(format!("{KERNEL_ENV_VAR}: {e}")))?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -569,6 +621,51 @@ mod tests {
         let cfg = cfg.mmap(false);
         assert!(!cfg.mmap);
         assert_eq!(cfg.par(ParConfig::serial()).par, ParConfig::serial());
+    }
+
+    #[test]
+    fn kernel_setters_chain() {
+        let cfg = TwoPcpConfig::new(4).kernel(KernelKind::Reference);
+        assert_eq!(cfg.kernel, KernelKind::Reference);
+        let cfg = TwoPcpConfig::builder()
+            .rank(4)
+            .kernel(KernelKind::Tiled)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.kernel, KernelKind::Tiled);
+    }
+
+    #[test]
+    fn kernel_env_override_applies() {
+        let overrides = EnvOverrides {
+            kernel: Some(KernelKind::Reference),
+            ..Default::default()
+        };
+        let cfg = overrides.apply(TwoPcpConfig::new(4).kernel(KernelKind::Auto));
+        assert_eq!(cfg.kernel, KernelKind::Reference);
+        // Unset override leaves an explicit choice alone.
+        let cfg = EnvOverrides::default().apply(TwoPcpConfig::new(4).kernel(KernelKind::Tiled));
+        assert_eq!(cfg.kernel, KernelKind::Tiled);
+    }
+
+    #[test]
+    fn garbage_kernel_override_is_a_config_error_not_a_panic() {
+        let err = validate_kernel_override(Some("garbage")).unwrap_err();
+        assert!(
+            err.reason.contains("TPCP_KERNEL") && err.reason.contains("garbage"),
+            "error names the variable and the bad value: {}",
+            err.reason
+        );
+        assert!(
+            err.reason.contains("reference") && err.reason.contains("tiled"),
+            "error lists the valid values: {}",
+            err.reason
+        );
+        // Valid and absent values pass.
+        assert!(validate_kernel_override(Some("tiled")).is_ok());
+        assert!(validate_kernel_override(Some("reference")).is_ok());
+        assert!(validate_kernel_override(Some("auto")).is_ok());
+        assert!(validate_kernel_override(None).is_ok());
     }
 
     #[test]

@@ -68,8 +68,9 @@ pub use phase1::{
 pub use phase2::{refine, RefineOutcome, RefineStats};
 pub use pq::PqCache;
 pub use swapsim::{simulate_swaps, unit_bytes, SwapReport, SwapSimConfig};
-// Re-exported so prefetch can be configured without importing
-// `tpcp-storage` directly.
+// Re-exported so prefetch and the kernel backend can be configured
+// without importing `tpcp-storage` / `tpcp-linalg` directly.
+pub use tpcp_linalg::{KernelKind, KERNEL_ENV_VAR};
 pub use tpcp_storage::PrefetchConfig;
 
 /// Errors surfaced by the 2PCP pipeline.

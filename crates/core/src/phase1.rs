@@ -86,6 +86,7 @@ fn als_options(cfg: &TwoPcpConfig, block_seed: u64) -> AlsOptions {
         // Block workers already occupy the budget; the kernels inside one
         // block stay serial rather than oversubscribing the machine.
         par: ParConfig::serial(),
+        kernel: cfg.kernel,
     }
 }
 

@@ -163,10 +163,13 @@ pub fn refine<S: UnitStore + PrefetchSource>(
                 expected_unit_bytes(grid, cfg.rank, unit_id),
                 "stored unit diverges from the analytic space formula"
             );
-            let q = data.factor.gram_par(&cfg.par);
+            let q = data.factor.gram_kernel(&cfg.par, cfg.kernel);
             let mut ps = Vec::with_capacity(data.sub_factors.len());
             for (block, u) in &data.sub_factors {
-                ps.push((*block as usize, u.t_matmul_par(&data.factor, &cfg.par)?));
+                ps.push((
+                    *block as usize,
+                    u.t_matmul_kernel(&data.factor, &cfg.par, cfg.kernel)?,
+                ));
             }
             Ok((q, ps))
         })();
@@ -208,10 +211,10 @@ pub fn refine<S: UnitStore + PrefetchSource>(
                 let result = (|| -> Result<()> {
                     let a_new = {
                         let unit = pool.get(unit_id)?;
-                        compute_sub_factor_update(grid, unit, &pq, cfg.ridge, &cfg.par)?
+                        compute_sub_factor_update(grid, unit, &pq, cfg.ridge, &cfg.par, cfg.kernel)?
                     };
                     let unit = pool.get_mut(unit_id)?;
-                    commit_sub_factor_update(grid, unit, &mut pq, a_new, &cfg.par)
+                    commit_sub_factor_update(grid, unit, &mut pq, a_new, &cfg.par, cfg.kernel)
                 })();
                 pool.release(&hold);
                 result?;

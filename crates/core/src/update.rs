@@ -14,7 +14,7 @@
 
 use crate::pq::PqCache;
 use crate::{Result, TwoPcpError};
-use tpcp_linalg::{solve, Mat};
+use tpcp_linalg::{solve, KernelKind, Mat};
 use tpcp_par::ParConfig;
 use tpcp_partition::Grid;
 use tpcp_schedule::UnitId;
@@ -33,6 +33,7 @@ pub fn compute_sub_factor_update(
     pq: &PqCache,
     ridge: f64,
     par: &ParConfig,
+    kernel: KernelKind,
 ) -> Result<Mat> {
     let mode = usize::from(unit.unit.mode);
     let rank = pq.rank();
@@ -45,7 +46,9 @@ pub fn compute_sub_factor_update(
         // T += U(i)_l · ⊛_{h≠i} P(h)_l   (skip empty blocks: U = 0).
         let p_had = pq.p_hadamard_excluding(block, mode)?;
         if u_mat.as_slice().iter().any(|&v| v != 0.0) {
-            let contrib = u_mat.matmul_par(&p_had, par).map_err(TwoPcpError::from)?;
+            let contrib = u_mat
+                .matmul_kernel(&p_had, par, kernel)
+                .map_err(TwoPcpError::from)?;
             t.add_assign(&contrib).map_err(TwoPcpError::from)?;
         }
         // S += ⊛_{h≠i} Q(h)_l.
@@ -68,16 +71,19 @@ pub fn commit_sub_factor_update(
     pq: &mut PqCache,
     a_new: Mat,
     par: &ParConfig,
+    kernel: KernelKind,
 ) -> Result<()> {
     let mode = usize::from(unit.unit.mode);
     for (block_u64, u_mat) in &unit.sub_factors {
-        let p_new = u_mat.t_matmul_par(&a_new, par).map_err(TwoPcpError::from)?;
+        let p_new = u_mat
+            .t_matmul_kernel(&a_new, par, kernel)
+            .map_err(TwoPcpError::from)?;
         pq.set_p(*block_u64 as usize, mode, p_new);
     }
     pq.set_q(
         grid,
         UnitId::new(mode, unit.unit.part as usize),
-        a_new.gram_par(par),
+        a_new.gram_kernel(par, kernel),
     );
     unit.factor = a_new;
     Ok(())
@@ -122,8 +128,15 @@ mod tests {
             factor: a[0].clone(),
             sub_factors: vec![(0, u[0].clone())],
         };
-        let a0_new =
-            compute_sub_factor_update(&grid, &unit, &pq, 1e-12, &ParConfig::auto()).unwrap();
+        let a0_new = compute_sub_factor_update(
+            &grid,
+            &unit,
+            &pq,
+            1e-12,
+            &ParConfig::auto(),
+            KernelKind::Auto,
+        )
+        .unwrap();
 
         // Reference: ALS update of mode 0 on the reconstruction of U, with
         // B and C fixed to the current A estimates:
@@ -158,8 +171,15 @@ mod tests {
             sub_factors: vec![(0, u_block0.clone()), (1, u_block1.clone())],
         };
         let a_new = random_factor(2, f, &mut rng);
-        commit_sub_factor_update(&grid, &mut unit, &mut pq, a_new.clone(), &ParConfig::auto())
-            .unwrap();
+        commit_sub_factor_update(
+            &grid,
+            &mut unit,
+            &mut pq,
+            a_new.clone(),
+            &ParConfig::auto(),
+            KernelKind::Auto,
+        )
+        .unwrap();
         assert_eq!(unit.factor, a_new);
         assert_eq!(pq.p(0, 0), &u_block0.t_matmul(&a_new).unwrap());
         assert_eq!(pq.p(1, 0), &u_block1.t_matmul(&a_new).unwrap());
@@ -182,8 +202,15 @@ mod tests {
             factor: Mat::filled(4, f, 1.0),
             sub_factors: vec![(0, Mat::zeros(4, f))],
         };
-        let a_new =
-            compute_sub_factor_update(&grid, &unit, &pq, 1e-9, &ParConfig::serial()).unwrap();
+        let a_new = compute_sub_factor_update(
+            &grid,
+            &unit,
+            &pq,
+            1e-9,
+            &ParConfig::serial(),
+            KernelKind::Auto,
+        )
+        .unwrap();
         assert!(a_new.as_slice().iter().all(|&v| v.abs() < 1e-12));
     }
 }

@@ -1,10 +1,10 @@
 //! The alternating-least-squares driver.
 
 use crate::model::fit_from_parts;
-use crate::{mttkrp_dense_par, mttkrp_sparse_par, CpError, CpModel, Result};
+use crate::{mttkrp_dense_kernel, mttkrp_sparse_par, CpError, CpModel, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tpcp_linalg::{hadamard_all, solve, Mat};
+use tpcp_linalg::{hadamard_all, solve, KernelKind, Mat};
 use tpcp_par::ParConfig;
 use tpcp_tensor::{random_factor, DenseTensor, SparseTensor};
 
@@ -28,6 +28,10 @@ pub struct AlsOptions {
     /// Thread budget for the MTTKRP and Gram kernels. Parallel execution
     /// is deterministic: results are bit-identical for any budget.
     pub par: ParConfig,
+    /// Kernel backend for the MTTKRP and Gram inner loops. All backends
+    /// are bit-identical (see `tpcp_linalg::kernel`), so this knob trades
+    /// speed only; the default honours `TPCP_KERNEL`.
+    pub kernel: KernelKind,
 }
 
 impl Default for AlsOptions {
@@ -40,6 +44,7 @@ impl Default for AlsOptions {
             seed: 0,
             init: None,
             par: ParConfig::auto(),
+            kernel: KernelKind::Auto,
         }
     }
 }
@@ -111,6 +116,13 @@ impl AlsOptionsBuilder {
         self
     }
 
+    /// Sets the kernel backend (results are bit-identical across
+    /// backends; this trades speed only).
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.options.kernel = kernel;
+        self
+    }
+
     /// Validates and produces the options.
     ///
     /// # Errors
@@ -161,7 +173,13 @@ pub struct AlsReport {
 trait AlsTensor {
     fn dims(&self) -> &[usize];
     fn norm_sq(&self) -> f64;
-    fn mttkrp(&self, factors: &[&Mat], mode: usize, par: &ParConfig) -> Result<Mat>;
+    fn mttkrp(
+        &self,
+        factors: &[&Mat],
+        mode: usize,
+        par: &ParConfig,
+        kind: KernelKind,
+    ) -> Result<Mat>;
 }
 
 impl AlsTensor for DenseTensor {
@@ -171,8 +189,14 @@ impl AlsTensor for DenseTensor {
     fn norm_sq(&self) -> f64 {
         self.fro_norm_sq()
     }
-    fn mttkrp(&self, factors: &[&Mat], mode: usize, par: &ParConfig) -> Result<Mat> {
-        mttkrp_dense_par(self, factors, mode, par)
+    fn mttkrp(
+        &self,
+        factors: &[&Mat],
+        mode: usize,
+        par: &ParConfig,
+        kind: KernelKind,
+    ) -> Result<Mat> {
+        mttkrp_dense_kernel(self, factors, mode, par, kind)
     }
 }
 
@@ -183,7 +207,15 @@ impl AlsTensor for SparseTensor {
     fn norm_sq(&self) -> f64 {
         self.fro_norm_sq()
     }
-    fn mttkrp(&self, factors: &[&Mat], mode: usize, par: &ParConfig) -> Result<Mat> {
+    fn mttkrp(
+        &self,
+        factors: &[&Mat],
+        mode: usize,
+        par: &ParConfig,
+        _kind: KernelKind,
+    ) -> Result<Mat> {
+        // The sparse path has no backend seam (its inner loop is a scaled
+        // Hadamard per non-zero); the kernel choice is a no-op here.
         mttkrp_sparse_par(self, factors, mode, par)
     }
 }
@@ -238,7 +270,10 @@ fn als_loop<T: AlsTensor>(x: &T, options: &AlsOptions) -> Result<AlsReport> {
     };
 
     let norm_x_sq = x.norm_sq();
-    let mut grams: Vec<Mat> = factors.iter().map(|a| a.gram_par(&options.par)).collect();
+    let mut grams: Vec<Mat> = factors
+        .iter()
+        .map(|a| a.gram_kernel(&options.par, options.kernel))
+        .collect();
     let mut fit_trace = Vec::with_capacity(options.max_iters);
     let mut prev_fit = f64::NEG_INFINITY;
     let mut converged = false;
@@ -249,14 +284,14 @@ fn als_loop<T: AlsTensor>(x: &T, options: &AlsOptions) -> Result<AlsReport> {
         let mut last_m: Option<Mat> = None;
         for mode in 0..order {
             let refs: Vec<&Mat> = factors.iter().collect();
-            let m = x.mttkrp(&refs, mode, &options.par)?;
+            let m = x.mttkrp(&refs, mode, &options.par, options.kernel)?;
             let other_grams: Vec<&Mat> = (0..order)
                 .filter(|&h| h != mode)
                 .map(|h| &grams[h])
                 .collect();
             let s = hadamard_all(&other_grams)?;
             let a = solve::solve_gram_system(&m, &s, options.ridge)?;
-            grams[mode] = a.gram_par(&options.par);
+            grams[mode] = a.gram_kernel(&options.par, options.kernel);
             factors[mode] = a;
             if mode == order - 1 {
                 last_m = Some(m);
@@ -279,7 +314,7 @@ fn als_loop<T: AlsTensor>(x: &T, options: &AlsOptions) -> Result<AlsReport> {
 
         // Rebalance factor scales (preserves the reconstruction: each
         // column's total weight is redistributed as λ^{1/N} per mode).
-        rebalance(&mut factors, &mut grams);
+        rebalance(&mut factors, &mut grams, &options.par, options.kernel);
 
         if (fit - prev_fit).abs() < options.tol {
             converged = true;
@@ -302,7 +337,7 @@ fn als_loop<T: AlsTensor>(x: &T, options: &AlsOptions) -> Result<AlsReport> {
 
 /// Normalises every factor column and redistributes the combined weight
 /// `λ_f` evenly (`λ_f^{1/N}` per mode), refreshing the Gram caches.
-fn rebalance(factors: &mut [Mat], grams: &mut [Mat]) {
+fn rebalance(factors: &mut [Mat], grams: &mut [Mat], par: &ParConfig, kind: KernelKind) {
     let order = factors.len();
     let f = factors.first().map_or(0, Mat::cols);
     let mut lambda = vec![1.0f64; f];
@@ -323,7 +358,7 @@ fn rebalance(factors: &mut [Mat], grams: &mut [Mat]) {
         .collect();
     for (factor, gram) in factors.iter_mut().zip(grams.iter_mut()) {
         factor.scale_columns(&root);
-        *gram = factor.gram();
+        *gram = factor.gram_kernel(par, kind);
     }
 }
 

@@ -20,7 +20,10 @@ mod mttkrp;
 
 pub use als::{cp_als_dense, cp_als_sparse, AlsOptions, AlsOptionsBuilder, AlsReport};
 pub use model::CpModel;
-pub use mttkrp::{mttkrp_dense, mttkrp_dense_par, mttkrp_sparse, mttkrp_sparse_par};
+pub use mttkrp::{
+    mttkrp_dense, mttkrp_dense_kernel, mttkrp_dense_par, mttkrp_sparse, mttkrp_sparse_par,
+};
+pub use tpcp_linalg::KernelKind;
 
 /// Errors surfaced by CP routines.
 #[derive(Debug, Clone, PartialEq)]

@@ -18,7 +18,7 @@
 //! order. Results are therefore bit-identical for any thread count.
 
 use crate::{CpError, Result};
-use tpcp_linalg::Mat;
+use tpcp_linalg::{Kernel, KernelKind, Mat};
 use tpcp_par::{fixed_chunk_size, par_chunks_mut, par_chunks_reduce, ParConfig};
 use tpcp_tensor::{DenseTensor, SparseTensor};
 
@@ -86,10 +86,30 @@ pub fn mttkrp_dense_par(
     mode: usize,
     par: &ParConfig,
 ) -> Result<Mat> {
+    mttkrp_dense_kernel(x, factors, mode, par, KernelKind::Auto)
+}
+
+/// [`mttkrp_dense`] on an explicit thread budget and kernel backend.
+///
+/// The backend applies to the fused dense 3-mode path (the per-fibre
+/// [`Kernel::mttkrp_tile`]/[`Kernel::mttkrp_scatter`] ops); the generic
+/// N-mode odometer path is backend-independent. All backends are
+/// bit-identical (see `tpcp_linalg::kernel`), so this knob trades speed
+/// only.
+///
+/// # Errors
+/// [`CpError::BadFactors`] on shape inconsistencies.
+pub fn mttkrp_dense_kernel(
+    x: &DenseTensor,
+    factors: &[&Mat],
+    mode: usize,
+    par: &ParConfig,
+    kind: KernelKind,
+) -> Result<Mat> {
     let f = check_factors(x.dims(), factors, mode)?;
     let par = par.clamped(x.len() * f, PAR_MIN_WORK);
     if x.order() == 3 {
-        return Ok(mttkrp_dense3(x, factors, mode, f, &par));
+        return Ok(mttkrp_dense3(x, factors, mode, f, &par, kind.resolve()));
     }
     Ok(mttkrp_dense_generic(x, factors, mode, f, &par))
 }
@@ -99,7 +119,14 @@ pub fn mttkrp_dense_par(
 /// mode: each worker owns a band of output rows and accumulates them in the
 /// same order as the serial sweep, so results are bit-identical for any
 /// thread count.
-fn mttkrp_dense3(x: &DenseTensor, factors: &[&Mat], mode: usize, f: usize, par: &ParConfig) -> Mat {
+fn mttkrp_dense3(
+    x: &DenseTensor,
+    factors: &[&Mat],
+    mode: usize,
+    f: usize,
+    par: &ParConfig,
+    kernel: &dyn Kernel,
+) -> Mat {
     let dims = x.dims();
     let (di, dj, dk) = (dims[0], dims[1], dims[2]);
     let mut out = Mat::zeros(dims[mode], f);
@@ -113,6 +140,7 @@ fn mttkrp_dense3(x: &DenseTensor, factors: &[&Mat], mode: usize, f: usize, par: 
     match mode {
         0 => {
             // M[i] += (X[i,j,:] · C) ⊛ B[j]
+            let c = factors[2].as_slice();
             par_chunks_mut(
                 par,
                 out.as_mut_slice(),
@@ -124,20 +152,8 @@ fn mttkrp_dense3(x: &DenseTensor, factors: &[&Mat], mode: usize, f: usize, par: 
                         let i = i0 + local;
                         for j in 0..dj {
                             let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
-                            scratch.fill(0.0);
-                            for (k, &v) in fibre.iter().enumerate() {
-                                if v == 0.0 {
-                                    continue;
-                                }
-                                let c_row = factors[2].row(k);
-                                for (s, &c) in scratch.iter_mut().zip(c_row) {
-                                    *s += v * c;
-                                }
-                            }
                             let b_row = factors[1].row(j);
-                            for ((o, &s), &b) in out_row.iter_mut().zip(&scratch).zip(b_row) {
-                                *o += s * b;
-                            }
+                            kernel.mttkrp_tile(fibre, c, f, b_row, out_row, &mut scratch);
                         }
                     }
                 },
@@ -146,6 +162,7 @@ fn mttkrp_dense3(x: &DenseTensor, factors: &[&Mat], mode: usize, f: usize, par: 
         1 => {
             // M[j] += (X[i,j,:] · C) ⊛ A[i]; each worker owns a j-band and
             // sweeps i in ascending order (the serial accumulation order).
+            let c = factors[2].as_slice();
             par_chunks_mut(
                 par,
                 out.as_mut_slice(),
@@ -159,20 +176,8 @@ fn mttkrp_dense3(x: &DenseTensor, factors: &[&Mat], mode: usize, f: usize, par: 
                         for local in 0..band {
                             let j = j0 + local;
                             let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
-                            scratch.fill(0.0);
-                            for (k, &v) in fibre.iter().enumerate() {
-                                if v == 0.0 {
-                                    continue;
-                                }
-                                let c_row = factors[2].row(k);
-                                for (s, &c) in scratch.iter_mut().zip(c_row) {
-                                    *s += v * c;
-                                }
-                            }
                             let out_row = &mut chunk[local * f..(local + 1) * f];
-                            for ((o, &s), &a) in out_row.iter_mut().zip(&scratch).zip(a_row) {
-                                *o += s * a;
-                            }
+                            kernel.mttkrp_tile(fibre, c, f, a_row, out_row, &mut scratch);
                         }
                     }
                 },
@@ -199,15 +204,7 @@ fn mttkrp_dense3(x: &DenseTensor, factors: &[&Mat], mode: usize, f: usize, par: 
                             }
                             let base = (i * dj + j) * dk + k0;
                             let fibre = &data[base..base + band];
-                            for (kk, &v) in fibre.iter().enumerate() {
-                                if v == 0.0 {
-                                    continue;
-                                }
-                                let out_row = &mut chunk[kk * f..(kk + 1) * f];
-                                for (o, &s) in out_row.iter_mut().zip(&scratch) {
-                                    *o += v * s;
-                                }
-                            }
+                            kernel.mttkrp_scatter(fibre, &scratch, f, chunk);
                         }
                     }
                 },

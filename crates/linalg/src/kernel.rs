@@ -1,0 +1,662 @@
+//! The kernel backend seam: swappable inner-loop implementations for the
+//! dense products ([`Mat::matmul`](crate::Mat::matmul) and friends) and the
+//! fused 3-mode MTTKRP in `tpcp-cp`.
+//!
+//! A [`Kernel`] computes one worker's *band* of the output — the parallel
+//! wrappers in `ops.rs` (and `tpcp-cp`'s `mttkrp.rs`) partition the output
+//! across the shared `tpcp-par` budget and hand each band to the selected
+//! backend. Two backends ship:
+//!
+//! * [`ReferenceKernel`] — the original scalar loops, kept verbatim as the
+//!   correctness oracle;
+//! * [`TiledKernel`] — register-blocked microkernels (`4×8` output tiles
+//!   held in accumulator registers across the whole reduction loop, with
+//!   panel packing of the strided operand into contiguous scratch so every
+//!   inner loop is stride-1 and explicit-width for the autovectorizer).
+//!
+//! # The determinism contract
+//!
+//! Every backend must accumulate **each output element in exactly the
+//! serial reference order**: one accumulator per element, reduction index
+//! ascending. Register blocking therefore vectorises across *output
+//! elements*, never by splitting the reduction axis into partial sums —
+//! that would change rounding. Under this contract (and finite inputs; see
+//! `docs/kernels.md`) every backend is bit-identical to the reference at
+//! any thread count, so swapping backends can never change factors, fits
+//! or swap counts.
+//!
+//! The reference loops skip zero multiplicands (`if a == 0.0 {{ continue }}`)
+//! while the tiled loops are branch-free; the results are still bitwise
+//! equal for finite inputs because adding a `±0.0` product leaves any
+//! accumulator unchanged bit-for-bit (an accumulator seeded with `+0.0`
+//! can never become `-0.0` in round-to-nearest).
+//!
+//! # Runtime dispatch
+//!
+//! [`KernelKind`] selects the backend: explicitly through the config
+//! builders (`TwoPcpConfig::kernel`, `AlsOptions::kernel`), or via the
+//! `TPCP_KERNEL` environment variable (`reference` / `tiled` / `auto`) for
+//! the [`KernelKind::Auto`] default. `Auto` resolves to the tiled backend.
+
+use std::str::FromStr;
+
+/// Name of the environment variable selecting the kernel backend
+/// (`reference`, `tiled` or `auto`; see [`KernelKind`]).
+pub const KERNEL_ENV_VAR: &str = "TPCP_KERNEL";
+
+/// Which kernel backend to run.
+///
+/// The default, [`KernelKind::Auto`], honours the `TPCP_KERNEL`
+/// environment variable and otherwise picks [`TiledKernel`]; the two
+/// explicit variants pin a backend regardless of the environment. All
+/// choices are bit-identical (see the [module docs](self)), so this knob
+/// trades speed only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelKind {
+    /// The original scalar loops ([`ReferenceKernel`]).
+    Reference,
+    /// Register-blocked microkernels ([`TiledKernel`]).
+    Tiled,
+    /// The `TPCP_KERNEL` override when set to a valid value, otherwise
+    /// [`KernelKind::Tiled`].
+    #[default]
+    Auto,
+}
+
+/// Error produced when parsing an unrecognised kernel name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidKernelName {
+    /// The rejected value.
+    pub value: String,
+}
+
+impl std::fmt::Display for InvalidKernelName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognised kernel backend `{}` (expected `reference`, `tiled` or `auto`)",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for InvalidKernelName {}
+
+impl FromStr for KernelKind {
+    type Err = InvalidKernelName;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reference" => Ok(KernelKind::Reference),
+            "tiled" => Ok(KernelKind::Tiled),
+            "auto" => Ok(KernelKind::Auto),
+            _ => Err(InvalidKernelName { value: s.into() }),
+        }
+    }
+}
+
+impl KernelKind {
+    /// The automatic choice: `TPCP_KERNEL` when set to a valid value,
+    /// otherwise [`KernelKind::Auto`] (malformed values fall back to the
+    /// default, matching the other `TPCP_*` variables; the validating
+    /// config builders reject them loudly instead).
+    pub fn auto() -> KernelKind {
+        env_kernel().unwrap_or(KernelKind::Auto)
+    }
+
+    /// Collapses [`KernelKind::Auto`] to the backend it will actually run
+    /// (the environment override, or [`KernelKind::Tiled`]); explicit
+    /// variants return themselves.
+    pub fn resolved(self) -> KernelKind {
+        match self {
+            KernelKind::Auto => match env_kernel() {
+                Some(KernelKind::Reference) => KernelKind::Reference,
+                _ => KernelKind::Tiled,
+            },
+            other => other,
+        }
+    }
+
+    /// The backend implementation this kind dispatches to.
+    pub fn resolve(self) -> &'static dyn Kernel {
+        match self.resolved() {
+            KernelKind::Reference => &ReferenceKernel,
+            _ => &TiledKernel,
+        }
+    }
+
+    /// Stable lower-case name (`"reference"` / `"tiled"` / `"auto"`),
+    /// matching the `TPCP_KERNEL` grammar.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Reference => "reference",
+            KernelKind::Tiled => "tiled",
+            KernelKind::Auto => "auto",
+        }
+    }
+}
+
+/// The environment override, ignoring unset/malformed values and the
+/// explicit `auto` (which is the default anyway).
+fn env_kernel() -> Option<KernelKind> {
+    match std::env::var(KERNEL_ENV_VAR).ok()?.parse() {
+        Ok(KernelKind::Auto) | Err(_) => None,
+        Ok(kind) => Some(kind),
+    }
+}
+
+/// One kernel backend: band-level entry points for the dense products and
+/// the fused 3-mode MTTKRP.
+///
+/// All matrices are row-major `f64` slices. The `matmul`/`matmul_t` entry
+/// points receive a *band* of `A` rows and the matching band of the output;
+/// `t_matmul`/`gram_band` receive all of `A` plus the band's first output
+/// row `c0` (an output row is a *column* of `A` there). Output bands arrive
+/// zero-initialised; a backend may accumulate into them or overwrite them,
+/// as the two are indistinguishable on zeroed memory.
+///
+/// Implementations must uphold the accumulation-order contract in the
+/// [module docs](self): per output element, one accumulator, reduction
+/// index ascending.
+pub trait Kernel: Sync {
+    /// Stable name for diagnostics and bench attribution.
+    fn label(&self) -> &'static str;
+
+    /// Preferred output-row granularity: parallel wrappers round their
+    /// per-worker chunk to a multiple of this so workers receive whole
+    /// register tiles (`1` = no preference).
+    fn row_tile(&self) -> usize;
+
+    /// `out[r][j] = Σ_p a[r][p] · b[p][j]` — a band of `rows` rows of
+    /// `A · B` where `a` is `rows×k` (the band), `b` is `k×n`.
+    fn matmul(&self, a: &[f64], rows: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]);
+
+    /// `out[r][j] = Σ_p a[r][p] · b[j][p]` — a band of `A · Bᵀ` where `a`
+    /// is `rows×k` (the band), `b` is `n×k`.
+    fn matmul_t(&self, a: &[f64], rows: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]);
+
+    /// `out[local][j] = Σ_r a[r][c0+local] · b[r][j]` — the band of rows
+    /// `c0..c0+rows` of `Aᵀ · B` where `a` is `m×k` (all of it), `b` is
+    /// `m×n`. The reduction sweeps `r` in ascending order.
+    #[allow(clippy::too_many_arguments)]
+    fn t_matmul(
+        &self,
+        a: &[f64],
+        m: usize,
+        k: usize,
+        c0: usize,
+        rows: usize,
+        b: &[f64],
+        n: usize,
+        out: &mut [f64],
+    );
+
+    /// The band of rows `c0..c0+rows` of the Gram matrix `Aᵀ · A` (`a` is
+    /// `m×k`, the band is `rows×k`).
+    ///
+    /// A backend may compute only the columns `j ≥ c0 + i0` of each row
+    /// tile (the upper triangle plus a sliver below the diagonal) and
+    /// report [`Kernel::gram_needs_mirror`] = `true`; the caller then
+    /// fills the strict lower triangle by mirroring after all bands
+    /// complete. The mirror is bitwise-exact: `Σ a[r][j]·a[r][c]` equals
+    /// `Σ a[r][c]·a[r][j]` bit-for-bit (IEEE multiplication commutes and
+    /// the `r` order is shared).
+    fn gram_band(&self, a: &[f64], m: usize, k: usize, c0: usize, rows: usize, out: &mut [f64]);
+
+    /// Whether [`Kernel::gram_band`] leaves the strict lower triangle for
+    /// the caller to mirror.
+    fn gram_needs_mirror(&self) -> bool {
+        false
+    }
+
+    /// The fused fibre op of the dense 3-mode MTTKRP (modes 0 and 1):
+    /// `out[s] += (Σ_kk fibre[kk] · c[kk][s]) · w[s]`, with the inner sum
+    /// accumulated over `kk` ascending. `c` is `dk×f` row-major
+    /// (`dk = fibre.len()`), `w` and `out` have length `f`, and `scratch`
+    /// is caller-provided storage of length `f` a backend may clobber.
+    fn mttkrp_tile(
+        &self,
+        fibre: &[f64],
+        c: &[f64],
+        f: usize,
+        w: &[f64],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    );
+
+    /// The scatter op of the dense 3-mode MTTKRP (mode 2): for each `kk`,
+    /// `out[kk][s] += fibre[kk] · s_row[s]` (`out` is `fibre.len()×f`
+    /// row-major).
+    fn mttkrp_scatter(&self, fibre: &[f64], s_row: &[f64], f: usize, out: &mut [f64]);
+}
+
+/// The original scalar loops, verbatim — the correctness oracle every
+/// other backend is pinned against (bitwise, via the proptest suites).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReferenceKernel;
+
+impl Kernel for ReferenceKernel {
+    fn label(&self) -> &'static str {
+        "reference"
+    }
+
+    fn row_tile(&self) -> usize {
+        1
+    }
+
+    fn matmul(&self, a: &[f64], _rows: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+        // i-k-j ordering: the inner loop streams a row of `b` and a row of
+        // `out`, both contiguous, so the kernel vectorises without bounds
+        // checks dominating.
+        for (local, out_row) in out.chunks_mut(n).enumerate() {
+            let a_row = &a[local * k..(local + 1) * k];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * bv;
+                }
+            }
+        }
+    }
+
+    fn matmul_t(&self, a: &[f64], _rows: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+        for (local, out_row) in out.chunks_mut(n).enumerate() {
+            let a_row = &a[local * k..(local + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn t_matmul(
+        &self,
+        a: &[f64],
+        m: usize,
+        k: usize,
+        c0: usize,
+        _rows: usize,
+        b: &[f64],
+        n: usize,
+        out: &mut [f64],
+    ) {
+        // Rank-1 updates row by row, restricted to this worker's band of
+        // output rows; accessed rows stay contiguous.
+        for r in 0..m {
+            let a_row = &a[r * k..(r + 1) * k];
+            let b_row = &b[r * n..(r + 1) * n];
+            for (local, out_row) in out.chunks_mut(n).enumerate() {
+                let a_rc = a_row[c0 + local];
+                if a_rc == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += a_rc * bv;
+                }
+            }
+        }
+    }
+
+    fn gram_band(&self, a: &[f64], m: usize, k: usize, c0: usize, rows: usize, out: &mut [f64]) {
+        // The full band of Aᵀ·A — the symmetric half-compute lives in the
+        // tiled backend, behind the same seam.
+        self.t_matmul(a, m, k, c0, rows, a, k, out);
+    }
+
+    fn mttkrp_tile(
+        &self,
+        fibre: &[f64],
+        c: &[f64],
+        f: usize,
+        w: &[f64],
+        out: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        // scratch = fibre · C, skipping zero tensor entries …
+        scratch.fill(0.0);
+        for (kk, &v) in fibre.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let c_row = &c[kk * f..(kk + 1) * f];
+            for (s, &cv) in scratch.iter_mut().zip(c_row) {
+                *s += v * cv;
+            }
+        }
+        // … then out += scratch ⊛ w.
+        for ((o, &s), &wv) in out.iter_mut().zip(scratch.iter()).zip(w) {
+            *o += s * wv;
+        }
+    }
+
+    fn mttkrp_scatter(&self, fibre: &[f64], s_row: &[f64], f: usize, out: &mut [f64]) {
+        for (kk, &v) in fibre.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[kk * f..(kk + 1) * f];
+            for (o, &sv) in out_row.iter_mut().zip(s_row) {
+                *o += v * sv;
+            }
+        }
+    }
+}
+
+/// Register-block height: output rows per microtile.
+pub const TILE_MR: usize = 4;
+
+/// Register-block width: output columns per microtile.
+pub const TILE_NR: usize = 8;
+
+/// Register-blocked, SIMD-friendly microkernels.
+///
+/// Each `TILE_MR×TILE_NR` output tile is held in accumulator registers
+/// across the entire reduction loop (the reference loops instead re-load
+/// and re-store the output row on every reduction step), the inner loops
+/// are branch-free with explicit widths the autovectorizer maps onto
+/// vector lanes, and the operand whose tile access would be strided is
+/// packed into contiguous scratch (`matmul` packs the A panel reduction-
+/// major; `matmul_t` packs the Bᵀ panel; `t_matmul`/`gram_band` need no
+/// packing because both tile dimensions are already contiguous). Edge
+/// tiles fall back to scalar loops with the same ascending reduction
+/// order, so ragged shapes stay bit-identical too.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TiledKernel;
+
+impl Kernel for TiledKernel {
+    fn label(&self) -> &'static str {
+        "tiled"
+    }
+
+    fn row_tile(&self) -> usize {
+        TILE_MR
+    }
+
+    fn matmul(&self, a: &[f64], rows: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+        // A panel packed reduction-major: pack[p*MR + r] = a[i0+r][p], so
+        // the microtile's per-step loads of the 4 A lanes share one cache
+        // line instead of 4.
+        let mut pack = vec![0.0f64; k * TILE_MR];
+        let mut i0 = 0;
+        while i0 < rows {
+            let h = TILE_MR.min(rows - i0);
+            for r in 0..h {
+                let row = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                for (p, &v) in row.iter().enumerate() {
+                    pack[p * TILE_MR + r] = v;
+                }
+            }
+            let mut j0 = 0;
+            while j0 < n {
+                let w = TILE_NR.min(n - j0);
+                if h == TILE_MR && w == TILE_NR {
+                    let mut acc = [[0.0f64; TILE_NR]; TILE_MR];
+                    for p in 0..k {
+                        let ap = &pack[p * TILE_MR..p * TILE_MR + TILE_MR];
+                        let bp = &b[p * n + j0..p * n + j0 + TILE_NR];
+                        for (r, acc_r) in acc.iter_mut().enumerate() {
+                            let arp = ap[r];
+                            for (acc_rt, &bv) in acc_r.iter_mut().zip(bp) {
+                                *acc_rt += arp * bv;
+                            }
+                        }
+                    }
+                    for (r, acc_r) in acc.iter().enumerate() {
+                        out[(i0 + r) * n + j0..(i0 + r) * n + j0 + TILE_NR].copy_from_slice(acc_r);
+                    }
+                } else {
+                    // Ragged edge: scalar, same ascending-p accumulation.
+                    for r in 0..h {
+                        for t in 0..w {
+                            let mut acc = 0.0;
+                            for p in 0..k {
+                                acc += pack[p * TILE_MR + r] * b[p * n + j0 + t];
+                            }
+                            out[(i0 + r) * n + j0 + t] = acc;
+                        }
+                    }
+                }
+                j0 += w;
+            }
+            i0 += h;
+        }
+    }
+
+    fn matmul_t(&self, a: &[f64], rows: usize, k: usize, b: &[f64], n: usize, out: &mut [f64]) {
+        // Bᵀ panel packed reduction-major: pack[p*NR + t] = b[j0+t][p], so
+        // the microtile's inner loop is a stride-1 8-wide FMA. The panel
+        // is packed once per column tile and reused by every row tile.
+        let mut pack = vec![0.0f64; k * TILE_NR];
+        let mut j0 = 0;
+        while j0 < n {
+            let w = TILE_NR.min(n - j0);
+            for t in 0..w {
+                let row = &b[(j0 + t) * k..(j0 + t + 1) * k];
+                for (p, &v) in row.iter().enumerate() {
+                    pack[p * TILE_NR + t] = v;
+                }
+            }
+            let mut i0 = 0;
+            while i0 < rows {
+                let h = TILE_MR.min(rows - i0);
+                if h == TILE_MR && w == TILE_NR {
+                    let mut acc = [[0.0f64; TILE_NR]; TILE_MR];
+                    for p in 0..k {
+                        let bp = &pack[p * TILE_NR..p * TILE_NR + TILE_NR];
+                        for (r, acc_r) in acc.iter_mut().enumerate() {
+                            let arp = a[(i0 + r) * k + p];
+                            for (acc_rt, &bv) in acc_r.iter_mut().zip(bp) {
+                                *acc_rt += arp * bv;
+                            }
+                        }
+                    }
+                    for (r, acc_r) in acc.iter().enumerate() {
+                        out[(i0 + r) * n + j0..(i0 + r) * n + j0 + TILE_NR].copy_from_slice(acc_r);
+                    }
+                } else {
+                    for r in 0..h {
+                        for t in 0..w {
+                            let mut acc = 0.0;
+                            for p in 0..k {
+                                acc += a[(i0 + r) * k + p] * pack[p * TILE_NR + t];
+                            }
+                            out[(i0 + r) * n + j0 + t] = acc;
+                        }
+                    }
+                }
+                i0 += h;
+            }
+            j0 += w;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn t_matmul(
+        &self,
+        a: &[f64],
+        m: usize,
+        k: usize,
+        c0: usize,
+        rows: usize,
+        b: &[f64],
+        n: usize,
+        out: &mut [f64],
+    ) {
+        t_matmul_tiled(a, m, k, c0, rows, b, n, out, false);
+    }
+
+    fn gram_band(&self, a: &[f64], m: usize, k: usize, c0: usize, rows: usize, out: &mut [f64]) {
+        // Symmetry exploit: each row tile computes only the columns from
+        // its own diagonal onwards (j ≥ c0 + i0); the caller mirrors the
+        // strict lower triangle afterwards — ~2× fewer flops on the
+        // per-iteration ALS Gram matrices.
+        t_matmul_tiled(a, m, k, c0, rows, a, k, out, true);
+    }
+
+    fn gram_needs_mirror(&self) -> bool {
+        true
+    }
+
+    fn mttkrp_tile(
+        &self,
+        fibre: &[f64],
+        c: &[f64],
+        f: usize,
+        w: &[f64],
+        out: &mut [f64],
+        _scratch: &mut [f64],
+    ) {
+        // 8-wide column chunks of `scratch = fibre · C` held in registers
+        // across the whole fibre sweep (the reference path re-loads and
+        // re-stores the f-length scratch on every fibre element), fused
+        // with the `out += scratch ⊛ w` combine. Branch-free: a zero
+        // tensor entry contributes `±0.0` products, which leave the
+        // accumulators unchanged bit-for-bit for finite inputs.
+        let mut s0 = 0;
+        while s0 + TILE_NR <= f {
+            let mut acc = [0.0f64; TILE_NR];
+            for (kk, &v) in fibre.iter().enumerate() {
+                let c_row = &c[kk * f + s0..kk * f + s0 + TILE_NR];
+                for (acc_t, &cv) in acc.iter_mut().zip(c_row) {
+                    *acc_t += v * cv;
+                }
+            }
+            let w_row = &w[s0..s0 + TILE_NR];
+            let out_row = &mut out[s0..s0 + TILE_NR];
+            for ((o, &s), &wv) in out_row.iter_mut().zip(&acc).zip(w_row) {
+                *o += s * wv;
+            }
+            s0 += TILE_NR;
+        }
+        // Ragged tail: scalar per column, same ascending-kk accumulation.
+        for t in s0..f {
+            let mut acc = 0.0;
+            for (kk, &v) in fibre.iter().enumerate() {
+                acc += v * c[kk * f + t];
+            }
+            out[t] += acc * w[t];
+        }
+    }
+
+    fn mttkrp_scatter(&self, fibre: &[f64], s_row: &[f64], f: usize, out: &mut [f64]) {
+        // Branch-free version of the reference scatter (same ±0.0
+        // argument as mttkrp_tile).
+        for (kk, &v) in fibre.iter().enumerate() {
+            let out_row = &mut out[kk * f..(kk + 1) * f];
+            for (o, &sv) in out_row.iter_mut().zip(s_row) {
+                *o += v * sv;
+            }
+        }
+    }
+}
+
+/// Shared tiled core of `t_matmul` and `gram_band`: both tile dimensions
+/// (columns of `A`, columns of `B`) are contiguous per input row, so no
+/// packing is needed — each reduction step loads one 4-lane and one 8-lane
+/// stride-1 slice. With `upper_only`, each row tile starts its column
+/// sweep at its own diagonal (`j0 = c0 + i0`).
+#[allow(clippy::too_many_arguments)]
+fn t_matmul_tiled(
+    a: &[f64],
+    m: usize,
+    k: usize,
+    c0: usize,
+    rows: usize,
+    b: &[f64],
+    n: usize,
+    out: &mut [f64],
+    upper_only: bool,
+) {
+    let mut i0 = 0;
+    while i0 < rows {
+        let h = TILE_MR.min(rows - i0);
+        let mut j0 = if upper_only { c0 + i0 } else { 0 };
+        while j0 < n {
+            let w = TILE_NR.min(n - j0);
+            if h == TILE_MR && w == TILE_NR {
+                let mut acc = [[0.0f64; TILE_NR]; TILE_MR];
+                for r in 0..m {
+                    let av = &a[r * k + c0 + i0..r * k + c0 + i0 + TILE_MR];
+                    let bv = &b[r * n + j0..r * n + j0 + TILE_NR];
+                    for (x, acc_x) in acc.iter_mut().enumerate() {
+                        let ax = av[x];
+                        for (acc_xt, &bvt) in acc_x.iter_mut().zip(bv) {
+                            *acc_xt += ax * bvt;
+                        }
+                    }
+                }
+                for (x, acc_x) in acc.iter().enumerate() {
+                    out[(i0 + x) * n + j0..(i0 + x) * n + j0 + TILE_NR].copy_from_slice(acc_x);
+                }
+            } else {
+                for x in 0..h {
+                    for t in 0..w {
+                        let mut acc = 0.0;
+                        for r in 0..m {
+                            acc += a[r * k + c0 + i0 + x] * b[r * n + j0 + t];
+                        }
+                        out[(i0 + x) * n + j0 + t] = acc;
+                    }
+                }
+            }
+            j0 += w;
+        }
+        i0 += h;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_three_names() {
+        assert_eq!("reference".parse(), Ok(KernelKind::Reference));
+        assert_eq!("tiled".parse(), Ok(KernelKind::Tiled));
+        assert_eq!("auto".parse(), Ok(KernelKind::Auto));
+        // Trimmed and case-insensitive, like a human typed it.
+        assert_eq!(" Tiled ".parse(), Ok(KernelKind::Tiled));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_a_clear_error() {
+        let err = "garbage".parse::<KernelKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("garbage"), "names the bad value: {msg}");
+        assert!(
+            msg.contains("reference") && msg.contains("tiled") && msg.contains("auto"),
+            "lists the valid values: {msg}"
+        );
+    }
+
+    #[test]
+    fn explicit_kinds_resolve_to_themselves() {
+        assert_eq!(KernelKind::Reference.resolved(), KernelKind::Reference);
+        assert_eq!(KernelKind::Tiled.resolved(), KernelKind::Tiled);
+        assert_eq!(KernelKind::Reference.resolve().label(), "reference");
+        assert_eq!(KernelKind::Tiled.resolve().label(), "tiled");
+        // Auto resolves to a runnable backend either way.
+        assert_ne!(KernelKind::Auto.resolved(), KernelKind::Auto);
+    }
+
+    #[test]
+    fn labels_match_the_env_grammar() {
+        for kind in [KernelKind::Reference, KernelKind::Tiled, KernelKind::Auto] {
+            assert_eq!(kind.label().parse::<KernelKind>(), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn row_tiles() {
+        assert_eq!(ReferenceKernel.row_tile(), 1);
+        assert_eq!(TiledKernel.row_tile(), TILE_MR);
+    }
+}

@@ -16,11 +16,15 @@
 //! repository is fully self-hosting; the kernels use blocked/reordered loops
 //! per the Rust performance guidelines rather than naive triple loops.
 
+pub mod kernel;
 mod kr;
 mod mat;
 mod ops;
 pub mod solve;
 
+pub use kernel::{
+    InvalidKernelName, Kernel, KernelKind, ReferenceKernel, TiledKernel, KERNEL_ENV_VAR,
+};
 pub use kr::{hadamard_all, khatri_rao, khatri_rao_into};
 pub use mat::Mat;
 

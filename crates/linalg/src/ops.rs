@@ -1,15 +1,20 @@
 //! Multiplication, Gram, Hadamard and element-wise kernels on [`Mat`].
 //!
-//! The multiplication kernels come in two flavours: the classic methods
+//! The multiplication kernels come in three flavours: the classic methods
 //! ([`Mat::matmul`], [`Mat::t_matmul`], [`Mat::matmul_t`], [`Mat::gram`])
 //! dispatch to the shared [`tpcp_par`] thread budget once the operation is
-//! large enough to amortise a fan-out, and the `*_par` variants take an
-//! explicit [`ParConfig`]. Either way the parallel kernels partition the
-//! *output* matrix, so every element is accumulated in the same order as
-//! the serial loop and results are bit-identical for any thread count.
+//! large enough to amortise a fan-out, the `*_par` variants take an
+//! explicit [`ParConfig`], and the `*_kernel` variants additionally pin a
+//! [`KernelKind`] backend (the others run [`KernelKind::Auto`]). Either
+//! way the parallel wrappers partition the *output* matrix and the
+//! backends uphold the accumulation-order contract of
+//! [`crate::kernel`], so every element is accumulated in the same order
+//! as the serial reference loop and results are bit-identical for any
+//! thread count and any backend.
 
+use crate::kernel::KernelKind;
 use crate::{LinalgError, Mat, Result};
-use tpcp_par::{par_chunks_mut, ParConfig};
+use tpcp_par::{par_chunks_mut, tile_rows_per_chunk, ParConfig};
 
 /// Multiply-add count below which a product stays on the calling thread:
 /// fanning out costs a few microseconds, which only pays off once the
@@ -30,11 +35,6 @@ fn implicit_par(flops: usize) -> ParConfig {
     }
 }
 
-/// Rows-per-chunk so that `rows` split over `threads` workers evenly.
-fn rows_per_chunk(rows: usize, threads: usize) -> usize {
-    rows.div_ceil(threads.max(1)).max(1)
-}
-
 impl Mat {
     /// `self · rhs` (shapes `m×k` times `k×n`).
     ///
@@ -52,6 +52,14 @@ impl Mat {
     /// # Errors
     /// [`LinalgError::ShapeMismatch`] when `self.cols() != rhs.rows()`.
     pub fn matmul_par(&self, rhs: &Mat, par: &ParConfig) -> Result<Mat> {
+        self.matmul_kernel(rhs, par, KernelKind::Auto)
+    }
+
+    /// `self · rhs` on an explicit thread budget and kernel backend.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn matmul_kernel(&self, rhs: &Mat, par: &ParConfig, kind: KernelKind) -> Result<Mat> {
         if self.cols() != rhs.rows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -59,35 +67,24 @@ impl Mat {
                 rhs: rhs.shape(),
             });
         }
-        let m = self.rows();
+        let (m, k) = self.shape();
         let n = rhs.cols();
         let mut out = Mat::zeros(m, n);
         if n == 0 {
             return Ok(out);
         }
-        let par = par.clamped(m * self.cols() * n, PAR_MIN_FLOPS);
-        let chunk_rows = rows_per_chunk(m, par.threads());
+        let kernel = kind.resolve();
+        let par = par.clamped(m * k * n, PAR_MIN_FLOPS);
+        let chunk_rows = tile_rows_per_chunk(m, par.threads(), kernel.row_tile());
         par_chunks_mut(
             &par,
             out.as_mut_slice(),
             chunk_rows * n,
             |chunk_idx, chunk| {
-                // i-k-j ordering: the inner loop streams a row of `rhs` and a
-                // row of `out`, both contiguous, so the kernel vectorises
-                // without bounds checks dominating.
                 let i0 = chunk_idx * chunk_rows;
-                for (local, out_row) in chunk.chunks_mut(n).enumerate() {
-                    let a_row = self.row(i0 + local);
-                    for (p, &a_ip) in a_row.iter().enumerate() {
-                        if a_ip == 0.0 {
-                            continue;
-                        }
-                        let b_row = rhs.row(p);
-                        for (o, &b) in out_row.iter_mut().zip(b_row) {
-                            *o += a_ip * b;
-                        }
-                    }
-                }
+                let rows = chunk.len() / n;
+                let a_band = &self.as_slice()[i0 * k..(i0 + rows) * k];
+                kernel.matmul(a_band, rows, k, rhs.as_slice(), n, chunk);
             },
         );
         Ok(out)
@@ -113,6 +110,14 @@ impl Mat {
     /// # Errors
     /// [`LinalgError::ShapeMismatch`] when `self.rows() != rhs.rows()`.
     pub fn t_matmul_par(&self, rhs: &Mat, par: &ParConfig) -> Result<Mat> {
+        self.t_matmul_kernel(rhs, par, KernelKind::Auto)
+    }
+
+    /// `selfᵀ · rhs` on an explicit thread budget and kernel backend.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `self.rows() != rhs.rows()`.
+    pub fn t_matmul_kernel(&self, rhs: &Mat, par: &ParConfig, kind: KernelKind) -> Result<Mat> {
         if self.rows() != rhs.rows() {
             return Err(LinalgError::ShapeMismatch {
                 op: "t_matmul",
@@ -126,29 +131,17 @@ impl Mat {
         if n == 0 {
             return Ok(out);
         }
+        let kernel = kind.resolve();
         let par = par.clamped(m * k * n, PAR_MIN_FLOPS);
-        let chunk_rows = rows_per_chunk(k, par.threads());
+        let chunk_rows = tile_rows_per_chunk(k, par.threads(), kernel.row_tile());
         par_chunks_mut(
             &par,
             out.as_mut_slice(),
             chunk_rows * n,
             |chunk_idx, chunk| {
-                // Rank-1 updates row by row, restricted to this worker's band
-                // of output rows; accessed rows stay contiguous.
                 let c0 = chunk_idx * chunk_rows;
-                for r in 0..m {
-                    let a_row = self.row(r);
-                    let b_row = rhs.row(r);
-                    for (local, out_row) in chunk.chunks_mut(n).enumerate() {
-                        let a_rc = a_row[c0 + local];
-                        if a_rc == 0.0 {
-                            continue;
-                        }
-                        for (o, &b) in out_row.iter_mut().zip(b_row) {
-                            *o += a_rc * b;
-                        }
-                    }
-                }
+                let rows = chunk.len() / n;
+                kernel.t_matmul(self.as_slice(), m, k, c0, rows, rhs.as_slice(), n, chunk);
             },
         );
         Ok(out)
@@ -168,6 +161,14 @@ impl Mat {
     /// # Errors
     /// [`LinalgError::ShapeMismatch`] when `self.cols() != rhs.cols()`.
     pub fn matmul_t_par(&self, rhs: &Mat, par: &ParConfig) -> Result<Mat> {
+        self.matmul_t_kernel(rhs, par, KernelKind::Auto)
+    }
+
+    /// `self · rhsᵀ` on an explicit thread budget and kernel backend.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `self.cols() != rhs.cols()`.
+    pub fn matmul_t_kernel(&self, rhs: &Mat, par: &ParConfig, kind: KernelKind) -> Result<Mat> {
         if self.cols() != rhs.cols() {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul_t",
@@ -175,31 +176,24 @@ impl Mat {
                 rhs: rhs.shape(),
             });
         }
-        let m = self.rows();
+        let (m, k) = self.shape();
         let n = rhs.rows();
         let mut out = Mat::zeros(m, n);
         if n == 0 {
             return Ok(out);
         }
-        let par = par.clamped(m * self.cols() * n, PAR_MIN_FLOPS);
-        let chunk_rows = rows_per_chunk(m, par.threads());
+        let kernel = kind.resolve();
+        let par = par.clamped(m * k * n, PAR_MIN_FLOPS);
+        let chunk_rows = tile_rows_per_chunk(m, par.threads(), kernel.row_tile());
         par_chunks_mut(
             &par,
             out.as_mut_slice(),
             chunk_rows * n,
             |chunk_idx, chunk| {
                 let i0 = chunk_idx * chunk_rows;
-                for (local, out_row) in chunk.chunks_mut(n).enumerate() {
-                    let a_row = self.row(i0 + local);
-                    for (j, o) in out_row.iter_mut().enumerate() {
-                        let b_row = rhs.row(j);
-                        let mut acc = 0.0;
-                        for (&a, &b) in a_row.iter().zip(b_row) {
-                            acc += a * b;
-                        }
-                        *o = acc;
-                    }
-                }
+                let rows = chunk.len() / n;
+                let a_band = &self.as_slice()[i0 * k..(i0 + rows) * k];
+                kernel.matmul_t(a_band, rows, k, rhs.as_slice(), n, chunk);
             },
         );
         Ok(out)
@@ -207,17 +201,53 @@ impl Mat {
 
     /// Gram matrix `selfᵀ · self` (always square `cols × cols`, symmetric).
     pub fn gram(&self) -> Mat {
-        // Computed via t_matmul with itself; the symmetric half-compute
-        // optimisation is not worth the branchier inner loop at F ≤ a few
-        // hundred, which is the regime of CP ranks.
-        self.t_matmul(self).expect("gram: shapes always compatible")
+        let k = self.cols();
+        self.gram_kernel(&implicit_par(self.rows() * k * k), KernelKind::Auto)
     }
 
     /// [`Mat::gram`] on an explicit thread budget (bit-identical to serial
     /// for any thread count).
     pub fn gram_par(&self, par: &ParConfig) -> Mat {
-        self.t_matmul_par(self, par)
-            .expect("gram: shapes always compatible")
+        self.gram_kernel(par, KernelKind::Auto)
+    }
+
+    /// [`Mat::gram`] on an explicit thread budget and kernel backend.
+    ///
+    /// Backends that report [`Kernel::gram_needs_mirror`] compute only the
+    /// upper triangle of each band; the strict lower triangle is filled
+    /// here by a serial mirror pass. The mirror is bitwise-exact (IEEE
+    /// multiplication commutes bit-for-bit and both triangles share the
+    /// ascending row order), so all backends still agree bitwise.
+    ///
+    /// [`Kernel::gram_needs_mirror`]: crate::kernel::Kernel::gram_needs_mirror
+    pub fn gram_kernel(&self, par: &ParConfig, kind: KernelKind) -> Mat {
+        let (m, k) = self.shape();
+        let mut out = Mat::zeros(k, k);
+        if k == 0 {
+            return out;
+        }
+        let kernel = kind.resolve();
+        let par = par.clamped(m * k * k, PAR_MIN_FLOPS);
+        let chunk_rows = tile_rows_per_chunk(k, par.threads(), kernel.row_tile());
+        par_chunks_mut(
+            &par,
+            out.as_mut_slice(),
+            chunk_rows * k,
+            |chunk_idx, chunk| {
+                let c0 = chunk_idx * chunk_rows;
+                let rows = chunk.len() / k;
+                kernel.gram_band(self.as_slice(), m, k, c0, rows, chunk);
+            },
+        );
+        if kernel.gram_needs_mirror() {
+            let s = out.as_mut_slice();
+            for j in 1..k {
+                for c in 0..j {
+                    s[j * k + c] = s[c * k + j];
+                }
+            }
+        }
+        out
     }
 
     /// Element-wise (Hadamard) product, returning a new matrix.

@@ -446,6 +446,19 @@ impl Drop for Background {
     }
 }
 
+/// Rows per [`par_chunks_mut`] chunk so that `rows` split over `threads`
+/// workers evenly, rounded up to a multiple of `tile`.
+///
+/// The rounding hands each worker whole kernel row-tiles (e.g. the tiled
+/// matmul microkernel's register-block height), so only the final chunk of
+/// the final worker ever sees a ragged tile edge. Because
+/// [`par_chunks_mut`] partitions the *output*, the chunk geometry is
+/// result-neutral: any `(threads, tile)` pair yields bit-identical values.
+pub fn tile_rows_per_chunk(rows: usize, threads: usize, tile: usize) -> usize {
+    let base = rows.div_ceil(threads.max(1)).max(1);
+    base.next_multiple_of(tile.max(1))
+}
+
 /// A chunk size that depends only on the input size: at least `min_chunk`
 /// items per chunk, and at most `max_chunks` chunks overall.
 ///
@@ -666,6 +679,18 @@ mod tests {
         let worker = Background::spawn("test-panicker", || panic!("worker blew up")).unwrap();
         let err = worker.join().unwrap_err();
         assert!(err.contains("blew up"), "got {err}");
+    }
+
+    #[test]
+    fn tile_rows_round_up_to_whole_tiles() {
+        // Plain even split when tile = 1 (the reference kernel).
+        assert_eq!(tile_rows_per_chunk(100, 4, 1), 25);
+        // Rounded to the next tile multiple otherwise.
+        assert_eq!(tile_rows_per_chunk(100, 4, 4), 28);
+        assert_eq!(tile_rows_per_chunk(100, 3, 4), 36);
+        // Degenerate guards: zero threads/tile behave like 1.
+        assert_eq!(tile_rows_per_chunk(10, 0, 0), 10);
+        assert_eq!(tile_rows_per_chunk(1, 8, 4), 4);
     }
 
     #[test]
