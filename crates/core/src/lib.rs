@@ -66,7 +66,7 @@ pub use phase1::{
     run_phase1_sparse, Phase1Result,
 };
 pub use phase2::{refine, RefineOutcome, RefineStats};
-pub use pq::PqCache;
+pub use pq::{PqCache, QHadamardScratch};
 pub use swapsim::{simulate_swaps, unit_bytes, SwapReport, SwapSimConfig};
 // Re-exported so prefetch and the kernel backend can be configured
 // without importing `tpcp-storage` / `tpcp-linalg` directly.

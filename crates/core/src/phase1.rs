@@ -87,6 +87,7 @@ fn als_options(cfg: &TwoPcpConfig, block_seed: u64) -> AlsOptions {
         // block stay serial rather than oversubscribing the machine.
         par: ParConfig::serial(),
         kernel: cfg.kernel,
+        dimtree: cfg.dimtree,
     }
 }
 

@@ -21,7 +21,7 @@
 //!   with the pipeline on or off; only [`IoStats::stall_ns`] shrinks.
 
 use crate::config::TwoPcpConfig;
-use crate::pq::PqCache;
+use crate::pq::{PqCache, QHadamardScratch};
 use crate::update::{commit_sub_factor_update, compute_sub_factor_update};
 use crate::Result;
 use tpcp_cp::CpModel;
@@ -195,6 +195,10 @@ pub fn refine<S: UnitStore + PrefetchSource>(
     let mut pos: u64 = 0;
     let mut updates_done: u64 = 0;
     let mut iterations = 0usize;
+    // Q-Hadamard fold prefixes, reused across each unit's slab scan
+    // (cleared inside `compute_sub_factor_update`; kept here only so the
+    // allocation survives the loop).
+    let mut q_scratch = QHadamardScratch::new();
 
     'outer: while iterations < cfg.max_virtual_iters {
         let swaps_before = pool.stats().fetches;
@@ -211,7 +215,15 @@ pub fn refine<S: UnitStore + PrefetchSource>(
                 let result = (|| -> Result<()> {
                     let a_new = {
                         let unit = pool.get(unit_id)?;
-                        compute_sub_factor_update(grid, unit, &pq, cfg.ridge, &cfg.par, cfg.kernel)?
+                        compute_sub_factor_update(
+                            grid,
+                            unit,
+                            &pq,
+                            cfg.ridge,
+                            &cfg.par,
+                            cfg.kernel,
+                            &mut q_scratch,
+                        )?
                     };
                     let unit = pool.get_mut(unit_id)?;
                     commit_sub_factor_update(grid, unit, &mut pq, a_new, &cfg.par, cfg.kernel)

@@ -15,6 +15,34 @@ use tpcp_linalg::{hadamard_all, Mat};
 use tpcp_partition::Grid;
 use tpcp_schedule::UnitId;
 
+/// Reusable fold-prefix scratch for
+/// [`PqCache::q_hadamard_excluding_cached`].
+///
+/// The cached partials are only valid while the `Q` entries they folded
+/// stay untouched: callers must [`QHadamardScratch::clear`] the scratch
+/// after any `set_q` (the per-unit update loop clears it once per unit,
+/// before scanning the unit's blocks).
+#[derive(Default)]
+pub struct QHadamardScratch {
+    /// Linear unit indices of the cached fold, in ascending-mode order.
+    keys: Vec<usize>,
+    /// `partials[i]` = Hadamard fold of `q[keys[0..=i]]`.
+    partials: Vec<Mat>,
+}
+
+impl QHadamardScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every cached prefix (required whenever a `Q` entry changes).
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.partials.clear();
+    }
+}
+
 /// The `P`/`Q` cache (see module docs).
 pub struct PqCache {
     order: usize,
@@ -92,6 +120,56 @@ impl PqCache {
             .map(|h| &self.q[UnitId::new(h, coords[h]).linear(grid)])
             .collect();
         hadamard_all(&mats).map_err(TwoPcpError::from)
+    }
+
+    /// [`PqCache::q_hadamard_excluding`] with fold-prefix reuse:
+    /// consecutive blocks of one sub-factor update walk the grid with the
+    /// trailing coordinates varying fastest, so the ascending-mode fold
+    /// over their `Q` operands shares a long leading prefix from block to
+    /// block. The scratch keeps each fold intermediate keyed by its unit;
+    /// a call re-folds only past the longest common prefix.
+    ///
+    /// Bitwise-identical to the uncached variant: `hadamard_all` is a
+    /// left fold over the same ascending operand list, and the cached
+    /// partials *are* that fold's intermediates.
+    ///
+    /// # Errors
+    /// Propagates shape mismatches (impossible for a well-formed cache).
+    pub fn q_hadamard_excluding_cached(
+        &self,
+        grid: &Grid,
+        coords: &[usize],
+        mode: usize,
+        scratch: &mut QHadamardScratch,
+    ) -> Result<Mat> {
+        let keys: Vec<usize> = (0..self.order)
+            .filter(|&h| h != mode)
+            .map(|h| UnitId::new(h, coords[h]).linear(grid))
+            .collect();
+        let lcp = keys
+            .iter()
+            .zip(&scratch.keys)
+            .take_while(|(a, b)| a == b)
+            .count();
+        scratch.keys.truncate(lcp);
+        scratch.partials.truncate(lcp);
+        for &key in &keys[lcp..] {
+            let next = match scratch.partials.last() {
+                None => self.q[key].clone(),
+                Some(prev) => {
+                    let mut m = prev.clone();
+                    m.hadamard_assign(&self.q[key]).map_err(TwoPcpError::from)?;
+                    m
+                }
+            };
+            scratch.keys.push(key);
+            scratch.partials.push(next);
+        }
+        match scratch.partials.last() {
+            Some(m) => Ok(m.clone()),
+            // An order-1 grid excludes every mode; match `hadamard_all(&[])`.
+            None => Ok(Mat::zeros(0, 0)),
+        }
     }
 
     /// Surrogate fit of the current global factors against the Phase-1
@@ -178,6 +256,56 @@ mod tests {
         // Excluding mode 0 leaves Q of unit <1,0> = 7.
         let got = pq.q_hadamard_excluding(&g, &[1, 0], 0).unwrap();
         assert_eq!(got.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn cached_q_hadamard_matches_uncached_bitwise() {
+        let g = Grid::uniform(&[4, 4, 4], 2);
+        let mut pq = PqCache::new(&g, 2);
+        for u in 0..g.num_units() {
+            let v = 0.3 + 0.17 * u as f64;
+            pq.set_q(
+                &g,
+                UnitId::from_linear(&g, u),
+                Mat::from_rows(&[&[v, v * 1.1], &[v * 0.9, v * v]]),
+            );
+        }
+        let mut scratch = QHadamardScratch::new();
+        // Walk blocks in linear order (trailing coordinate fastest — the
+        // refine loop's order) and check every mode against the uncached
+        // fold, bit for bit.
+        for block in 0..g.num_blocks() {
+            let coords = g.block_coords(block);
+            for mode in 0..3 {
+                let slow = pq.q_hadamard_excluding(&g, &coords, mode).unwrap();
+                let fast = pq
+                    .q_hadamard_excluding_cached(&g, &coords, mode, &mut scratch)
+                    .unwrap();
+                let slow_bits: Vec<u64> = slow.as_slice().iter().map(|v| v.to_bits()).collect();
+                let fast_bits: Vec<u64> = fast.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(slow_bits, fast_bits, "block {block} mode {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn q_hadamard_scratch_clear_forgets_stale_partials() {
+        let g = grid22();
+        let mut pq = PqCache::new(&g, 1);
+        pq.set_q(&g, UnitId::new(0, 1), Mat::from_rows(&[&[3.0]]));
+        pq.set_q(&g, UnitId::new(1, 0), Mat::from_rows(&[&[7.0]]));
+        let mut scratch = QHadamardScratch::new();
+        let got = pq
+            .q_hadamard_excluding_cached(&g, &[1, 0], 1, &mut scratch)
+            .unwrap();
+        assert_eq!(got.get(0, 0), 3.0);
+        // Mutate the folded Q entry; a cleared scratch must re-fold.
+        pq.set_q(&g, UnitId::new(0, 1), Mat::from_rows(&[&[4.0]]));
+        scratch.clear();
+        let got = pq
+            .q_hadamard_excluding_cached(&g, &[1, 0], 1, &mut scratch)
+            .unwrap();
+        assert_eq!(got.get(0, 0), 4.0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! slab) and `Q(i)(kᵢ)` — the paper's Observation #2, which is what makes
 //! the block-centric scheduling of Algorithm 2 possible without extra I/O.
 
-use crate::pq::PqCache;
+use crate::pq::{PqCache, QHadamardScratch};
 use crate::{Result, TwoPcpError};
 use tpcp_linalg::{solve, KernelKind, Mat};
 use tpcp_par::ParConfig;
@@ -25,6 +25,11 @@ use tpcp_storage::UnitData;
 /// shared thread budget. Pure function — the caller commits the result via
 /// [`commit_sub_factor_update`].
 ///
+/// `scratch` carries the `Q`-Hadamard fold prefixes across the slab's
+/// blocks (and across units, when the caller keeps it alive): it is
+/// cleared on entry, so any `Q` refresh between calls is safe, and the
+/// result is bitwise-identical to folding from scratch per block.
+///
 /// # Errors
 /// Propagates linear-algebra failures (singular `S` beyond ridge repair).
 pub fn compute_sub_factor_update(
@@ -34,11 +39,14 @@ pub fn compute_sub_factor_update(
     ridge: f64,
     par: &ParConfig,
     kernel: KernelKind,
+    scratch: &mut QHadamardScratch,
 ) -> Result<Mat> {
     let mode = usize::from(unit.unit.mode);
     let rank = pq.rank();
     let rows = unit.factor.rows();
 
+    // `Q` entries may have been refreshed since the previous unit's update.
+    scratch.clear();
     let mut t = Mat::zeros(rows, rank);
     let mut s = Mat::zeros(rank, rank);
     for (block_u64, u_mat) in &unit.sub_factors {
@@ -51,9 +59,10 @@ pub fn compute_sub_factor_update(
                 .map_err(TwoPcpError::from)?;
             t.add_assign(&contrib).map_err(TwoPcpError::from)?;
         }
-        // S += ⊛_{h≠i} Q(h)_l.
+        // S += ⊛_{h≠i} Q(h)_l (fold prefixes shared between the slab's
+        // consecutive blocks).
         let coords = grid.block_coords(block);
-        let q_had = pq.q_hadamard_excluding(grid, &coords, mode)?;
+        let q_had = pq.q_hadamard_excluding_cached(grid, &coords, mode, scratch)?;
         s.add_assign(&q_had).map_err(TwoPcpError::from)?;
     }
     solve::solve_gram_system(&t, &s, ridge).map_err(TwoPcpError::from)
@@ -135,6 +144,7 @@ mod tests {
             1e-12,
             &ParConfig::auto(),
             KernelKind::Auto,
+            &mut QHadamardScratch::new(),
         )
         .unwrap();
 
@@ -209,6 +219,7 @@ mod tests {
             1e-9,
             &ParConfig::serial(),
             KernelKind::Auto,
+            &mut QHadamardScratch::new(),
         )
         .unwrap();
         assert!(a_new.as_slice().iter().all(|&v| v.abs() < 1e-12));

@@ -1,10 +1,11 @@
 //! The alternating-least-squares driver.
 
+use crate::dimtree::{dimtree_auto, DimTree};
 use crate::model::fit_from_parts;
 use crate::{mttkrp_dense_kernel, mttkrp_sparse_par, CpError, CpModel, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tpcp_linalg::{hadamard_all, solve, KernelKind, Mat};
+use tpcp_linalg::{solve, KernelKind, Mat};
 use tpcp_par::ParConfig;
 use tpcp_tensor::{random_factor, DenseTensor, SparseTensor};
 
@@ -32,6 +33,13 @@ pub struct AlsOptions {
     /// are bit-identical (see `tpcp_linalg::kernel`), so this knob trades
     /// speed only; the default honours `TPCP_KERNEL`.
     pub kernel: KernelKind,
+    /// Answer dense MTTKRPs from a dimension tree ([`DimTree`]), reusing
+    /// partial contractions across the modes of each sweep (~2× fewer
+    /// flops for order ≥ 4). Unlike `kernel` this changes the contraction
+    /// *order*, so results are tolerance- (not bitwise-) equivalent to the
+    /// per-mode path — see `docs/dimtree.md`. Ignored for sparse tensors
+    /// and order < 3. The default honours `TPCP_DIMTREE`.
+    pub dimtree: bool,
 }
 
 impl Default for AlsOptions {
@@ -45,6 +53,7 @@ impl Default for AlsOptions {
             init: None,
             par: ParConfig::auto(),
             kernel: KernelKind::Auto,
+            dimtree: dimtree_auto(),
         }
     }
 }
@@ -123,6 +132,14 @@ impl AlsOptionsBuilder {
         self
     }
 
+    /// Enables or disables the dimension-tree MTTKRP path (tolerance-,
+    /// not bitwise-, equivalent to the per-mode path; see
+    /// `docs/dimtree.md`).
+    pub fn dimtree(mut self, dimtree: bool) -> Self {
+        self.options.dimtree = dimtree;
+        self
+    }
+
     /// Validates and produces the options.
     ///
     /// # Errors
@@ -180,6 +197,24 @@ trait AlsTensor {
         par: &ParConfig,
         kind: KernelKind,
     ) -> Result<Mat>;
+    /// A dimension tree over this tensor, when the format supports one
+    /// (dense, order ≥ 3). The default — no tree — makes `dimtree: true`
+    /// a silent no-op for the sparse path rather than an error.
+    fn dimtree(&self, _rank: usize) -> Option<DimTree> {
+        None
+    }
+    /// Mode-`mode` MTTKRP answered from the tree; formats without tree
+    /// support fall back to the per-mode path.
+    fn mttkrp_tree(
+        &self,
+        _tree: &mut DimTree,
+        factors: &[&Mat],
+        mode: usize,
+        par: &ParConfig,
+        kind: KernelKind,
+    ) -> Result<Mat> {
+        self.mttkrp(factors, mode, par, kind)
+    }
 }
 
 impl AlsTensor for DenseTensor {
@@ -197,6 +232,19 @@ impl AlsTensor for DenseTensor {
         kind: KernelKind,
     ) -> Result<Mat> {
         mttkrp_dense_kernel(self, factors, mode, par, kind)
+    }
+    fn dimtree(&self, rank: usize) -> Option<DimTree> {
+        DimTree::new(DenseTensor::dims(self), rank)
+    }
+    fn mttkrp_tree(
+        &self,
+        tree: &mut DimTree,
+        factors: &[&Mat],
+        mode: usize,
+        par: &ParConfig,
+        kind: KernelKind,
+    ) -> Result<Mat> {
+        tree.mttkrp(self, factors, mode, par, kind)
     }
 }
 
@@ -274,6 +322,7 @@ fn als_loop<T: AlsTensor>(x: &T, options: &AlsOptions) -> Result<AlsReport> {
         .iter()
         .map(|a| a.gram_kernel(&options.par, options.kernel))
         .collect();
+    let mut tree = if options.dimtree { x.dimtree(f) } else { None };
     let mut fit_trace = Vec::with_capacity(options.max_iters);
     let mut prev_fit = f64::NEG_INFINITY;
     let mut converged = false;
@@ -282,17 +331,40 @@ fn als_loop<T: AlsTensor>(x: &T, options: &AlsOptions) -> Result<AlsReport> {
     for _iter in 0..options.max_iters {
         iterations += 1;
         let mut last_m: Option<Mat> = None;
+        // Running Hadamard product of the already-updated Grams
+        // `G⁽⁰⁾ ⊛ … ⊛ G⁽ᵐᵒᵈᵉ⁻¹⁾`. `hadamard_all` folds left over an
+        // ascending list, so reusing this prefix (then folding the
+        // not-yet-updated suffix on top) is bitwise-identical to the
+        // full product the per-mode recomputation built each solve.
+        let mut running: Option<Mat> = None;
         for mode in 0..order {
             let refs: Vec<&Mat> = factors.iter().collect();
-            let m = x.mttkrp(&refs, mode, &options.par, options.kernel)?;
-            let other_grams: Vec<&Mat> = (0..order)
-                .filter(|&h| h != mode)
-                .map(|h| &grams[h])
-                .collect();
-            let s = hadamard_all(&other_grams)?;
+            let m = match tree.as_mut() {
+                Some(t) => x.mttkrp_tree(t, &refs, mode, &options.par, options.kernel)?,
+                None => x.mttkrp(&refs, mode, &options.par, options.kernel)?,
+            };
+            let mut s = match &running {
+                Some(prefix) => prefix.clone(),
+                None if order > 1 => grams[1].clone(),
+                None => Mat::zeros(0, 0), // what hadamard_all(&[]) yields
+            };
+            let suffix_from = if running.is_some() { mode + 1 } else { 2 };
+            for g in &grams[suffix_from.min(order)..] {
+                s.hadamard_assign(g)?;
+            }
             let a = solve::solve_gram_system(&m, &s, options.ridge)?;
             grams[mode] = a.gram_kernel(&options.par, options.kernel);
             factors[mode] = a;
+            if let Some(t) = tree.as_mut() {
+                t.factor_updated(mode);
+            }
+            running = Some(match running {
+                Some(mut prefix) => {
+                    prefix.hadamard_assign(&grams[mode])?;
+                    prefix
+                }
+                None => grams[0].clone(),
+            });
             if mode == order - 1 {
                 last_m = Some(m);
             }
@@ -300,6 +372,7 @@ fn als_loop<T: AlsTensor>(x: &T, options: &AlsOptions) -> Result<AlsReport> {
 
         // Fit via the Gram identity — ⟨X, X̃⟩ = Σ (M ⊛ A_last), where M is
         // the last mode's MTTKRP and A_last the factor just solved from it.
+        // After the last solve `running` holds ⊛ₕ G⁽ʰ⁾ over every mode.
         let m = last_m.expect("order >= 1");
         let inner: f64 = m
             .as_slice()
@@ -307,14 +380,18 @@ fn als_loop<T: AlsTensor>(x: &T, options: &AlsOptions) -> Result<AlsReport> {
             .zip(factors[order - 1].as_slice())
             .map(|(a, b)| a * b)
             .sum();
-        let gram_refs: Vec<&Mat> = grams.iter().collect();
-        let model_sq = hadamard_all(&gram_refs)?.sum().max(0.0);
+        let model_sq = running.expect("order >= 1").sum().max(0.0);
         let fit = fit_from_parts(norm_x_sq, inner, model_sq);
         fit_trace.push(fit);
 
         // Rebalance factor scales (preserves the reconstruction: each
         // column's total weight is redistributed as λ^{1/N} per mode).
         rebalance(&mut factors, &mut grams, &options.par, options.kernel);
+        // Rebalancing rescales *every* factor, so no cached partial
+        // product survives it.
+        if let Some(t) = tree.as_mut() {
+            t.invalidate_all();
+        }
 
         if (fit - prev_fit).abs() < options.tol {
             converged = true;
@@ -451,6 +528,10 @@ mod tests {
             max_iters: 40,
             tol: 1e-12,
             seed: 1,
+            // The sparse path has no dimension tree; keep the dense run on
+            // the per-mode path too (else TPCP_DIMTREE=1 makes the
+            // trajectories tolerance- rather than bitwise-equal).
+            dimtree: false,
             ..Default::default()
         };
         let dense_report = cp_als_dense(&t, &opts).unwrap();
@@ -529,6 +610,60 @@ mod tests {
         let a = cp_als_dense(&t, &opts).unwrap();
         let b = cp_als_dense(&t, &opts).unwrap();
         assert_eq!(a.fit_trace, b.fit_trace);
+    }
+
+    #[test]
+    fn dimtree_path_tracks_per_mode_path() {
+        let t = low_rank_tensor(&[5, 4, 3, 4], 3, 0.1, 13);
+        let base = AlsOptions {
+            rank: 3,
+            max_iters: 20,
+            tol: 0.0,
+            ..Default::default()
+        };
+        let per_mode = cp_als_dense(
+            &t,
+            &AlsOptions {
+                dimtree: false,
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        let dimtree = cp_als_dense(
+            &t,
+            &AlsOptions {
+                dimtree: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(per_mode.iterations, dimtree.iterations);
+        for (a, b) in per_mode.fit_trace.iter().zip(&dimtree.fit_trace) {
+            assert!((a - b).abs() < 1e-9, "fit diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dimtree_on_low_order_tensor_falls_back() {
+        // Order 2 has no tree; `dimtree: true` must be a silent no-op.
+        let t = low_rank_tensor(&[8, 6], 2, 0.0, 31);
+        let opts = AlsOptions {
+            rank: 2,
+            max_iters: 50,
+            tol: 1e-10,
+            dimtree: true,
+            ..Default::default()
+        };
+        let with = cp_als_dense(&t, &opts).unwrap();
+        let without = cp_als_dense(
+            &t,
+            &AlsOptions {
+                dimtree: false,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(with.fit_trace, without.fit_trace);
     }
 
     #[test]

@@ -15,10 +15,12 @@
 //! `accuracy(X, X̃) = 1 − ‖X̃ − X‖ / ‖X‖` (the "fit").
 
 mod als;
+mod dimtree;
 mod model;
 mod mttkrp;
 
 pub use als::{cp_als_dense, cp_als_sparse, AlsOptions, AlsOptionsBuilder, AlsReport};
+pub use dimtree::{dimtree_auto, per_mode_sweep_flops, DimTree, SweepSequence, DIMTREE_ENV_VAR};
 pub use model::CpModel;
 pub use mttkrp::{
     mttkrp_dense, mttkrp_dense_kernel, mttkrp_dense_par, mttkrp_sparse, mttkrp_sparse_par,

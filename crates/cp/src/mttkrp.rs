@@ -19,7 +19,7 @@
 
 use crate::{CpError, Result};
 use tpcp_linalg::{Kernel, KernelKind, Mat};
-use tpcp_par::{fixed_chunk_size, par_chunks_mut, par_chunks_reduce, ParConfig};
+use tpcp_par::{fixed_chunk_size, par_chunks_mut_scratch, par_chunks_reduce_scratch, ParConfig};
 use tpcp_tensor::{DenseTensor, SparseTensor};
 
 /// Work (elements × rank) below which a kernel stays on the calling thread.
@@ -34,7 +34,7 @@ const REDUCE_MIN_CHUNK: usize = 512;
 /// chunk boundaries must depend only on the input size.
 const REDUCE_MAX_CHUNKS: usize = 64;
 
-fn check_factors(dims: &[usize], factors: &[&Mat], mode: usize) -> Result<usize> {
+pub(crate) fn check_factors(dims: &[usize], factors: &[&Mat], mode: usize) -> Result<usize> {
     if factors.len() != dims.len() {
         return Err(CpError::BadFactors {
             reason: format!("{} factors for order-{} tensor", factors.len(), dims.len()),
@@ -141,19 +141,19 @@ fn mttkrp_dense3(
         0 => {
             // M[i] += (X[i,j,:] · C) ⊛ B[j]
             let c = factors[2].as_slice();
-            par_chunks_mut(
+            par_chunks_mut_scratch(
                 par,
                 out.as_mut_slice(),
                 chunk_rows * f,
-                |chunk_idx, chunk| {
+                || vec![0.0f64; f],
+                |chunk_idx, chunk, scratch| {
                     let i0 = chunk_idx * chunk_rows;
-                    let mut scratch = vec![0.0f64; f];
                     for (local, out_row) in chunk.chunks_mut(f).enumerate() {
                         let i = i0 + local;
                         for j in 0..dj {
                             let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
                             let b_row = factors[1].row(j);
-                            kernel.mttkrp_tile(fibre, c, f, b_row, out_row, &mut scratch);
+                            kernel.mttkrp_tile(fibre, c, f, b_row, out_row, scratch);
                         }
                     }
                 },
@@ -163,21 +163,21 @@ fn mttkrp_dense3(
             // M[j] += (X[i,j,:] · C) ⊛ A[i]; each worker owns a j-band and
             // sweeps i in ascending order (the serial accumulation order).
             let c = factors[2].as_slice();
-            par_chunks_mut(
+            par_chunks_mut_scratch(
                 par,
                 out.as_mut_slice(),
                 chunk_rows * f,
-                |chunk_idx, chunk| {
+                || vec![0.0f64; f],
+                |chunk_idx, chunk, scratch| {
                     let j0 = chunk_idx * chunk_rows;
                     let band = chunk.len() / f;
-                    let mut scratch = vec![0.0f64; f];
                     for i in 0..di {
                         let a_row = factors[0].row(i);
                         for local in 0..band {
                             let j = j0 + local;
                             let fibre = &data[(i * dj + j) * dk..(i * dj + j + 1) * dk];
                             let out_row = &mut chunk[local * f..(local + 1) * f];
-                            kernel.mttkrp_tile(fibre, c, f, a_row, out_row, &mut scratch);
+                            kernel.mttkrp_tile(fibre, c, f, a_row, out_row, scratch);
                         }
                     }
                 },
@@ -187,14 +187,14 @@ fn mttkrp_dense3(
             // M[k] += X[i,j,k] · (A[i] ⊛ B[j]); each worker owns a k-band
             // and reads only its slice of every fibre, sweeping (i, j) in
             // ascending order (the serial accumulation order).
-            par_chunks_mut(
+            par_chunks_mut_scratch(
                 par,
                 out.as_mut_slice(),
                 chunk_rows * f,
-                |chunk_idx, chunk| {
+                || vec![0.0f64; f],
+                |chunk_idx, chunk, scratch| {
                     let k0 = chunk_idx * chunk_rows;
                     let band = chunk.len() / f;
-                    let mut scratch = vec![0.0f64; f];
                     for i in 0..di {
                         let a_row = factors[0].row(i);
                         for j in 0..dj {
@@ -204,7 +204,7 @@ fn mttkrp_dense3(
                             }
                             let base = (i * dj + j) * dk + k0;
                             let fibre = &data[base..base + band];
-                            kernel.mttkrp_scatter(fibre, &scratch, f, chunk);
+                            kernel.mttkrp_scatter(fibre, scratch, f, chunk);
                         }
                     }
                 },
@@ -215,13 +215,19 @@ fn mttkrp_dense3(
 }
 
 /// Row-major coordinates of linear element `idx` (last mode fastest).
-fn linear_to_coords(mut idx: usize, dims: &[usize]) -> Vec<usize> {
+#[cfg(test)]
+fn linear_to_coords(idx: usize, dims: &[usize]) -> Vec<usize> {
     let mut coords = vec![0usize; dims.len()];
+    linear_to_coords_into(idx, dims, &mut coords);
+    coords
+}
+
+/// [`linear_to_coords`] into a caller-owned buffer (worker-local scratch).
+fn linear_to_coords_into(mut idx: usize, dims: &[usize], coords: &mut [usize]) {
     for (c, &d) in coords.iter_mut().zip(dims).rev() {
         *c = idx % d;
         idx /= d;
     }
-    coords
 }
 
 /// Generic N-mode dense path with an incremental coordinate odometer,
@@ -243,14 +249,14 @@ fn mttkrp_dense_generic(
     }
     let data = x.as_slice();
     let chunk = fixed_chunk_size(n, REDUCE_MIN_CHUNK, REDUCE_MAX_CHUNKS);
-    par_chunks_reduce(
+    par_chunks_reduce_scratch(
         par,
         n,
         chunk,
         || Mat::zeros(dims[mode], f),
-        |range, acc| {
-            let mut coords = linear_to_coords(range.start, dims);
-            let mut prod = vec![0.0f64; f];
+        || (vec![0usize; order], vec![0.0f64; f]),
+        |range, acc, (coords, prod)| {
+            linear_to_coords_into(range.start, dims, coords);
             for &v in &data[range] {
                 if v != 0.0 {
                     prod.fill(v);
@@ -263,7 +269,7 @@ fn mttkrp_dense_generic(
                         }
                     }
                     let out_row = acc.row_mut(coords[mode]);
-                    for (o, &p) in out_row.iter_mut().zip(&prod) {
+                    for (o, &p) in out_row.iter_mut().zip(prod.iter()) {
                         *o += p;
                     }
                 }
@@ -317,13 +323,13 @@ pub fn mttkrp_sparse_par(
     let values = x.values();
     let par = par.clamped(nnz * f, PAR_MIN_WORK);
     let chunk = fixed_chunk_size(nnz, REDUCE_MIN_CHUNK, REDUCE_MAX_CHUNKS);
-    Ok(par_chunks_reduce(
+    Ok(par_chunks_reduce_scratch(
         &par,
         nnz,
         chunk,
         || Mat::zeros(rows, f),
-        |range, acc| {
-            let mut prod = vec![0.0f64; f];
+        || vec![0.0f64; f],
+        |range, acc, prod| {
             for e in range {
                 prod.fill(values[e]);
                 for h in 0..order {
@@ -337,7 +343,7 @@ pub fn mttkrp_sparse_par(
                 }
                 let target = x.mode_coords(mode)[e] as usize;
                 let out_row = acc.row_mut(target);
-                for (o, &p) in out_row.iter_mut().zip(&prod) {
+                for (o, &p) in out_row.iter_mut().zip(prod.iter()) {
                     *o += p;
                 }
             }

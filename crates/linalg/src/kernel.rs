@@ -228,6 +228,29 @@ pub trait Kernel: Sync {
     /// `out[kk][s] += fibre[kk] · s_row[s]` (`out` is `fibre.len()×f`
     /// row-major).
     fn mttkrp_scatter(&self, fibre: &[f64], s_row: &[f64], f: usize, out: &mut [f64]);
+
+    /// The dimension-tree *fold* contraction: **overwrites**
+    /// `out[s] = Σ_r y[r][s] · w[r][s]` with the reduction index `r`
+    /// ascending (`y` and `w` are `rows×f` row-major with
+    /// `rows = w.len() / f`; `out` has length `f`).
+    ///
+    /// Together with [`Kernel::partial_axpy`] this is the internal-node
+    /// contraction of the dimension-tree MTTKRP engine (`tpcp-cp`'s
+    /// `dimtree` module): a node's partial product is reduced against the
+    /// sibling subtree's Khatri-Rao weights one output row at a time. The
+    /// overwrite (rather than accumulate-into-zeroed) semantics make a
+    /// fold bitwise identical to an ascending [`Kernel::partial_axpy`]
+    /// sweep over zero-initialised output — `acc` after the last step
+    /// holds exactly the running value the axpy sweep leaves in `out` —
+    /// so the two per-node evaluation strategies are interchangeable.
+    fn partial_fold(&self, y: &[f64], w: &[f64], f: usize, out: &mut [f64]);
+
+    /// The dimension-tree *axpy* contraction: `out[e][s] += y[e][s] ·
+    /// w_row[s]` for every row `e` (`y` and `out` are `rows×f` row-major,
+    /// `w_row` has length `f`). One multiply-add per element per call;
+    /// the caller fixes the accumulation order by sweeping its parent
+    /// blocks in ascending order.
+    fn partial_axpy(&self, y: &[f64], w_row: &[f64], f: usize, out: &mut [f64]);
 }
 
 /// The original scalar loops, verbatim — the correctness oracle every
@@ -345,6 +368,25 @@ impl Kernel for ReferenceKernel {
             let out_row = &mut out[kk * f..(kk + 1) * f];
             for (o, &sv) in out_row.iter_mut().zip(s_row) {
                 *o += v * sv;
+            }
+        }
+    }
+
+    fn partial_fold(&self, y: &[f64], w: &[f64], f: usize, out: &mut [f64]) {
+        let rows = w.len() / f;
+        for (s, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for r in 0..rows {
+                acc += y[r * f + s] * w[r * f + s];
+            }
+            *o = acc;
+        }
+    }
+
+    fn partial_axpy(&self, y: &[f64], w_row: &[f64], f: usize, out: &mut [f64]) {
+        for (out_row, y_row) in out.chunks_mut(f).zip(y.chunks(f)) {
+            for ((o, &yv), &wv) in out_row.iter_mut().zip(y_row).zip(w_row) {
+                *o += yv * wv;
             }
         }
     }
@@ -556,6 +598,46 @@ impl Kernel for TiledKernel {
             }
         }
     }
+
+    fn partial_fold(&self, y: &[f64], w: &[f64], f: usize, out: &mut [f64]) {
+        // 8-wide column chunks of the fold held in registers across the
+        // whole row sweep; per output element the accumulation is still
+        // one accumulator, `r` ascending, stored once (overwrite), so the
+        // result is bit-identical to the reference scalar column loop.
+        let rows = w.len() / f;
+        let mut s0 = 0;
+        while s0 + TILE_NR <= f {
+            let mut acc = [0.0f64; TILE_NR];
+            for r in 0..rows {
+                let y_row = &y[r * f + s0..r * f + s0 + TILE_NR];
+                let w_row = &w[r * f + s0..r * f + s0 + TILE_NR];
+                for ((a, &yv), &wv) in acc.iter_mut().zip(y_row).zip(w_row) {
+                    *a += yv * wv;
+                }
+            }
+            out[s0..s0 + TILE_NR].copy_from_slice(&acc);
+            s0 += TILE_NR;
+        }
+        // Ragged tail: scalar per column, same ascending-r accumulation.
+        for t in s0..f {
+            let mut acc = 0.0;
+            for r in 0..rows {
+                acc += y[r * f + t] * w[r * f + t];
+            }
+            out[t] = acc;
+        }
+    }
+
+    fn partial_axpy(&self, y: &[f64], w_row: &[f64], f: usize, out: &mut [f64]) {
+        // One multiply-add per element — memory-bound, and each element is
+        // touched exactly once per call, so the stride-1 zip below is both
+        // the vectorisable and the trivially order-exact form.
+        for (out_row, y_row) in out.chunks_mut(f).zip(y.chunks(f)) {
+            for ((o, &yv), &wv) in out_row.iter_mut().zip(y_row).zip(w_row) {
+                *o += yv * wv;
+            }
+        }
+    }
 }
 
 /// Shared tiled core of `t_matmul` and `gram_band`: both tile dimensions
@@ -658,5 +740,75 @@ mod tests {
     fn row_tiles() {
         assert_eq!(ReferenceKernel.row_tile(), 1);
         assert_eq!(TiledKernel.row_tile(), TILE_MR);
+    }
+
+    /// Deterministic pseudo-random fill (no RNG dependency in this crate).
+    fn fill(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partial_fold_matches_naive_and_is_backend_bitwise() {
+        for (rows, f) in [(1usize, 1usize), (5, 3), (7, 8), (9, 19), (16, 32)] {
+            let y = fill(rows * f, 3);
+            let w = fill(rows * f, 4);
+            let mut naive = vec![0.0f64; f];
+            for (s, o) in naive.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for r in 0..rows {
+                    acc += y[r * f + s] * w[r * f + s];
+                }
+                *o = acc;
+            }
+            let mut reference = vec![f64::NAN; f]; // overwrite semantics
+            ReferenceKernel.partial_fold(&y, &w, f, &mut reference);
+            let mut tiled = vec![f64::NAN; f];
+            TiledKernel.partial_fold(&y, &w, f, &mut tiled);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&reference), bits(&naive), "rows {rows} f {f}");
+            assert_eq!(bits(&tiled), bits(&reference), "rows {rows} f {f}");
+        }
+    }
+
+    #[test]
+    fn axpy_sweep_is_bitwise_identical_to_fold() {
+        // The contract the dimtree engine relies on: evaluating a node by
+        // per-row folds or by an ascending axpy sweep over zeroed output
+        // must agree bit for bit, for either backend.
+        let (blocks, rows, f) = (6usize, 5usize, 11usize);
+        let y = fill(blocks * rows * f, 7);
+        let w = fill(blocks * f, 8);
+        for kernel in [&ReferenceKernel as &dyn Kernel, &TiledKernel] {
+            let mut swept = vec![0.0f64; rows * f];
+            for b in 0..blocks {
+                kernel.partial_axpy(
+                    &y[b * rows * f..(b + 1) * rows * f],
+                    &w[b * f..(b + 1) * f],
+                    f,
+                    &mut swept,
+                );
+            }
+            // Per output row j, the fold reduces the strided column
+            // y[b * rows + j] against w's rows — gather it contiguously
+            // to use the contiguous fold entry point.
+            let mut folded = vec![0.0f64; rows * f];
+            for j in 0..rows {
+                let mut gathered = Vec::with_capacity(blocks * f);
+                for b in 0..blocks {
+                    gathered.extend_from_slice(&y[(b * rows + j) * f..(b * rows + j + 1) * f]);
+                }
+                kernel.partial_fold(&gathered, &w, f, &mut folded[j * f..(j + 1) * f]);
+            }
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&swept), bits(&folded), "{}", kernel.label());
+        }
     }
 }

@@ -291,6 +291,30 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    par_chunks_mut_scratch(cfg, data, chunk_len, || (), |idx, chunk, ()| f(idx, chunk));
+}
+
+/// [`par_chunks_mut`] with **worker-local scratch**: each worker builds one
+/// scratch value with `make_scratch` and reuses it across every chunk it
+/// executes (the serial path builds exactly one).
+///
+/// This hoists per-chunk workspace allocations out of hot sweep loops (the
+/// MTTKRP row scratch, the dimension-tree gather buffers) without touching
+/// the determinism story: scratch is pure workspace — a closure must not
+/// carry information from one chunk into the next through it — so the
+/// chunk→worker assignment stays result-neutral and outputs remain
+/// bit-identical for any thread count.
+pub fn par_chunks_mut_scratch<T, S, F>(
+    cfg: &ParConfig,
+    data: &mut [T],
+    chunk_len: usize,
+    make_scratch: impl Fn() -> S + Sync,
+    f: F,
+) where
+    T: Send,
+    S: Send,
+    F: Fn(usize, &mut [T], &mut S) + Sync,
+{
     if data.is_empty() {
         return;
     }
@@ -298,8 +322,9 @@ where
     let n_chunks = data.len().div_ceil(chunk_len);
     let threads = cfg.threads().min(n_chunks);
     if threads <= 1 {
+        let mut scratch = make_scratch();
         for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
-            f(idx, chunk);
+            f(idx, chunk, &mut scratch);
         }
         return;
     }
@@ -310,9 +335,11 @@ where
     std::thread::scope(|scope| {
         for worker in per_worker {
             let f = &f;
+            let make_scratch = &make_scratch;
             scope.spawn(move || {
+                let mut scratch = make_scratch();
                 for (idx, chunk) in worker {
-                    f(idx, chunk);
+                    f(idx, chunk, &mut scratch);
                 }
             });
         }
@@ -339,11 +366,45 @@ pub fn par_chunks_reduce<A, F, M>(
     chunk_size: usize,
     make_acc: impl Fn() -> A + Sync,
     work: F,
-    mut merge: M,
+    merge: M,
 ) -> A
 where
     A: Send,
     F: Fn(Range<usize>, &mut A) + Sync,
+    M: FnMut(A, A) -> A,
+{
+    par_chunks_reduce_scratch(
+        cfg,
+        n_items,
+        chunk_size,
+        make_acc,
+        || (),
+        |range, acc, ()| work(range, acc),
+        merge,
+    )
+}
+
+/// [`par_chunks_reduce`] with **worker-local scratch**: each worker builds
+/// one scratch value and reuses it across every chunk it claims (the serial
+/// path builds exactly one). Accumulators stay per-chunk — they carry the
+/// results that merge in ascending chunk order — but pure workspace (the
+/// MTTKRP Hadamard-row buffer, odometer coordinates) no longer re-allocates
+/// per chunk. Scratch must not carry information between chunks, so the
+/// work-stealing chunk→worker assignment stays result-neutral.
+#[allow(clippy::too_many_arguments)]
+pub fn par_chunks_reduce_scratch<A, S, F, M>(
+    cfg: &ParConfig,
+    n_items: usize,
+    chunk_size: usize,
+    make_acc: impl Fn() -> A + Sync,
+    make_scratch: impl Fn() -> S + Sync,
+    work: F,
+    mut merge: M,
+) -> A
+where
+    A: Send,
+    S: Send,
+    F: Fn(Range<usize>, &mut A, &mut S) + Sync,
     M: FnMut(A, A) -> A,
 {
     if n_items == 0 {
@@ -355,11 +416,12 @@ where
 
     let threads = cfg.threads().min(n_chunks);
     if threads <= 1 {
+        let mut scratch = make_scratch();
         let mut acc = make_acc();
-        work(range_of(0), &mut acc);
+        work(range_of(0), &mut acc, &mut scratch);
         for c in 1..n_chunks {
             let mut next = make_acc();
-            work(range_of(c), &mut next);
+            work(range_of(c), &mut next, &mut scratch);
             acc = merge(acc, next);
         }
         return acc;
@@ -369,14 +431,17 @@ where
     let slots: Vec<Mutex<Option<A>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let c = next_chunk.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
+            scope.spawn(|| {
+                let mut scratch = make_scratch();
+                loop {
+                    let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let mut acc = make_acc();
+                    work(range_of(c), &mut acc, &mut scratch);
+                    *slots[c].lock().expect("chunk slot poisoned") = Some(acc);
                 }
-                let mut acc = make_acc();
-                work(range_of(c), &mut acc);
-                *slots[c].lock().expect("chunk slot poisoned") = Some(acc);
             });
         }
     });

@@ -479,13 +479,21 @@ impl<'o, S: UnitStore> BufferPool<'o, S> {
     /// # Errors
     /// Propagates store write failures.
     pub fn flush(&mut self) -> Result<()> {
+        let mut written: Vec<UnitId> = Vec::new();
         for (unit, entry) in self.entries.iter_mut() {
             if entry.dirty {
                 self.store.write(&entry.data)?;
                 *self.write_epochs.entry(*unit).or_insert(0) += 1;
                 self.stats.bytes_written += entry.bytes as u64;
                 entry.dirty = false;
+                written.push(*unit);
             }
+        }
+        if !written.is_empty() {
+            // One batched re-prime over everything just written back: an
+            // mmap store re-maps and `madvise(WILLNEED)`s the fresh pages
+            // here, off the next read's critical path.
+            self.store.warm(&written);
         }
         Ok(())
     }
@@ -531,6 +539,10 @@ impl<'o, S: UnitStore> BufferPool<'o, S> {
                 *self.write_epochs.entry(victim).or_insert(0) += 1;
                 self.stats.write_backs += 1;
                 self.stats.bytes_written += entry.bytes as u64;
+                // Re-prime the fresh page's transport cache (map +
+                // `WILLNEED` for mmap stores) while its bytes are still
+                // hot, not when the schedule next misses on it.
+                self.store.warm(&[victim]);
             }
         }
         Ok(())

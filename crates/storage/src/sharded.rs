@@ -179,6 +179,13 @@ impl<S: UnitStore> UnitStore for ShardedStore<S> {
     fn shard_hint(&self, unit: UnitId) -> usize {
         self.shard_of(unit)
     }
+
+    fn warm(&mut self, units: &[UnitId]) {
+        for &unit in units {
+            let s = self.shard_of(unit);
+            self.shards[s].warm(&[unit]);
+        }
+    }
 }
 
 /// Routes prefetch reads across the per-shard readers.

@@ -120,6 +120,17 @@ pub trait UnitStore {
     /// store could not know the payload size before the caller decoded
     /// it). No-op for stores that never return borrowed slabs.
     fn note_borrowed_read(&mut self, _unit: UnitId, _payload_bytes: u64) {}
+
+    /// Re-primes transport-side caches for `units` — typically pages just
+    /// written back, whose next read would otherwise pay the cold-start
+    /// cost the write evicted. The mmap-backed [`DiskStore`] re-opens and
+    /// re-maps each fresh page file and batches one `madvise(WILLNEED)`
+    /// per page (the written bytes are still in the page cache, so this
+    /// costs syscalls, not I/O — and it moves the map/advise bill off the
+    /// next read's critical path). Purely a performance hint: stores
+    /// without such caches ignore it, failures are swallowed, and decoded
+    /// data is bit-identical either way.
+    fn warm(&mut self, _units: &[UnitId]) {}
 }
 
 /// A purely in-memory store — reference implementation for tests and the
@@ -505,6 +516,20 @@ impl UnitStore for DiskStore {
         self.bytes_read += payload_bytes;
     }
 
+    fn warm(&mut self, units: &[UnitId]) {
+        if !self.mmap {
+            return;
+        }
+        for &unit in units {
+            // `entry` opens, maps and `madvise(WILLNEED)`s the committed
+            // page in one pass (a write-back just dropped the stale
+            // handle, so this re-routes the unit through the FdCache map
+            // ahead of its next read). Best-effort: a missing or
+            // unmappable page simply stays cold.
+            let _ = self.cache.entry(&self.dir, unit, true);
+        }
+    }
+
     fn contains(&self, unit: UnitId) -> bool {
         self.unit_path(unit).exists()
     }
@@ -756,6 +781,36 @@ mod tests {
             assert_eq!(buffered.read(u).unwrap(), mapped.read(u).unwrap());
         }
         assert_eq!(buffered.bytes_read(), mapped.bytes_read());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_reprimes_the_handle_cache_after_write_back() {
+        let dir = tmpdir("warm");
+        let mut s = DiskStore::open_with(&dir, true).unwrap();
+        let units: Vec<UnitId> = (0..3).map(|p| UnitId::new(0, p)).collect();
+        for (i, &u) in units.iter().enumerate() {
+            s.write(&sample(u, i as f64)).unwrap();
+        }
+        // A write retires the cached handle, so the cache starts cold.
+        assert_eq!(s.cache.len(), 0);
+        s.warm(&units);
+        assert_eq!(
+            s.cache.len(),
+            units.len(),
+            "warm primes one handle per page"
+        );
+        // Warmed handles serve the latest committed data, unchanged.
+        for (i, &u) in units.iter().enumerate() {
+            assert_eq!(s.read(u).unwrap(), sample(u, i as f64));
+        }
+        // Warming a missing unit is a swallowed no-op, and warming with
+        // mmap off never populates the cache.
+        s.warm(&[UnitId::new(5, 5)]);
+        assert_eq!(s.cache.len(), units.len());
+        s.set_mmap(false);
+        s.warm(&units);
+        assert_eq!(s.cache.len(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 
