@@ -44,6 +44,7 @@ fn build_model(dir: &std::path::Path) {
             fit: 0.97,
             schedule: "HO".into(),
             parts: vec![2],
+            compress: None,
         },
         CpModel::new(vec![1.0; RANK], factors).unwrap(),
     )

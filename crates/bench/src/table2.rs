@@ -94,6 +94,9 @@ pub struct Table2Row {
     pub stall_ms: (f64, f64),
     /// Phase-2 swaps served by the asynchronous prefetcher (LRU, FOR).
     pub prefetch_hits: (u64, u64),
+    /// `Q`-Hadamard fold hotness under FOR (ROADMAP item 3: is it ever
+    /// worth a phase-2 dimension tree?).
+    pub q_hadamard_for: twopcp::QHadamardStats,
 }
 
 /// Full result: the Naive CP baseline plus one row per partitioning.
@@ -117,9 +120,13 @@ fn run_variant(
     cfg: &Table2Config,
     parts: usize,
     policy: PolicyKind,
-) -> (Duration, Duration, tpcp_storage::IoStats, f64) {
+) -> (Duration, Duration, twopcp::RefineStats, f64) {
     let outcome = TwoPcp::new(
+        // Table II reproduces the paper's two-phase experiment (phase
+        // timings, swap counts); pin the compressed mode off so a
+        // TPCP_COMPRESS=1 environment can't replace what it measures.
         TwoPcpConfig::new(cfg.rank)
+            .compress_off()
             .parts(vec![parts])
             .schedule(ScheduleKind::ZOrder)
             .policy(policy)
@@ -137,7 +144,7 @@ fn run_variant(
     (
         outcome.phase1_time,
         outcome.phase2_time,
-        outcome.phase2.io,
+        outcome.phase2,
         outcome.fit,
     )
 }
@@ -168,8 +175,9 @@ pub fn run(cfg: &Table2Config) -> Table2Result {
 
     let mut rows = Vec::new();
     for &parts in &cfg.parts {
-        let (p1_lru, p2_lru, io_lru, _) = run_variant(&x, cfg, parts, PolicyKind::Lru);
-        let (_, p2_for, io_for, _) = run_variant(&x, cfg, parts, PolicyKind::Forward);
+        let (p1_lru, p2_lru, st_lru, _) = run_variant(&x, cfg, parts, PolicyKind::Lru);
+        let (_, p2_for, st_for, _) = run_variant(&x, cfg, parts, PolicyKind::Forward);
+        let (io_lru, io_for) = (&st_lru.io, &st_for.io);
         let blocks = parts.pow(3) as u32;
         rows.push(Table2Row {
             parts,
@@ -182,6 +190,7 @@ pub fn run(cfg: &Table2Config) -> Table2Result {
             phase2_bytes_for: io_for.bytes_read + io_for.bytes_written,
             stall_ms: (io_lru.stall_ms(), io_for.stall_ms()),
             prefetch_hits: (io_lru.prefetch_hits, io_for.prefetch_hits),
+            q_hadamard_for: st_for.q_hadamard,
         });
     }
     Table2Result {
@@ -255,6 +264,19 @@ pub fn render(cfg: &Table2Config, result: &Table2Result) -> String {
         "Stall = wall time blocked on Phase-2 reads; PF hits = swaps served by the async prefetch pipeline.
 ",
     );
+    // ROADMAP item 3 asks whether the refine loop's Q-Hadamard fold is
+    // ever hot enough to warrant a phase-2 dimension tree; answer it in
+    // every report.
+    for r in &result.rows {
+        let share = 100.0 * r.q_hadamard_for.ms() / r.phase2_for.as_secs_f64().max(1e-9) / 1000.0;
+        out.push_str(&format!(
+            "Q-Hadamard fold ({0}x{0}x{0}, FOR): {1} calls, {2:.2} ms = {3:.3}% of Phase II.\n",
+            r.parts,
+            r.q_hadamard_for.calls,
+            r.q_hadamard_for.ms(),
+            share,
+        ));
+    }
     out
 }
 
@@ -293,6 +315,11 @@ mod tests {
             table.contains(", dimtree on)") || table.contains(", dimtree off)"),
             "title must attribute the active MTTKRP path"
         );
+        assert!(
+            table.contains("Q-Hadamard fold"),
+            "report must answer the q_hadamard hotness question"
+        );
+        assert!(row.q_hadamard_for.calls > 0, "hotness counter never ticked");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

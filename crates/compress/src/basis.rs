@@ -1,0 +1,100 @@
+//! Per-mode basis truncation: eigenvalue spectra → multilinear ranks.
+
+use tpcp_linalg::Mat;
+
+/// One mode's orthonormal basis after truncation.
+#[derive(Clone, Debug)]
+pub struct ModeBasis {
+    /// Orthonormal factor `U_n ∈ R^{I_n × R_n}` (columns span the retained
+    /// mode-`n` subspace, ordered by descending captured energy).
+    pub u: Mat,
+    /// Energy captured by the retained columns, `Σ_{i ≤ R_n} λ_i`.
+    pub retained: f64,
+    /// Energy discarded by the truncation, `Σ_{i > R_n} λ_i` (for the
+    /// sketched path this includes energy the sketch never captured, so it
+    /// stays an upper bound on the mode's reconstruction error).
+    pub discarded: f64,
+}
+
+/// Smallest rank whose eigenvalue prefix reaches `energy · total`, clamped
+/// to `[1, cap]`. `eigenvalues` must be sorted descending; `total` is the
+/// full energy the threshold is taken against (`‖X‖²` — for the sketched
+/// path this can exceed `Σ eigenvalues`, making the choice conservative).
+pub fn choose_rank(eigenvalues: &[f64], energy: f64, cap: usize, total: f64) -> usize {
+    let cap = cap.min(eigenvalues.len()).max(1);
+    if total <= 0.0 {
+        return 1;
+    }
+    let target = energy * total;
+    let mut cum = 0.0;
+    for (i, &l) in eigenvalues.iter().enumerate().take(cap) {
+        cum += l.max(0.0);
+        if cum >= target {
+            return i + 1;
+        }
+    }
+    cap
+}
+
+/// The first `k` columns of `m` as a new matrix.
+pub fn take_columns(m: &Mat, k: usize) -> Mat {
+    debug_assert!(k <= m.cols());
+    let mut out = Mat::zeros(m.rows(), k);
+    for r in 0..m.rows() {
+        out.row_mut(r).copy_from_slice(&m.row(r)[..k]);
+    }
+    out
+}
+
+/// Builds a [`ModeBasis`] from an eigendecomposition `(λ, V)` of a mode
+/// Gram (or projected Gram): truncates to [`choose_rank`]'s width and
+/// records the retained/discarded energy split against `total`.
+pub fn truncate_basis(
+    eigenvalues: &[f64],
+    vectors: &Mat,
+    energy: f64,
+    cap: usize,
+    total: f64,
+) -> (usize, Vec<f64>, Mat) {
+    let r = choose_rank(eigenvalues, energy, cap, total);
+    let retained: f64 = eigenvalues[..r].iter().map(|l| l.max(0.0)).sum();
+    let kept = take_columns(vectors, r);
+    (r, vec![retained, (total - retained).max(0.0)], kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choose_rank_energy_threshold() {
+        let eigs = [6.0, 3.0, 0.9, 0.1];
+        // 90% of 10.0 = 9.0 needs the first two eigenvalues.
+        assert_eq!(choose_rank(&eigs, 0.9, 4, 10.0), 2);
+        // 99% (9.9 of 10.0) needs three.
+        assert_eq!(choose_rank(&eigs, 0.99, 4, 10.0), 3);
+        // The cap wins over the threshold.
+        assert_eq!(choose_rank(&eigs, 1.0, 2, 10.0), 2);
+        // Zero total keeps a single direction.
+        assert_eq!(choose_rank(&eigs, 0.9, 4, 0.0), 1);
+    }
+
+    #[test]
+    fn take_columns_prefix() {
+        let m = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = take_columns(&m, 2);
+        assert_eq!(t.shape(), (2, 2));
+        assert_eq!(t.row(1), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn truncate_records_energy_split() {
+        let eigs = [8.0, 1.5, 0.5];
+        let v = Mat::identity(3);
+        let (r, split, kept) = truncate_basis(&eigs, &v, 0.9, 3, 10.0);
+        assert_eq!(r, 2);
+        assert_eq!(kept.shape(), (3, 2));
+        assert!((split[0] - 9.5).abs() < 1e-12);
+        assert!((split[1] - 0.5).abs() < 1e-12);
+    }
+}

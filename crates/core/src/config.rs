@@ -2,6 +2,7 @@
 
 use crate::{Result, TwoPcpError};
 use std::path::PathBuf;
+use tpcp_cp::CompressOptions;
 use tpcp_linalg::{KernelKind, KERNEL_ENV_VAR};
 use tpcp_par::ParConfig;
 use tpcp_schedule::ScheduleKind;
@@ -67,6 +68,8 @@ pub struct EnvOverrides {
     pub kernel: Option<KernelKind>,
     /// `TPCP_DIMTREE` → dimension-tree MTTKRP path in the Phase-1 ALS.
     pub dimtree: Option<bool>,
+    /// `TPCP_COMPRESS` → compress-then-decompose pipeline in the driver.
+    pub compress: Option<bool>,
     /// `TPCP_SERVE_ADDR` → serving daemon listen address.
     pub serve_addr: Option<String>,
 }
@@ -85,6 +88,7 @@ impl EnvOverrides {
             mmap: set(tpcp_storage::MMAP_ENV_VAR).then(tpcp_storage::mmap_auto),
             kernel: set(KERNEL_ENV_VAR).then(KernelKind::auto),
             dimtree: set(tpcp_cp::DIMTREE_ENV_VAR).then(tpcp_cp::dimtree_auto),
+            compress: set(tpcp_cp::COMPRESS_ENV_VAR).then(tpcp_cp::compress_auto),
             serve_addr: std::env::var(SERVE_ADDR_ENV_VAR).ok(),
         }
     }
@@ -109,6 +113,15 @@ impl EnvOverrides {
         }
         if let Some(dimtree) = self.dimtree {
             config.dimtree = dimtree;
+        }
+        match self.compress {
+            // `TPCP_COMPRESS=1` turns the pipeline on with default options
+            // but never clobbers explicitly configured knobs.
+            Some(true) if config.compress.is_none() => {
+                config.compress = Some(CompressOptions::default());
+            }
+            Some(false) => config.compress = None,
+            _ => {}
         }
         config
     }
@@ -250,6 +263,15 @@ pub struct TwoPcpConfig {
     /// unaffected. Defaults to [`tpcp_cp::dimtree_auto`], i.e. the
     /// `TPCP_DIMTREE` override or off.
     pub dimtree: bool,
+    /// Compress-then-decompose (`tpcp-compress`): stream per-mode Tucker
+    /// bases, run CP on the small core, expand, then polish against the
+    /// original tensor. `Some(options)` replaces the two-phase pipeline
+    /// with the compression pipeline; `None` (default) leaves the driver
+    /// untouched — the default path is bitwise identical to a build
+    /// without this knob. `TPCP_COMPRESS` enables default options via
+    /// [`EnvOverrides`]. Best on low-multilinear-rank tensors; see
+    /// `docs/compress.md` for when not to use it.
+    pub compress: Option<CompressOptions>,
 }
 
 impl TwoPcpConfig {
@@ -279,6 +301,7 @@ impl TwoPcpConfig {
             mmap: false,
             kernel: KernelKind::Auto,
             dimtree: false,
+            compress: None,
         })
     }
 
@@ -289,6 +312,7 @@ impl TwoPcpConfig {
             config: TwoPcpConfig::new(0),
             rank_set: false,
             dimtree_set: false,
+            compress_set: false,
         }
     }
 
@@ -402,6 +426,18 @@ impl TwoPcpConfig {
         self
     }
 
+    /// Enables compress-then-decompose with explicit [`CompressOptions`].
+    pub fn compress(mut self, options: CompressOptions) -> Self {
+        self.compress = Some(options);
+        self
+    }
+
+    /// Disables compress-then-decompose (back to the two-phase pipeline).
+    pub fn compress_off(mut self) -> Self {
+        self.compress = None;
+        self
+    }
+
     /// Resolves the partition vector for an order-`n` tensor (broadcasting
     /// a singleton) and validates the configuration.
     ///
@@ -453,6 +489,7 @@ pub struct TwoPcpConfigBuilder {
     config: TwoPcpConfig,
     rank_set: bool,
     dimtree_set: bool,
+    compress_set: bool,
 }
 
 impl TwoPcpConfigBuilder {
@@ -568,6 +605,22 @@ impl TwoPcpConfigBuilder {
         self
     }
 
+    /// Enables compress-then-decompose with explicit [`CompressOptions`]
+    /// (validated at [`build`](TwoPcpConfigBuilder::build)).
+    pub fn compress(mut self, options: CompressOptions) -> Self {
+        self.config = self.config.compress(options);
+        self.compress_set = true;
+        self
+    }
+
+    /// Explicitly disables compress-then-decompose, overriding any
+    /// `TPCP_COMPRESS` environment setting.
+    pub fn compress_off(mut self) -> Self {
+        self.config = self.config.compress_off();
+        self.compress_set = true;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -586,6 +639,13 @@ impl TwoPcpConfigBuilder {
         }
         if !self.dimtree_set {
             validate_dimtree_override(std::env::var(tpcp_cp::DIMTREE_ENV_VAR).ok().as_deref())?;
+        }
+        if !self.compress_set {
+            validate_compress_override(std::env::var(tpcp_cp::COMPRESS_ENV_VAR).ok().as_deref())?;
+        }
+        if let Some(compress) = &c.compress {
+            tpcp_cp::validate_compress_options(compress)
+                .map_err(|e| ConfigError::new(format!("compress: {e}")))?;
         }
         if c.rank == 0 {
             return Err(ConfigError::new("rank must be positive"));
@@ -639,6 +699,26 @@ fn validate_dimtree_override(value: Option<&str>) -> std::result::Result<(), Con
             return Err(ConfigError::new(format!(
                 "{}: unrecognised value {v:?} (expected 1/on/true/yes or 0/off/false/no)",
                 tpcp_cp::DIMTREE_ENV_VAR
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Strict validation of a would-be `TPCP_COMPRESS` value, mirroring
+/// [`validate_dimtree_override`]: the lenient reader
+/// ([`tpcp_cp::compress_auto`]) treats malformed values as "off", but a
+/// validating build should fail loudly instead of quietly running the
+/// uncompressed pipeline the operator asked to skip.
+fn validate_compress_override(value: Option<&str>) -> std::result::Result<(), ConfigError> {
+    if let Some(v) = value {
+        if !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "1" | "on" | "true" | "yes" | "0" | "off" | "false" | "no"
+        ) {
+            return Err(ConfigError::new(format!(
+                "{}: unrecognised value {v:?} (expected 1/on/true/yes or 0/off/false/no)",
+                tpcp_cp::COMPRESS_ENV_VAR
             )));
         }
     }
@@ -762,6 +842,64 @@ mod tests {
             assert!(validate_dimtree_override(Some(v)).is_ok(), "{v:?}");
         }
         assert!(validate_dimtree_override(None).is_ok());
+    }
+
+    #[test]
+    fn compress_setters_chain() {
+        let cfg = TwoPcpConfig::new(4).compress(CompressOptions::default());
+        assert!(cfg.compress.is_some());
+        assert!(cfg.compress_off().compress.is_none());
+        let cfg = TwoPcpConfig::builder()
+            .rank(4)
+            .compress(CompressOptions::builder().energy(0.99).build().unwrap())
+            .build()
+            .unwrap();
+        assert!((cfg.compress.unwrap().energy - 0.99).abs() < 1e-12);
+        // Invalid options are rejected at build(), not deep inside a run.
+        let bad = CompressOptions {
+            energy: 0.0,
+            ..Default::default()
+        };
+        let err = TwoPcpConfig::builder().rank(4).compress(bad).build();
+        assert!(err.unwrap_err().reason.contains("compress"));
+    }
+
+    #[test]
+    fn compress_env_override_applies() {
+        let overrides = EnvOverrides {
+            compress: Some(true),
+            ..Default::default()
+        };
+        let cfg = overrides.apply(TwoPcpConfig::new(4));
+        assert_eq!(cfg.compress, Some(CompressOptions::default()));
+        // The env toggle never clobbers explicitly configured knobs.
+        let explicit = CompressOptions::builder().energy(0.5).build().unwrap();
+        let cfg = overrides.apply(TwoPcpConfig::new(4).compress(explicit.clone()));
+        assert_eq!(cfg.compress, Some(explicit));
+        // `TPCP_COMPRESS=0` forces the pipeline off.
+        let off = EnvOverrides {
+            compress: Some(false),
+            ..Default::default()
+        };
+        let cfg = off.apply(TwoPcpConfig::new(4).compress(CompressOptions::default()));
+        assert!(cfg.compress.is_none());
+        // Unset override leaves an explicit choice alone.
+        let cfg = EnvOverrides::default().apply(TwoPcpConfig::new(4).compress(Default::default()));
+        assert!(cfg.compress.is_some());
+    }
+
+    #[test]
+    fn garbage_compress_override_is_a_config_error_not_a_panic() {
+        let err = validate_compress_override(Some("garbage")).unwrap_err();
+        assert!(
+            err.reason.contains("TPCP_COMPRESS") && err.reason.contains("garbage"),
+            "error names the variable and the bad value: {}",
+            err.reason
+        );
+        for v in ["1", "on", "TRUE", " yes ", "0", "off", "False", "no"] {
+            assert!(validate_compress_override(Some(v)).is_ok(), "{v:?}");
+        }
+        assert!(validate_compress_override(None).is_ok());
     }
 
     #[test]

@@ -2,14 +2,16 @@
 
 use crate::accuracy::blockwise_fit_source;
 use crate::config::TwoPcpConfig;
-use crate::phase1::{run_phase1_mapreduce_source, run_phase1_source, Phase1Result};
+use crate::phase1::{grid_for, run_phase1_mapreduce_source, run_phase1_source, Phase1Result};
 use crate::phase2::{refine, RefineStats};
+use crate::pq::QHadamardStats;
 use crate::Result;
 use std::time::{Duration, Instant};
-use tpcp_cp::CpModel;
+use tpcp_compress::{compress_decompose, CompressProvenance};
+use tpcp_cp::{AlsOptions, CpModel};
 use tpcp_mapreduce::JobCounters;
 use tpcp_partition::{BlockSource, DenseMemorySource, SparseMemorySource};
-use tpcp_storage::{DiskStore, MemStore, PrefetchSource, ShardedStore, UnitStore};
+use tpcp_storage::{DiskStore, IoStats, MemStore, PrefetchSource, ShardedStore, UnitStore};
 use tpcp_tensor::{DenseTensor, SparseTensor};
 
 /// The 2PCP decomposition engine (see crate docs for an example).
@@ -34,6 +36,9 @@ pub struct TwoPcpOutcome {
     pub phase2_time: Duration,
     /// MapReduce counters (all zero unless Phase 1 ran on the substrate).
     pub mr_counters: tpcp_mapreduce::CounterSnapshot,
+    /// Compression provenance (`None` unless the run went through the
+    /// compress-then-decompose pipeline, [`TwoPcpConfig::compress`]).
+    pub compress: Option<CompressProvenance>,
 }
 
 enum Input<'a> {
@@ -145,6 +150,14 @@ impl TwoPcp {
         let cfg = &self.config;
         let counters = JobCounters::new();
 
+        // ---- Compress-then-decompose (opt-in) ------------------------------
+        // Replaces both phases wholesale; the default (`compress: None`)
+        // path below is untouched — bitwise identical to builds without
+        // the knob.
+        if cfg.compress.is_some() {
+            return self.run_compressed(src, exact);
+        }
+
         // ---- Phase 1 -------------------------------------------------------
         let t0 = Instant::now();
         let phase1 = if cfg.phase1.use_mapreduce {
@@ -179,6 +192,85 @@ impl TwoPcp {
             phase1_time,
             phase2_time,
             mr_counters: counters.snapshot(),
+            compress: None,
+        })
+    }
+
+    /// The compress-then-decompose pipeline: streaming Tucker compression,
+    /// CP on the core, expansion and an exact polish (`tpcp-compress`),
+    /// reported through the same [`TwoPcpOutcome`] shape as the two-phase
+    /// path. Compression + core CP + polish are timed as "phase 1" (the
+    /// decomposition proper); `phase2_time` is zero since no refinement
+    /// phase runs. Phase-2 I/O stats are empty — the pipeline streams
+    /// blocks, it never touches a unit store.
+    fn run_compressed(
+        &self,
+        src: &mut dyn BlockSource,
+        exact: ExactFit<'_>,
+    ) -> Result<TwoPcpOutcome> {
+        let cfg = &self.config;
+        let dims = src.dims().to_vec();
+        let grid = grid_for(cfg, &dims)?;
+
+        let t0 = Instant::now();
+        let options = AlsOptions {
+            rank: cfg.rank,
+            max_iters: cfg.max_virtual_iters,
+            tol: cfg.tol,
+            ridge: cfg.ridge,
+            seed: cfg.seed,
+            init: None,
+            par: cfg.par,
+            kernel: cfg.kernel,
+            dimtree: cfg.dimtree,
+            compress: cfg.compress.clone(),
+        };
+        let out = compress_decompose(src, &grid, &options)?;
+        let phase1_time = t0.elapsed();
+
+        let fit = match exact {
+            ExactFit::Dense(x) => out.model.fit_dense(x)?,
+            ExactFit::Sparse(x) => out.model.fit_sparse(x)?,
+            ExactFit::Stream => blockwise_fit_source(&out.model, &grid, src)?,
+        };
+
+        let num_blocks = grid.num_blocks();
+        let peak_block_bytes = (0..num_blocks)
+            .map(|lin| {
+                grid.block_dims(&grid.block_coords(lin))
+                    .iter()
+                    .product::<usize>() as u64
+                    * std::mem::size_of::<f64>() as u64
+            })
+            .max()
+            .unwrap_or(0);
+        let phase1 = Phase1Result {
+            grid,
+            block_norms_sq: out.block_norms_sq.clone(),
+            u_norm_sq: vec![0.0; num_blocks],
+            block_fits: Vec::new(),
+            total_unit_bytes: 0,
+            ingested_bytes: src.bytes_loaded(),
+            peak_block_bytes,
+        };
+        let phase2 = RefineStats {
+            io: IoStats::default(),
+            swaps_per_iteration: Vec::new(),
+            fit_trace: out.core_report.fit_trace.clone(),
+            virtual_iterations: out.core_report.iterations,
+            converged: out.core_report.converged,
+            warmup_iterations: 0,
+            q_hadamard: QHadamardStats::default(),
+        };
+        Ok(TwoPcpOutcome {
+            model: out.model,
+            fit,
+            phase1,
+            phase2,
+            phase1_time,
+            phase2_time: Duration::ZERO,
+            mr_counters: JobCounters::new().snapshot(),
+            compress: Some(out.provenance),
         })
     }
 }
@@ -207,8 +299,11 @@ mod tests {
     #[test]
     fn end_to_end_dense_in_memory() {
         let x = low_rank(&[10, 10, 10], 2, 4);
+        // Pins the two-phase pipeline (MR counters stay zero without
+        // mapreduce); opt out of a TPCP_COMPRESS=1 environment.
         let outcome = TwoPcp::new(
             TwoPcpConfig::new(2)
+                .compress_off()
                 .parts(vec![2])
                 .max_virtual_iters(40)
                 .tol(1e-7),
@@ -223,7 +318,10 @@ mod tests {
     #[test]
     fn end_to_end_on_disk_matches_in_memory() {
         let x = low_rank(&[8, 8, 8], 2, 6);
+        // Pins phase-2 swap counts and store I/O; opt out of a
+        // TPCP_COMPRESS=1 environment.
         let cfg = TwoPcpConfig::new(2)
+            .compress_off()
             .parts(vec![2])
             .schedule(ScheduleKind::ZOrder)
             .policy(PolicyKind::Forward)
@@ -268,8 +366,11 @@ mod tests {
         let x = low_rank(&[8, 8, 8], 2, 10);
         let dir = std::env::temp_dir().join(format!("tpcp_driver_mr_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
+        // Pins the mapreduce phase-1 counters; opt out of a
+        // TPCP_COMPRESS=1 environment.
         let outcome = TwoPcp::new(
             TwoPcpConfig::new(2)
+                .compress_off()
                 .parts(vec![2])
                 .max_virtual_iters(30)
                 .tol(1e-6)

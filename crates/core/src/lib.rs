@@ -66,10 +66,13 @@ pub use phase1::{
     run_phase1_sparse, Phase1Result,
 };
 pub use phase2::{refine, RefineOutcome, RefineStats};
-pub use pq::{PqCache, QHadamardScratch};
+pub use pq::{PqCache, QHadamardScratch, QHadamardStats};
 pub use swapsim::{simulate_swaps, unit_bytes, SwapReport, SwapSimConfig};
-// Re-exported so prefetch and the kernel backend can be configured
-// without importing `tpcp-storage` / `tpcp-linalg` directly.
+// Re-exported so prefetch, the kernel backend and the compression
+// pipeline can be configured without importing `tpcp-storage` /
+// `tpcp-linalg` / `tpcp-cp` / `tpcp-compress` directly.
+pub use tpcp_compress::CompressProvenance;
+pub use tpcp_cp::{CompressOptions, COMPRESS_ENV_VAR};
 pub use tpcp_linalg::{KernelKind, KERNEL_ENV_VAR};
 pub use tpcp_storage::PrefetchConfig;
 
@@ -137,6 +140,15 @@ impl From<tpcp_tensor::TensorError> for TwoPcpError {
 impl From<tpcp_cp::CpError> for TwoPcpError {
     fn from(e: tpcp_cp::CpError) -> Self {
         TwoPcpError::Cp(e)
+    }
+}
+impl From<tpcp_compress::CompressError> for TwoPcpError {
+    fn from(e: tpcp_compress::CompressError) -> Self {
+        match e {
+            tpcp_compress::CompressError::Cp(inner) => TwoPcpError::Cp(inner),
+            tpcp_compress::CompressError::Source(inner) => TwoPcpError::Ingest(inner),
+            tpcp_compress::CompressError::Unsupported { reason } => TwoPcpError::Config { reason },
+        }
     }
 }
 impl From<tpcp_storage::StorageError> for TwoPcpError {

@@ -29,8 +29,18 @@
 //! f64 fit
 //! u16 sched_len, schedule abbreviation (UTF-8, e.g. "HO")
 //! u32 parts_len, u64 × parts_len   phase-1 grid provenance
+//! -- version 2 only (compression provenance) --
+//! u32 mlrank_len, u64 × mlrank_len   requested per-mode rank caps
+//! f64 energy                          retained ‖X‖² fraction
+//! u32 core_len, u64 × core_len        compressed core shape
+//! -- end version 2 --
 //! f64 × rank    component weights λ
 //! ```
+//!
+//! Version 1 containers have no compression section; [`Model::to_bytes`]
+//! still writes version 1 whenever the model carries no compression
+//! provenance, so artifacts from the default pipeline are byte-for-byte
+//! what they were before version 2 existed, and old files keep loading.
 //!
 //! Factor matrices ride as ordinary codec-v2 pages — the same
 //! checksummed, bulk-copy format the unit stores swap — so the reader is
@@ -46,6 +56,7 @@
 use crate::{config::TwoPcpConfig, driver::TwoPcpOutcome, Result, TwoPcpError};
 use std::io::Write;
 use std::path::Path;
+use tpcp_compress::CompressProvenance;
 use tpcp_cp::CpModel;
 use tpcp_linalg::Mat;
 use tpcp_schedule::UnitId;
@@ -53,8 +64,11 @@ use tpcp_storage::{codec, mmap_auto, UnitData};
 
 /// Magic bytes opening a model container.
 pub const MODEL_MAGIC: &[u8; 8] = b"2PCPMODL";
-/// Container format version written by [`Model::save`].
-pub const MODEL_VERSION: u32 = 1;
+/// Newest container format version. [`Model::save`] writes version 2 only
+/// when the model carries compression provenance; plain models stay
+/// version 1 (bitwise identical to pre-v2 artifacts). The reader accepts
+/// both.
+pub const MODEL_VERSION: u32 = 2;
 /// Conventional file extension for saved models.
 pub const MODEL_EXT: &str = "2pcpm";
 
@@ -82,6 +96,11 @@ pub struct ModelMeta {
     pub schedule: String,
     /// Phase-1 grid provenance: partitions per mode.
     pub parts: Vec<usize>,
+    /// Compression provenance (requested mlrank caps, retained energy,
+    /// core shape) when the model came from the compress-then-decompose
+    /// pipeline; `None` for the two-phase path. Serialised only in
+    /// version-2 containers.
+    pub compress: Option<CompressProvenance>,
 }
 
 /// A saved/loadable decomposition: metadata plus the CP model itself.
@@ -135,6 +154,7 @@ impl Model {
                 fit: outcome.fit,
                 schedule: config.schedule.abbrev().to_string(),
                 parts: config.parts.clone(),
+                compress: outcome.compress.clone(),
             },
             cp: outcome.model.clone(),
         }
@@ -162,10 +182,17 @@ impl Model {
     /// Serialises the container into a byte vector (the exact bytes
     /// [`Model::save`] writes).
     pub fn to_bytes(&self) -> Vec<u8> {
+        // Plain models keep writing version 1, byte-for-byte what they
+        // were before the compression section existed.
+        let version: u32 = if self.meta.compress.is_none() {
+            1
+        } else {
+            MODEL_VERSION
+        };
         let meta = self.encode_meta();
         let mut out = Vec::with_capacity(meta.len() + 64);
         out.extend_from_slice(MODEL_MAGIC);
-        out.extend_from_slice(&MODEL_VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
         out.extend_from_slice(&meta);
         let sum = codec::fnv1a(&out);
@@ -246,9 +273,9 @@ impl Model {
             return Err(model_err("bad magic: not a 2PCP model container"));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != MODEL_VERSION {
+        if version == 0 || version > MODEL_VERSION {
             return Err(model_err(format!(
-                "unsupported container version {version} (expected {MODEL_VERSION})"
+                "unsupported container version {version} (expected 1..={MODEL_VERSION})"
             )));
         }
         let meta_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
@@ -268,7 +295,7 @@ impl Model {
                 "metadata checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
             )));
         }
-        let meta = decode_meta(&bytes[16..meta_end])?;
+        let meta = decode_meta(&bytes[16..meta_end], version)?;
 
         // Factor pages: length-prefixed, 8-aligned, one per mode.
         let mut pos = align8(meta_end + 8);
@@ -326,6 +353,17 @@ impl Model {
         out.extend_from_slice(&(m.parts.len() as u32).to_le_bytes());
         for &p in &m.parts {
             out.extend_from_slice(&(p as u64).to_le_bytes());
+        }
+        if let Some(c) = &m.compress {
+            out.extend_from_slice(&(c.mlrank.len() as u32).to_le_bytes());
+            for &r in &c.mlrank {
+                out.extend_from_slice(&(r as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&c.energy.to_le_bytes());
+            out.extend_from_slice(&(c.core_shape.len() as u32).to_le_bytes());
+            for &d in &c.core_shape {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
         }
         for &w in &self.cp.weights {
             out.extend_from_slice(&w.to_le_bytes());
@@ -552,7 +590,7 @@ impl<'a> MetaReader<'a> {
     }
 }
 
-fn decode_meta(bytes: &[u8]) -> Result<ModelMeta> {
+fn decode_meta(bytes: &[u8], version: u32) -> Result<ModelMeta> {
     let mut r = MetaReader { bytes, pos: 0 };
     let name = r.string()?;
     let rank = r.u32()?;
@@ -578,6 +616,36 @@ fn decode_meta(bytes: &[u8]) -> Result<ModelMeta> {
     let parts: Vec<usize> = (0..parts_len)
         .map(|_| r.u64().map(|p| p as usize))
         .collect::<Result<_>>()?;
+    // Version 2 inserts the compression provenance section here; version 1
+    // has none (plain two-phase model).
+    let compress = if version >= 2 {
+        let mlrank_len = r.u32()?;
+        if mlrank_len > MAX_ORDER {
+            return Err(model_err(format!(
+                "metadata mlrank count {mlrank_len} out of range"
+            )));
+        }
+        let mlrank: Vec<usize> = (0..mlrank_len)
+            .map(|_| r.u64().map(|v| v as usize))
+            .collect::<Result<_>>()?;
+        let energy = r.f64()?;
+        let core_len = r.u32()?;
+        if core_len > MAX_ORDER {
+            return Err(model_err(format!(
+                "metadata core-shape count {core_len} out of range"
+            )));
+        }
+        let core_shape: Vec<usize> = (0..core_len)
+            .map(|_| r.u64().map(|v| v as usize))
+            .collect::<Result<_>>()?;
+        Some(CompressProvenance {
+            mlrank,
+            energy,
+            core_shape,
+        })
+    } else {
+        None
+    };
     // The weights follow; their arity is checked by `meta_weights`.
     Ok(ModelMeta {
         name,
@@ -587,6 +655,7 @@ fn decode_meta(bytes: &[u8]) -> Result<ModelMeta> {
         fit,
         schedule,
         parts,
+        compress,
     })
 }
 
@@ -627,10 +696,21 @@ mod tests {
                 fit: 0.93,
                 schedule: "HO".into(),
                 parts: vec![2, 2, 2],
+                compress: None,
             },
             cp,
         )
         .unwrap()
+    }
+
+    fn compressed_model() -> Model {
+        let mut m = sample_model();
+        m.meta.compress = Some(CompressProvenance {
+            mlrank: vec![4, 4, 3],
+            energy: 0.9987,
+            core_shape: vec![3, 3, 3],
+        });
+        m
     }
 
     #[test]
@@ -638,6 +718,39 @@ mod tests {
         let m = sample_model();
         let again = Model::from_bytes(&m.to_bytes()).unwrap();
         assert_eq!(m, again);
+    }
+
+    #[test]
+    fn plain_models_still_write_version_1() {
+        let bytes = sample_model().to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn compressed_models_roundtrip_as_version_2() {
+        let m = compressed_model();
+        let bytes = m.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 2);
+        let again = Model::from_bytes(&bytes).unwrap();
+        assert_eq!(m, again);
+        let c = again.meta.compress.unwrap();
+        assert_eq!(c.core_shape, vec![3, 3, 3]);
+        assert!((c.energy - 0.9987).abs() < 1e-15);
+    }
+
+    #[test]
+    fn version_1_containers_without_provenance_still_load() {
+        // A version-1 container is exactly what a pre-compression build
+        // wrote; the loader must keep accepting it and report no
+        // provenance.
+        let bytes = sample_model().to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        let loaded = Model::from_bytes(&bytes).unwrap();
+        assert!(loaded.meta.compress.is_none());
+        // Future versions are rejected, not misparsed.
+        let mut future = bytes;
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(Model::from_bytes(&future).is_err());
     }
 
     #[test]

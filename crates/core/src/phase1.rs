@@ -88,6 +88,10 @@ fn als_options(cfg: &TwoPcpConfig, block_seed: u64) -> AlsOptions {
         par: ParConfig::serial(),
         kernel: cfg.kernel,
         dimtree: cfg.dimtree,
+        // Per-block tensors are already small; compressing them would be
+        // pure overhead. Compression applies to the whole decomposition via
+        // the driver (`TwoPcpConfig::compress`), never per Phase-1 block.
+        compress: None,
     }
 }
 

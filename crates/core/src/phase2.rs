@@ -21,7 +21,7 @@
 //!   with the pipeline on or off; only [`IoStats::stall_ns`] shrinks.
 
 use crate::config::TwoPcpConfig;
-use crate::pq::{PqCache, QHadamardScratch};
+use crate::pq::{PqCache, QHadamardScratch, QHadamardStats};
 use crate::update::{commit_sub_factor_update, compute_sub_factor_update};
 use crate::Result;
 use tpcp_cp::CpModel;
@@ -47,6 +47,9 @@ pub struct RefineStats {
     /// (`⌈cycle/ΣKᵢ⌉`) — the cold-start window to exclude when reporting
     /// steady-state swaps.
     pub warmup_iterations: usize,
+    /// Hotness of the `Q`-Hadamard fold across every sub-factor update
+    /// (calls + wall ns; ROADMAP item 3's "measure first" question).
+    pub q_hadamard: QHadamardStats,
 }
 
 impl RefineStats {
@@ -275,6 +278,7 @@ pub fn refine<S: UnitStore + PrefetchSource>(
             virtual_iterations: iterations,
             converged,
             warmup_iterations: (cycle_updates as usize).div_ceil(vlen as usize),
+            q_hadamard: q_scratch.stats(),
         },
         store,
     })
@@ -420,6 +424,8 @@ mod tests {
             outcome.stats.io.fetches
         );
         assert!(outcome.stats.steady_swaps_per_iteration() > 0.0);
+        // Every sub-factor update folds Q once per block of its slab.
+        assert!(outcome.stats.q_hadamard.calls > 0);
     }
 
     #[test]

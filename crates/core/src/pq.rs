@@ -11,9 +11,28 @@
 //! paper's memory accounting (§IV-A counts only `A` and `U` data).
 
 use crate::{Result, TwoPcpError};
+use std::time::Instant;
 use tpcp_linalg::{hadamard_all, Mat};
 use tpcp_partition::Grid;
 use tpcp_schedule::UnitId;
+
+/// Hotness counters for the `Q`-Hadamard fold of the refine loop
+/// (ROADMAP item 3 asks whether `q_hadamard` is ever hot enough to
+/// justify a phase-2 dimension tree; these counters answer it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QHadamardStats {
+    /// Calls to [`PqCache::q_hadamard_excluding_cached`].
+    pub calls: u64,
+    /// Wall time spent inside those calls, in nanoseconds.
+    pub ns: u64,
+}
+
+impl QHadamardStats {
+    /// Total fold time in milliseconds.
+    pub fn ms(&self) -> f64 {
+        self.ns as f64 / 1e6
+    }
+}
 
 /// Reusable fold-prefix scratch for
 /// [`PqCache::q_hadamard_excluding_cached`].
@@ -28,6 +47,8 @@ pub struct QHadamardScratch {
     keys: Vec<usize>,
     /// `partials[i]` = Hadamard fold of `q[keys[0..=i]]`.
     partials: Vec<Mat>,
+    /// Lifetime call/time counters (survive [`QHadamardScratch::clear`]).
+    stats: QHadamardStats,
 }
 
 impl QHadamardScratch {
@@ -37,9 +58,15 @@ impl QHadamardScratch {
     }
 
     /// Drops every cached prefix (required whenever a `Q` entry changes).
+    /// Hotness counters are *not* reset — they tally the whole run.
     pub fn clear(&mut self) {
         self.keys.clear();
         self.partials.clear();
+    }
+
+    /// Accumulated call/time counters.
+    pub fn stats(&self) -> QHadamardStats {
+        self.stats
     }
 }
 
@@ -142,6 +169,7 @@ impl PqCache {
         mode: usize,
         scratch: &mut QHadamardScratch,
     ) -> Result<Mat> {
+        let start = Instant::now();
         let keys: Vec<usize> = (0..self.order)
             .filter(|&h| h != mode)
             .map(|h| UnitId::new(h, coords[h]).linear(grid))
@@ -165,11 +193,14 @@ impl PqCache {
             scratch.keys.push(key);
             scratch.partials.push(next);
         }
-        match scratch.partials.last() {
-            Some(m) => Ok(m.clone()),
+        let out = match scratch.partials.last() {
+            Some(m) => m.clone(),
             // An order-1 grid excludes every mode; match `hadamard_all(&[])`.
-            None => Ok(Mat::zeros(0, 0)),
-        }
+            None => Mat::zeros(0, 0),
+        };
+        scratch.stats.calls += 1;
+        scratch.stats.ns += start.elapsed().as_nanos() as u64;
+        Ok(out)
     }
 
     /// Surrogate fit of the current global factors against the Phase-1

@@ -51,6 +51,7 @@ fn models() -> impl Strategy<Value = Model> {
                     fit,
                     schedule: "HO".into(),
                     parts,
+                    compress: None,
                 },
                 CpModel::new(weights, factors).unwrap(),
             )

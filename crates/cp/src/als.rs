@@ -1,5 +1,6 @@
 //! The alternating-least-squares driver.
 
+use crate::compress::{validate_compress_options, CompressOptions};
 use crate::dimtree::{dimtree_auto, DimTree};
 use crate::model::fit_from_parts;
 use crate::{mttkrp_dense_kernel, mttkrp_sparse_par, CpError, CpModel, Result};
@@ -40,6 +41,14 @@ pub struct AlsOptions {
     /// per-mode path — see `docs/dimtree.md`. Ignored for sparse tensors
     /// and order < 3. The default honours `TPCP_DIMTREE`.
     pub dimtree: bool,
+    /// Compress-then-decompose knobs carried to the `tpcp-compress` entry
+    /// points and the `twopcp` driver. Plain [`cp_als_dense`] /
+    /// [`cp_als_sparse`] ignore this field — it is plumbing, not a mode
+    /// switch of the per-mode ALS loop itself (see `docs/compress.md`).
+    /// The default is `None` (exact path); `TPCP_COMPRESS` is honoured by
+    /// the driver-level config, not here, so library-level ALS behaviour
+    /// never changes under the environment toggle.
+    pub compress: Option<CompressOptions>,
 }
 
 impl Default for AlsOptions {
@@ -54,6 +63,7 @@ impl Default for AlsOptions {
             par: ParConfig::auto(),
             kernel: KernelKind::Auto,
             dimtree: dimtree_auto(),
+            compress: None,
         }
     }
 }
@@ -140,6 +150,14 @@ impl AlsOptionsBuilder {
         self
     }
 
+    /// Attaches compress-then-decompose knobs (validated at
+    /// [`build`](AlsOptionsBuilder::build); consumed by the
+    /// `tpcp-compress` entry points, ignored by plain ALS).
+    pub fn compress(mut self, compress: CompressOptions) -> Self {
+        self.options.compress = Some(compress);
+        self
+    }
+
     /// Validates and produces the options.
     ///
     /// # Errors
@@ -166,6 +184,9 @@ impl AlsOptionsBuilder {
                     ),
                 });
             }
+        }
+        if let Some(compress) = &o.compress {
+            validate_compress_options(compress)?;
         }
         Ok(self.options)
     }
@@ -663,6 +684,48 @@ mod tests {
             },
         )
         .unwrap();
+        assert_eq!(with.fit_trace, without.fit_trace);
+    }
+
+    #[test]
+    fn builder_carries_and_validates_compress() {
+        let opts = AlsOptions::builder()
+            .rank(3)
+            .compress(CompressOptions::default())
+            .build()
+            .unwrap();
+        assert_eq!(opts.compress, Some(CompressOptions::default()));
+        // Invalid embedded compress options fail the ALS builder too.
+        let bad = AlsOptions::builder()
+            .rank(3)
+            .compress(CompressOptions {
+                energy: 2.0,
+                ..CompressOptions::default()
+            })
+            .build();
+        assert!(matches!(bad, Err(CpError::BadOptions { .. })));
+    }
+
+    #[test]
+    fn compress_field_is_inert_for_plain_als() {
+        // The field is plumbing for tpcp-compress; the per-mode loop must
+        // produce bitwise-identical results with and without it.
+        let t = low_rank_tensor(&[5, 4, 3], 2, 0.1, 21);
+        let base = AlsOptions {
+            rank: 2,
+            max_iters: 8,
+            tol: 0.0,
+            ..Default::default()
+        };
+        let with = cp_als_dense(
+            &t,
+            &AlsOptions {
+                compress: Some(CompressOptions::default()),
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        let without = cp_als_dense(&t, &base).unwrap();
         assert_eq!(with.fit_trace, without.fit_trace);
     }
 

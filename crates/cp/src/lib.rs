@@ -15,11 +15,16 @@
 //! `accuracy(X, X̃) = 1 − ‖X̃ − X‖ / ‖X‖` (the "fit").
 
 mod als;
+mod compress;
 mod dimtree;
 mod model;
 mod mttkrp;
 
 pub use als::{cp_als_dense, cp_als_sparse, AlsOptions, AlsOptionsBuilder, AlsReport};
+pub use compress::{
+    compress_auto, validate_compress_options, CompressOptions, CompressOptionsBuilder,
+    COMPRESS_ENV_VAR,
+};
 pub use dimtree::{dimtree_auto, per_mode_sweep_flops, DimTree, SweepSequence, DIMTREE_ENV_VAR};
 pub use model::CpModel;
 pub use mttkrp::{
@@ -41,6 +46,11 @@ pub enum CpError {
         /// Explanation of the inconsistency.
         reason: String,
     },
+    /// An options struct failed validation (e.g. [`CompressOptions`]).
+    BadOptions {
+        /// Explanation of the invalid setting.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CpError {
@@ -50,6 +60,7 @@ impl std::fmt::Display for CpError {
             CpError::Tensor(e) => write!(f, "tensor error: {e}"),
             CpError::ZeroRank => write!(f, "decomposition rank must be positive"),
             CpError::BadFactors { reason } => write!(f, "bad factors: {reason}"),
+            CpError::BadOptions { reason } => write!(f, "bad options: {reason}"),
         }
     }
 }

@@ -127,6 +127,193 @@ pub fn solve_gram_system(t: &Mat, s: &Mat, ridge: f64) -> Result<Mat> {
     Err(LinalgError::Singular)
 }
 
+/// Maximum number of row-cyclic sweeps [`sym_eig`] performs before giving
+/// up on annihilating the off-diagonal mass. Jacobi converges quadratically
+/// once rotations get small, so well-formed Gram inputs finish in a handful
+/// of sweeps; the cap only guards pathological (yet finite) inputs.
+const JACOBI_MAX_SWEEPS: usize = 64;
+
+/// Symmetric eigendecomposition by the row-cyclic Jacobi method.
+///
+/// Returns `(λ, V)` with the eigenvalues sorted descending (ties broken by
+/// original diagonal position) and the columns of `V` holding the matching
+/// orthonormal eigenvectors, so `S ≈ V · diag(λ) · Vᵀ`. The input is read
+/// as symmetric: only the upper triangle drives the rotations.
+///
+/// Determinism: the sweep order is fixed (row-cyclic over the upper
+/// triangle), the routine is single-threaded, and the final sort is stable,
+/// so the result is bit-identical run to run and independent of both the
+/// thread budget and the kernel backend.
+///
+/// # Errors
+/// [`LinalgError::NotSquare`] for non-square input and
+/// [`LinalgError::Singular`] when the input contains non-finite values.
+pub fn sym_eig(s: &Mat) -> Result<(Vec<f64>, Mat)> {
+    let n = s.rows();
+    if s.cols() != n {
+        return Err(LinalgError::NotSquare { shape: s.shape() });
+    }
+    if s.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(LinalgError::Singular);
+    }
+    let mut a = s.clone();
+    let mut v = Mat::identity(n);
+    // Convergence scale: total Frobenius mass of the input. An all-zero
+    // matrix is already diagonal.
+    let total_sq: f64 = a.as_slice().iter().map(|x| x * x).sum();
+    let off_tol = total_sq * 1e-28;
+    for _sweep in 0..JACOBI_MAX_SWEEPS {
+        let mut off_sq = 0.0;
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = a.get(p, q);
+                off_sq += 2.0 * apq * apq;
+            }
+        }
+        if off_sq <= off_tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = a.get(p, q);
+                if apq == 0.0 {
+                    continue;
+                }
+                // Classic two-sided rotation choosing |φ| ≤ π/4.
+                let theta = (a.get(q, q) - a.get(p, p)) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (theta * theta + 1.0).sqrt())
+                } else {
+                    -1.0 / (-theta + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let sn = t * c;
+                // Rotate rows p and q, then columns p and q, of `a`.
+                for k in 0..n {
+                    let akp = a.get(p, k);
+                    let akq = a.get(q, k);
+                    a.set(p, k, c * akp - sn * akq);
+                    a.set(q, k, sn * akp + c * akq);
+                }
+                for k in 0..n {
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - sn * akq);
+                    a.set(k, q, sn * akp + c * akq);
+                }
+                // Accumulate the rotation into the eigenvector columns.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - sn * vkq);
+                    v.set(k, q, sn * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    // Stable descending sort of (eigenvalue, original index), then permute
+    // the eigenvector columns to match.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        a.get(j, j)
+            .partial_cmp(&a.get(i, i))
+            .expect("finite input yields finite eigenvalues")
+            .then(i.cmp(&j))
+    });
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| a.get(i, i)).collect();
+    let mut vectors = Mat::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        for k in 0..n {
+            vectors.set(k, dst, v.get(k, src));
+        }
+    }
+    Ok((eigenvalues, vectors))
+}
+
+/// One Cholesky-QR step: `A = Q·R` with `R = Lᵀ` from `chol(AᵀA)`, so
+/// `Q = A·L⁻ᵀ` (row `r` of `Q` solves `L·qᵀ = aᵀ` by forward
+/// substitution). A rank-deficient Gram is stabilised with an escalating
+/// ridge — the orthogonality defect this introduces is exactly what the
+/// second CholeskyQR2 pass repairs.
+fn chol_qr_step(a: &Mat) -> Result<Mat> {
+    let g = a.gram();
+    let k = g.rows();
+    if k == 0 {
+        return Ok(a.clone());
+    }
+    let trace: f64 = (0..k).map(|i| g.get(i, i)).sum();
+    if !trace.is_finite() {
+        return Err(LinalgError::Singular);
+    }
+    let scale = if trace > 0.0 { trace / k as f64 } else { 1.0 };
+    let mut lambda = 0.0;
+    let mut next_lambda = 1e-14 * scale;
+    for _attempt in 0..24 {
+        let mut reg = g.clone();
+        if lambda > 0.0 {
+            for i in 0..k {
+                let v = reg.get(i, i) + lambda;
+                reg.set(i, i, v);
+            }
+        }
+        match cholesky(&reg) {
+            Ok(l) => {
+                let mut q = a.clone();
+                let mut row = vec![0.0; k];
+                for r in 0..q.rows() {
+                    row.copy_from_slice(q.row(r));
+                    // Forward substitution: L y = aᵣ.
+                    for i in 0..k {
+                        let mut sum = row[i];
+                        for j in 0..i {
+                            sum -= l.get(i, j) * row[j];
+                        }
+                        row[i] = sum / l.get(i, i);
+                    }
+                    q.row_mut(r).copy_from_slice(&row);
+                }
+                return Ok(q);
+            }
+            Err(_) => {
+                lambda = next_lambda;
+                next_lambda *= 10.0;
+            }
+        }
+    }
+    Err(LinalgError::Singular)
+}
+
+impl Mat {
+    /// Orthonormalises the columns via CholeskyQR2: two rounds of
+    /// `Q ← A · chol(AᵀA)⁻ᵀ`. One round loses up to `κ(A)²` digits of
+    /// orthogonality; the second round applied to the already
+    /// well-conditioned `Q₁` restores `QᵀQ ≈ I` to working precision —
+    /// the standard CholeskyQR2 scheme.
+    ///
+    /// `self` is `m×k` with `m ≥ k`; the result spans the same column
+    /// space. Mildly rank-deficient inputs are stabilised with an
+    /// escalating ridge on the Gram (the second pass repairs the defect).
+    /// Deterministic across thread budgets and kernel backends because
+    /// [`Mat::gram`] is bitwise thread- and backend-invariant and the
+    /// substitutions are serial.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] when `rows < cols` (no orthonormal
+    /// basis of that width exists) and [`LinalgError::Singular`] when even
+    /// heavy regularisation cannot factor the Gram (non-finite input).
+    pub fn orthonormalize(&self) -> Result<Mat> {
+        if self.rows() < self.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "orthonormalize",
+                lhs: self.shape(),
+                rhs: (self.cols(), self.cols()),
+            });
+        }
+        let q1 = chol_qr_step(self)?;
+        chol_qr_step(&q1)
+    }
+}
+
 /// Solves the general square system `A x = b` by LU with partial pivoting.
 ///
 /// Used in tests and by the HaTen2 baseline's local solve step.
@@ -287,6 +474,88 @@ mod tests {
     fn solve_gram_system_empty_rank() {
         let x = solve_gram_system(&Mat::zeros(3, 0), &Mat::zeros(0, 0), 1e-10).unwrap();
         assert_eq!(x.shape(), (3, 0));
+    }
+
+    #[test]
+    fn sym_eig_reconstructs_spd() {
+        let s = spd3();
+        let (lambda, v) = sym_eig(&s).unwrap();
+        // Descending order.
+        assert!(lambda.windows(2).all(|w| w[0] >= w[1]));
+        // V·Λ·Vᵀ ≈ S.
+        let mut vl = v.clone();
+        vl.scale_columns(&lambda);
+        let back = vl.matmul_t(&v).unwrap();
+        assert!(back.max_abs_diff(&s).unwrap() < 1e-10);
+        // VᵀV ≈ I.
+        let eye = v.gram();
+        assert!(eye.max_abs_diff(&Mat::identity(3)).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn sym_eig_known_eigenvalues() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let s = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let (lambda, _) = sym_eig(&s).unwrap();
+        assert!((lambda[0] - 3.0).abs() < 1e-12);
+        assert!((lambda[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sym_eig_diagonal_passthrough() {
+        let s = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 5.0]]);
+        let (lambda, v) = sym_eig(&s).unwrap();
+        assert_eq!(lambda, vec![5.0, 1.0]);
+        // Columns are permuted unit vectors.
+        assert_eq!(v.get(1, 0).abs(), 1.0);
+        assert_eq!(v.get(0, 1).abs(), 1.0);
+    }
+
+    #[test]
+    fn sym_eig_rejects_bad_input() {
+        assert!(matches!(
+            sym_eig(&Mat::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let s = Mat::from_rows(&[&[f64::NAN]]);
+        assert_eq!(sym_eig(&s).unwrap_err(), LinalgError::Singular);
+    }
+
+    #[test]
+    fn sym_eig_is_bitwise_repeatable() {
+        let s = spd3();
+        let (l1, v1) = sym_eig(&s).unwrap();
+        let (l2, v2) = sym_eig(&s).unwrap();
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&l1), bits(&l2));
+        assert_eq!(bits(v1.as_slice()), bits(v2.as_slice()));
+    }
+
+    #[test]
+    fn orthonormalize_tall_matrix() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[3.0, -1.0], &[0.5, 0.5]]);
+        let q = a.orthonormalize().unwrap();
+        assert_eq!(q.shape(), a.shape());
+        assert!(q.gram().max_abs_diff(&Mat::identity(2)).unwrap() < 1e-12);
+        // Same column space: projecting A onto Q recovers A.
+        let back = q.matmul(&q.t_matmul(&a).unwrap()).unwrap();
+        assert!(back.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn orthonormalize_rank_deficient_still_orthonormal() {
+        // Column 2 = column 1: the ridge path must still yield QᵀQ ≈ I.
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let q = a.orthonormalize().unwrap();
+        assert!(q.gram().max_abs_diff(&Mat::identity(2)).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn orthonormalize_rejects_wide() {
+        assert!(matches!(
+            Mat::zeros(2, 3).orthonormalize(),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

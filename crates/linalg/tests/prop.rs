@@ -153,6 +153,78 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Jacobi eigendecomposition: `S ≈ V·Λ·Vᵀ`, `VᵀV ≈ I`, eigenvalues
+    /// descending — on comfortably-conditioned random Gram matrices.
+    #[test]
+    fn sym_eig_reconstructs(
+        basis in (2usize..6).prop_flat_map(|n| (
+            proptest::collection::vec(-3.0f64..3.0, (n + 2) * n)
+                .prop_map(move |d| Mat::from_vec(n + 2, n, d)),
+        )))
+    {
+        let (basis,) = basis;
+        let mut s = basis.gram();
+        s.add_assign(&Mat::identity(s.rows())).unwrap();
+        let (lambda, v) = solve::sym_eig(&s).unwrap();
+        prop_assert!(lambda.windows(2).all(|w| w[0] >= w[1]));
+        let mut vl = v.clone();
+        vl.scale_columns(&lambda);
+        let back = vl.matmul_t(&v).unwrap();
+        prop_assert!(back.max_abs_diff(&s).unwrap() < 1e-8);
+        let eye = v.gram();
+        prop_assert!(eye.max_abs_diff(&Mat::identity(s.rows())).unwrap() < 1e-10);
+    }
+
+    /// CholeskyQR2: `QᵀQ ≈ I` to working precision and `Q` spans the same
+    /// column space (`Q·QᵀA ≈ A`), on full-column-rank tall inputs (an
+    /// appended identity block guarantees the rank).
+    #[test]
+    fn orthonormalize_is_orthonormal_and_spanning(
+        a in (1usize..6, 2usize..8).prop_flat_map(|(k, extra)| (
+            proptest::collection::vec(-5.0f64..5.0, (k + extra) * k)
+                .prop_map(move |d| {
+                    let top = Mat::from_vec(k + extra, k, d);
+                    Mat::vstack(&[&top, &Mat::identity(k)])
+                }),
+        )))
+    {
+        let (a,) = a;
+        let q = a.orthonormalize().unwrap();
+        prop_assert_eq!(q.shape(), a.shape());
+        prop_assert!(q.gram().max_abs_diff(&Mat::identity(a.cols())).unwrap() < 1e-12);
+        let back = q.matmul(&q.t_matmul(&a).unwrap()).unwrap();
+        prop_assert!(back.max_abs_diff(&a).unwrap() < 1e-8);
+    }
+
+    /// Both routines are serial (Jacobi) or built on bitwise
+    /// thread/backend-invariant products (`gram`), so repeated runs must
+    /// agree bit for bit — the determinism leg of the contract.
+    #[test]
+    fn eig_and_orthonormalize_are_bitwise_repeatable(
+        a in (2usize..5, 1usize..4).prop_flat_map(|(k, extra)| (
+            proptest::collection::vec(-4.0f64..4.0, (k + extra) * k)
+                .prop_map(move |d| Mat::from_vec(k + extra, k, d)),
+        )))
+    {
+        let (a,) = a;
+        let s = {
+            let mut s = a.gram();
+            s.add_assign(&Mat::identity(a.cols())).unwrap();
+            s
+        };
+        let (l1, v1) = solve::sym_eig(&s).unwrap();
+        let (l2, v2) = solve::sym_eig(&s).unwrap();
+        prop_assert_eq!(mat_bits(&v1), mat_bits(&v2));
+        let lb = |l: &[f64]| l.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(lb(&l1), lb(&l2));
+        let tall = Mat::vstack(&[&a, &Mat::identity(a.cols())]);
+        let q1 = tall.orthonormalize().unwrap();
+        let q2 = tall.orthonormalize().unwrap();
+        prop_assert_eq!(mat_bits(&q1), mat_bits(&q2));
+    }
+}
+
 /// Bitwise results of a matrix as a u64 vector (exact FP comparison).
 fn mat_bits(m: &Mat) -> Vec<u64> {
     m.as_slice().iter().map(|v| v.to_bits()).collect()

@@ -106,6 +106,13 @@ fn run_smoke(client: &mut Client, verify: Option<&str>) {
     let meta = client
         .meta(&name)
         .unwrap_or_else(|e| fail(format!("MODEL_META: {e}")));
+    match &meta.compress {
+        Some(c) => println!(
+            "smoke: compressed model — mlrank {:?}, core {:?}, retained energy {:.4}",
+            c.mlrank, c.core_shape, c.energy
+        ),
+        None => println!("smoke: two-phase model (no compression provenance)"),
+    }
     let order = meta.dims.len();
     if order < 2 {
         fail("smoke needs an order >= 2 model");

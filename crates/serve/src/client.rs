@@ -10,6 +10,7 @@ use crate::protocol::{
     enc, read_frame, write_frame, Dec, Opcode, ProtoError, Result, Status, MAX_RESPONSE_PAYLOAD,
 };
 use std::net::TcpStream;
+use twopcp::CompressProvenance;
 
 /// MODEL_META decoded.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,6 +31,9 @@ pub struct MetaReport {
     pub schedule: String,
     /// Phase-1 grid provenance.
     pub parts: Vec<usize>,
+    /// Compression provenance (`None` for two-phase models, and when the
+    /// answering server predates the provenance tail).
+    pub compress: Option<CompressProvenance>,
 }
 
 /// One opcode's row in a STATS response.
@@ -150,6 +154,26 @@ impl Client {
         let parts = (0..n_parts)
             .map(|_| d.u64().map(|v| v as usize))
             .collect::<Result<Vec<_>>>()?;
+        // Versioned tail: absent on servers predating compression
+        // provenance, flag byte + fields since.
+        let compress = if d.remaining() > 0 && d.u8()? == 1 {
+            let n = d.u32()?;
+            let mlrank = (0..n)
+                .map(|_| d.u64().map(|v| v as usize))
+                .collect::<Result<Vec<_>>>()?;
+            let energy = d.f64()?;
+            let n = d.u32()?;
+            let core_shape = (0..n)
+                .map(|_| d.u64().map(|v| v as usize))
+                .collect::<Result<Vec<_>>>()?;
+            Some(CompressProvenance {
+                mlrank,
+                energy,
+                core_shape,
+            })
+        } else {
+            None
+        };
         d.finish()?;
         Ok(MetaReport {
             name,
@@ -160,6 +184,7 @@ impl Client {
             fit,
             schedule,
             parts,
+            compress,
         })
     }
 

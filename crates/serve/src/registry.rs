@@ -138,6 +138,7 @@ mod tests {
                 fit: 1.0,
                 schedule: "HO".into(),
                 parts: vec![1],
+                compress: None,
             },
             cp,
         )

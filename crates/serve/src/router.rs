@@ -237,6 +237,24 @@ fn meta_response(entry: &ModelEntry) -> QueryResult {
     for &p in &m.parts {
         enc::u64(&mut out, p as u64);
     }
+    // Versioned tail: compression provenance (flag byte + fields). Old
+    // clients stop before the tail; new clients treat its absence (an old
+    // server) as "no provenance".
+    match &m.compress {
+        Some(c) => {
+            out.push(1);
+            enc::u32(&mut out, c.mlrank.len() as u32);
+            for &r in &c.mlrank {
+                enc::u64(&mut out, r as u64);
+            }
+            enc::f64(&mut out, c.energy);
+            enc::u32(&mut out, c.core_shape.len() as u32);
+            for &d in &c.core_shape {
+                enc::u64(&mut out, d as u64);
+            }
+        }
+        None => out.push(0),
+    }
     Ok(out)
 }
 

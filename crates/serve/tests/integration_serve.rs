@@ -31,6 +31,7 @@ fn make_model(seed: u64) -> Model {
             fit: 0.95,
             schedule: "HO".into(),
             parts: vec![2],
+            compress: None,
         },
         CpModel::new(vec![2.0, 1.0, 0.5], factors).unwrap(),
     )
@@ -205,6 +206,27 @@ fn concurrent_clients_bitwise_match_across_hot_swap() {
     assert!(stats.generation >= 2, "reload did not bump the generation");
 
     admin.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn compression_provenance_roundtrips_over_model_meta() {
+    let guard = temp_dir("meta");
+    let dir = guard.0.clone();
+    let mut model = make_model(13);
+    model.meta.compress = Some(twopcp::CompressProvenance {
+        mlrank: vec![4, 3, 2],
+        energy: 0.9987,
+        core_shape: vec![3, 3, 2],
+    });
+    model.save(dir.join("demo.2pcpm")).unwrap();
+    let (server, addr) = start(&dir, 4);
+
+    let mut c = Client::connect(&addr).unwrap();
+    let meta = c.meta("demo").unwrap();
+    assert_eq!(meta.compress, model.meta.compress);
+
+    c.shutdown().unwrap();
     server.join().unwrap();
 }
 

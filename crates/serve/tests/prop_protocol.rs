@@ -115,6 +115,7 @@ fn demo_model() -> Model {
             fit: 0.9,
             schedule: "HO".into(),
             parts: vec![1],
+            compress: None,
         },
         CpModel::new(vec![1.0, 0.5], factors).unwrap(),
     )

@@ -47,7 +47,9 @@ fn two_phase_matches_direct_als_fit() {
 #[test]
 fn disk_and_memory_stores_agree_bitwise() {
     let x = ensemble_like(&[12, 12, 12], 2, 0.05, 9);
+    // Pins the storage/refine machinery; opt out of TPCP_COMPRESS=1.
     let base = TwoPcpConfig::new(2)
+        .compress_off()
         .parts(vec![2])
         .schedule(ScheduleKind::HilbertOrder)
         .policy(PolicyKind::Forward)
@@ -84,7 +86,9 @@ fn mapreduce_phase1_agrees_with_threads() {
     let dir = std::env::temp_dir().join(format!("tpcp_it_mr_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
+    // Pins the MapReduce phase-1 substrate; opt out of TPCP_COMPRESS=1.
     let base = TwoPcpConfig::new(2)
+        .compress_off()
         .parts(vec![2])
         .max_virtual_iters(20)
         .tol(1e-6)
