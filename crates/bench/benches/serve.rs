@@ -19,7 +19,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 use tpcp_cp::CpModel;
 use tpcp_linalg::Mat;
-use tpcp_serve::{Client, ModelRegistry, ServeOptions, Server};
+use tpcp_serve::{request, BatchSub, Client, ModelRegistry, ServeOptions, Server, Status};
 use tpcp_tensor::random_factor;
 use twopcp::{Model, ModelMeta};
 
@@ -132,7 +132,112 @@ fn bench_opcodes(c: &mut Criterion, addr: &str) {
     group.finish();
 }
 
-fn write_artifact(addr: &str) {
+/// The BATCH workload size the artifact reports (the acceptance target:
+/// ≥5× the single-frame request rate at this size).
+const BATCH_SIZE: usize = 64;
+
+/// One mixed 64-sub workload: mostly GET_ENTRY with TOP_K sprinkled in,
+/// fresh coordinates derived from `base` so the cache never flatters a
+/// round.
+fn batch_workload(base: usize) -> Vec<BatchSub> {
+    (0..BATCH_SIZE)
+        .map(|j| {
+            let cs = coords(base * BATCH_SIZE + j);
+            if j % 4 == 3 {
+                request::top_k("bench", 0, &cs[1..], 8)
+            } else {
+                request::entry("bench", &cs)
+            }
+        })
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion, addr: &str) {
+    let mut group = c.benchmark_group("serve_batch");
+    group.sample_size(20);
+
+    let mut client = Client::connect(addr).unwrap();
+    let mut i = 0usize;
+
+    // The serial baseline: the same 64 requests as 64 single frames.
+    group.bench_function("single_64", |b| {
+        b.iter(|| {
+            i += 1;
+            for sub in batch_workload(i) {
+                black_box(client.pipeline(std::slice::from_ref(&sub)).unwrap());
+            }
+        });
+    });
+    // One BATCH envelope carrying all 64 (one round trip, grouped eval).
+    group.bench_function("batch_64", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(client.batch(&batch_workload(i)).unwrap())
+        });
+    });
+    // 64 single frames pipelined on the connection (many in flight).
+    group.bench_function("pipeline_64", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(client.pipeline(&batch_workload(i)).unwrap())
+        });
+    });
+    group.finish();
+}
+
+struct BatchSpeedup {
+    single_rps: f64,
+    batch_rps: f64,
+    pipeline_rps: f64,
+    bitwise_equal: bool,
+}
+
+/// Measures requests/sec of the three transports over identical mixed
+/// workloads, and checks one batched round bitwise against the serial
+/// path.
+fn measure_batch_speedup(addr: &str) -> BatchSpeedup {
+    const ROUNDS: usize = 30;
+    let mut client = Client::connect(addr).unwrap();
+
+    // Bitwise gate first: one workload through both paths.
+    let subs = batch_workload(900_000);
+    let batched = client.batch(&subs).unwrap();
+    let bitwise_equal = subs.iter().zip(&batched).all(|(sub, resp)| {
+        let serial = client.pipeline(std::slice::from_ref(sub)).unwrap();
+        resp.status == Status::Ok as u16
+            && serial[0].0 == resp.status
+            && serial[0].1 == resp.payload
+    });
+
+    let t = std::time::Instant::now();
+    for r in 0..ROUNDS {
+        for sub in batch_workload(1_000_000 + r) {
+            black_box(client.pipeline(std::slice::from_ref(&sub)).unwrap());
+        }
+    }
+    let single_rps = (ROUNDS * BATCH_SIZE) as f64 / t.elapsed().as_secs_f64();
+
+    let t = std::time::Instant::now();
+    for r in 0..ROUNDS {
+        black_box(client.batch(&batch_workload(2_000_000 + r)).unwrap());
+    }
+    let batch_rps = (ROUNDS * BATCH_SIZE) as f64 / t.elapsed().as_secs_f64();
+
+    let t = std::time::Instant::now();
+    for r in 0..ROUNDS {
+        black_box(client.pipeline(&batch_workload(3_000_000 + r)).unwrap());
+    }
+    let pipeline_rps = (ROUNDS * BATCH_SIZE) as f64 / t.elapsed().as_secs_f64();
+
+    BatchSpeedup {
+        single_rps,
+        batch_rps,
+        pipeline_rps,
+        bitwise_equal,
+    }
+}
+
+fn write_artifact(addr: &str, batch: &BatchSpeedup) {
     let mut client = Client::connect(addr).unwrap();
     let stats = client.stats().unwrap();
 
@@ -163,11 +268,26 @@ fn write_artifact(addr: &str) {
             stats.cache_hits as f64 / total as f64
         }
     ));
+    out.push_str(&format!(
+        "  \"batch\": {{\"batch_size\": {BATCH_SIZE}, \"single_rps\": {:.0}, \
+         \"batch_rps\": {:.0}, \"pipeline_rps\": {:.0}, \"batch_speedup\": {:.2}, \
+         \"pipeline_speedup\": {:.2}, \"bitwise_equal\": {}}},\n",
+        batch.single_rps,
+        batch.batch_rps,
+        batch.pipeline_rps,
+        batch.batch_rps / batch.single_rps,
+        batch.pipeline_rps / batch.single_rps,
+        batch.bitwise_equal,
+    ));
     out.push_str(
         "  \"notes\": \"p50/p99 are server-side, read from the STATS log2-microsecond \
          histograms over the whole bench run (miss- and hit-shaped traffic mixed); \
          _hit cells in the criterion console output isolate cached responses, _miss \
-         cells isolate fresh evaluation.\"\n}\n",
+         cells isolate fresh evaluation. The batch section compares identical mixed \
+         entry/top-k workloads over three transports: serial single frames, one BATCH \
+         envelope, and pipelined single frames; *_rps are client-observed requests per \
+         second and bitwise_equal confirms batched payloads match the serial path \
+         byte for byte.\"\n}\n",
     );
     match std::fs::write(ARTIFACT_PATH, &out) {
         Ok(()) => eprintln!("serve: artifact written to {ARTIFACT_PATH}"),
@@ -183,7 +303,9 @@ fn bench_serve(c: &mut Criterion) {
     let (server, addr) = start_server(&dir);
 
     bench_opcodes(c, &addr);
-    write_artifact(&addr);
+    bench_batch(c, &addr);
+    let speedup = measure_batch_speedup(&addr);
+    write_artifact(&addr, &speedup);
 
     let mut admin = Client::connect(&addr).unwrap();
     admin.shutdown().unwrap();

@@ -48,17 +48,45 @@
 //! `TPCP_MMAP` is off), and a corrupted factor fails the same way a
 //! corrupted swap page does.
 //!
+//! # Residency: owned vs shared-mmap
+//!
+//! A model can be resident in two ways ([`Model::residency`]):
+//!
+//! * [`Residency::Owned`] — factors decoded into owned matrices
+//!   ([`Model::from_bytes`], [`Model::load_with`] buffered);
+//! * [`Residency::Mapped`] — [`Model::load_shared`] validates the whole
+//!   container once (checksums, shapes) and then reads the factor slabs
+//!   *in place* from one shared, page-aligned memory map. Queries borrow
+//!   `&[f64]` views straight out of the map — zero copies per query —
+//!   and cloning the model clones an `Arc` of the map, so a serving
+//!   registry holds exactly one mapping per model version. Because the
+//!   map is `MAP_SHARED` over an immutable file that writers replace via
+//!   atomic rename ([`Model::save`]), a hot swap never mutates pages
+//!   under a live reader: sessions pinned to the old version keep the old
+//!   inode's mapping alive until the last `Arc` drops.
+//!
+//! Both residencies answer every query bitwise-identically: the slab
+//! bytes are the same little-endian `f64`s either way, and all heavy
+//! products go through the shared kernel seam
+//! ([`tpcp_linalg::matmul_t_slices`]) with its accumulation-order
+//! contract.
+//!
 //! Besides persistence, [`Model`] is the shared query surface: the
 //! serving daemon (`tpcp-serve`) and in-process verification both answer
 //! entry/fiber/slice/top-k/similarity questions through these methods,
 //! which is what makes served answers bitwise-comparable to local ones.
+//! The batched variants ([`Model::entries`], [`Model::fibers`],
+//! [`Model::rows`]) evaluate many queries in one pass per factor matrix
+//! (gather rows → one matmul-shaped product instead of N dot loops) and
+//! are guaranteed bitwise-identical to looping the single-query methods.
 
 use crate::{config::TwoPcpConfig, driver::TwoPcpOutcome, Result, TwoPcpError};
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 use tpcp_compress::CompressProvenance;
 use tpcp_cp::CpModel;
-use tpcp_linalg::Mat;
+use tpcp_linalg::{gather_rows, matmul_t_slices_auto, Mat};
 use tpcp_schedule::UnitId;
 use tpcp_storage::{codec, mmap_auto, UnitData};
 
@@ -103,13 +131,123 @@ pub struct ModelMeta {
     pub compress: Option<CompressProvenance>,
 }
 
-/// A saved/loadable decomposition: metadata plus the CP model itself.
-#[derive(Clone, Debug, PartialEq)]
+/// How a model's factors are resident in memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Residency {
+    /// Factors decoded into owned matrices.
+    Owned,
+    /// Factors read zero-copy out of a shared memory map of the
+    /// container file ([`Model::load_shared`]).
+    Mapped,
+}
+
+impl Residency {
+    /// Human-readable label (`"owned"` / `"mapped"`), used by the serving
+    /// smoke and status output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Residency::Owned => "owned",
+            Residency::Mapped => "mapped",
+        }
+    }
+}
+
+/// A borrowed view of one factor matrix: `rows × cols`, row-major. For
+/// owned models it borrows the matrix's buffer; for mapped models it
+/// borrows the container's memory map directly.
+#[derive(Clone, Copy)]
+pub struct FactorView<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a> FactorView<'a> {
+    /// Number of rows (`I_h`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    /// Number of columns (the rank `F`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    /// The whole factor, row-major.
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.data
+    }
+    /// Row `r`.
+    pub fn row(&self, r: usize) -> &'a [f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+    /// Materialises an owned copy.
+    pub fn to_mat(&self) -> Mat {
+        Mat::from_vec(self.rows, self.cols, self.data.to_vec())
+    }
+}
+
+/// Factors resident in a shared memory map: the map itself plus, per
+/// mode, the absolute byte offset and shape of its `f64` slab.
+#[derive(Clone)]
+struct MappedFactors {
+    map: Arc<memmap2::Mmap>,
+    weights: Vec<f64>,
+    /// Per mode: (byte offset of the slab within the map, rows, cols).
+    slabs: Vec<(usize, usize, usize)>,
+}
+
+impl MappedFactors {
+    fn slab(&self, mode: usize) -> &[f64] {
+        let (off, rows, cols) = self.slabs[mode];
+        let n = rows * cols;
+        let bytes = &self.map[off..off + n * 8];
+        debug_assert_eq!(bytes.as_ptr() as usize % 8, 0, "slab alignment");
+        // SAFETY: the offset was validated 8-aligned at load time (and
+        // the container layout guarantees it — pages start on 8-byte
+        // boundaries of a page-aligned map, slabs at +32); `f64` accepts
+        // any bit pattern; this build is little-endian (checked at load),
+        // so the mapped bytes *are* the in-memory representation. The
+        // borrow keeps the `Arc<Mmap>` alive for the slice's lifetime.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), n) }
+    }
+}
+
+#[derive(Clone)]
+enum FactorStore {
+    Owned(CpModel),
+    Mapped(MappedFactors),
+}
+
+/// A saved/loadable decomposition: metadata plus the weighted factors,
+/// resident either as owned matrices or zero-copy over a shared memory
+/// map of the container (see [`Residency`]).
+#[derive(Clone)]
 pub struct Model {
     /// Descriptive metadata (see [`ModelMeta`]).
     pub meta: ModelMeta,
-    /// The underlying weighted factors.
-    pub cp: CpModel,
+    store: FactorStore,
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Model")
+            .field("meta", &self.meta)
+            .field("residency", &self.residency())
+            .finish()
+    }
+}
+
+impl PartialEq for Model {
+    /// Value equality: same metadata, same weights, same factor entries —
+    /// regardless of residency (a mapped model equals its owned decode).
+    fn eq(&self, other: &Self) -> bool {
+        if self.meta != other.meta || self.weights() != other.weights() {
+            return false;
+        }
+        (0..self.order()).all(|h| {
+            let (a, b) = (self.factor(h), other.factor(h));
+            (a.rows(), a.cols()) == (b.rows(), b.cols()) && a.as_slice() == b.as_slice()
+        })
+    }
 }
 
 fn model_err(reason: impl Into<String>) -> TwoPcpError {
@@ -139,7 +277,10 @@ impl Model {
                 cp.dims()
             )));
         }
-        Ok(Model { meta, cp })
+        Ok(Model {
+            meta,
+            store: FactorStore::Owned(cp),
+        })
     }
 
     /// Promotes a driver outcome into a named artifact, recording the
@@ -156,23 +297,82 @@ impl Model {
                 parts: config.parts.clone(),
                 compress: outcome.compress.clone(),
             },
-            cp: outcome.model.clone(),
+            store: FactorStore::Owned(outcome.model.clone()),
         }
     }
 
     /// Decomposition rank `F`.
     pub fn rank(&self) -> usize {
-        self.cp.rank()
+        self.weights().len()
     }
 
     /// Tensor order `N`.
     pub fn order(&self) -> usize {
-        self.cp.order()
+        match &self.store {
+            FactorStore::Owned(cp) => cp.order(),
+            FactorStore::Mapped(m) => m.slabs.len(),
+        }
     }
 
     /// Tensor shape.
     pub fn dims(&self) -> Vec<usize> {
-        self.cp.dims()
+        (0..self.order()).map(|h| self.factor(h).rows()).collect()
+    }
+
+    /// How the factors are resident (owned matrices vs shared mmap).
+    pub fn residency(&self) -> Residency {
+        match &self.store {
+            FactorStore::Owned(_) => Residency::Owned,
+            FactorStore::Mapped(_) => Residency::Mapped,
+        }
+    }
+
+    /// The component weights λ.
+    pub fn weights(&self) -> &[f64] {
+        match &self.store {
+            FactorStore::Owned(cp) => &cp.weights,
+            FactorStore::Mapped(m) => &m.weights,
+        }
+    }
+
+    /// A borrowed view of mode `mode`'s factor matrix.
+    ///
+    /// # Panics
+    /// Panics when `mode >= self.order()` (use [`Model::factor_checked`]
+    /// for untrusted input).
+    pub fn factor(&self, mode: usize) -> FactorView<'_> {
+        match &self.store {
+            FactorStore::Owned(cp) => {
+                let f = &cp.factors[mode];
+                FactorView {
+                    data: f.as_slice(),
+                    rows: f.rows(),
+                    cols: f.cols(),
+                }
+            }
+            FactorStore::Mapped(m) => {
+                let (_, rows, cols) = m.slabs[mode];
+                FactorView {
+                    data: m.slab(mode),
+                    rows,
+                    cols,
+                }
+            }
+        }
+    }
+
+    /// Materialises an owned [`CpModel`] (a cheap borrow for owned
+    /// residency is impossible here because mapped factors have no
+    /// backing `Mat`s; this copies in that case).
+    pub fn to_cp(&self) -> CpModel {
+        match &self.store {
+            FactorStore::Owned(cp) => cp.clone(),
+            FactorStore::Mapped(m) => CpModel::new(
+                m.weights.clone(),
+                (0..self.order()).map(|h| self.factor(h).to_mat()).collect(),
+            )
+            .expect("mapped factors validated at load"),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -198,10 +398,10 @@ impl Model {
         let sum = codec::fnv1a(&out);
         out.extend_from_slice(&sum.to_le_bytes());
         pad8(&mut out);
-        for (h, factor) in self.cp.factors.iter().enumerate() {
+        for h in 0..self.order() {
             let page = codec::encode(&UnitData {
                 unit: UnitId::new(h, 0),
-                factor: factor.clone(),
+                factor: self.factor(h).to_mat(),
                 sub_factors: Vec::new(),
             });
             out.extend_from_slice(&(page.len() as u64).to_le_bytes());
@@ -212,7 +412,10 @@ impl Model {
     }
 
     /// Writes the container to `path`, atomically (write to a sibling
-    /// temp file, then rename over the destination).
+    /// temp file, then rename over the destination). The rename is what
+    /// makes hot swaps safe for mapped readers: the old inode is never
+    /// mutated, so live [`Residency::Mapped`] models keep reading
+    /// consistent bytes until their map drops.
     ///
     /// # Errors
     /// [`TwoPcpError::Storage`] on I/O failure.
@@ -232,8 +435,9 @@ impl Model {
         Ok(())
     }
 
-    /// Loads a container from `path`, honouring the `TPCP_MMAP` default
-    /// for the read transport.
+    /// Loads a container from `path`, honouring the `TPCP_MMAP` default:
+    /// with mmap on this is [`Model::load_shared`] (zero-copy residency),
+    /// otherwise a buffered owned decode.
     ///
     /// # Errors
     /// [`TwoPcpError::Storage`] on I/O failure, [`TwoPcpError::Model`]
@@ -243,79 +447,62 @@ impl Model {
     }
 
     /// Loads a container, choosing the transport explicitly: `mmap`
-    /// parses straight out of the mapping; otherwise the file is read
-    /// into a buffer first.
+    /// routes through [`Model::load_shared`] (factors stay resident in
+    /// the map); otherwise the file is read into a buffer and decoded
+    /// into owned matrices.
     pub fn load_with(path: impl AsRef<Path>, mmap: bool) -> Result<Self> {
         let path = path.as_ref();
         if mmap {
-            let file = std::fs::File::open(path)?;
-            if let Ok(map) = unsafe { memmap2::Mmap::map(&file) } {
-                map.advise_willneed(0, map.len());
-                return Self::from_bytes(&map);
-            }
-            // Mapping can fail (empty file, exotic fs) — fall through to
-            // the buffered read, which reports the real parse error.
+            return Self::load_shared(path);
         }
         Self::from_bytes(&std::fs::read(path)?)
     }
 
-    /// Parses a container from bytes (the inverse of [`Model::to_bytes`]).
+    /// Loads a container as a shared-mmap resident model: the whole file
+    /// is validated once (header checksum, per-page checksums, shapes),
+    /// then queries read the factor slabs zero-copy out of one shared
+    /// memory map. Falls back to an owned decode when the platform or
+    /// container layout is not eligible (mapping failure, big-endian
+    /// target, legacy codec-v1 pages) — the returned model then reports
+    /// [`Residency::Owned`].
+    ///
+    /// # Errors
+    /// [`TwoPcpError::Storage`] on I/O failure, [`TwoPcpError::Model`]
+    /// on a malformed or corrupted container.
+    pub fn load_shared(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path)?;
+        let map = match unsafe { memmap2::Mmap::map(&file) } {
+            Ok(map) => map,
+            // Mapping can fail (empty file, exotic fs) — fall back to
+            // the buffered read, which reports the real parse error.
+            Err(_) => return Self::from_bytes(&std::fs::read(path)?),
+        };
+        map.advise_willneed(0, map.len());
+        #[cfg(target_endian = "little")]
+        {
+            Self::from_mapped(map)
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            Self::from_bytes(&map)
+        }
+    }
+
+    /// Parses a container from bytes into an owned-residency model (the
+    /// inverse of [`Model::to_bytes`]).
     ///
     /// # Errors
     /// [`TwoPcpError::Model`] describing the first malformed field; all
     /// length fields are bounds-checked before use, so truncated or
     /// hostile inputs fail cleanly instead of panicking.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        if bytes.len() < 16 {
-            return Err(model_err("container shorter than its fixed header"));
-        }
-        if &bytes[0..8] != MODEL_MAGIC {
-            return Err(model_err("bad magic: not a 2PCP model container"));
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version == 0 || version > MODEL_VERSION {
-            return Err(model_err(format!(
-                "unsupported container version {version} (expected 1..={MODEL_VERSION})"
-            )));
-        }
-        let meta_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
-        if meta_len > MAX_META_LEN {
-            return Err(model_err(format!(
-                "metadata length {meta_len} exceeds the {MAX_META_LEN}-byte cap"
-            )));
-        }
-        let meta_end = 16 + meta_len as usize;
-        if bytes.len() < meta_end + 8 {
-            return Err(model_err("container truncated inside the metadata block"));
-        }
-        let stored = u64::from_le_bytes(bytes[meta_end..meta_end + 8].try_into().unwrap());
-        let actual = codec::fnv1a(&bytes[..meta_end]);
-        if stored != actual {
-            return Err(model_err(format!(
-                "metadata checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
-            )));
-        }
-        let meta = decode_meta(&bytes[16..meta_end], version)?;
-
-        // Factor pages: length-prefixed, 8-aligned, one per mode.
-        let mut pos = align8(meta_end + 8);
+        let (meta, weights, mut pos) = parse_container_head(bytes)?;
         let mut factors = Vec::with_capacity(meta.dims.len());
         for h in 0..meta.dims.len() {
-            if bytes.len() < pos + 8 {
-                return Err(model_err(format!("container truncated before factor {h}")));
-            }
-            let page_len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
-            pos += 8;
-            let Some(end) = pos
-                .checked_add(page_len as usize)
-                .filter(|&e| e <= bytes.len())
-            else {
-                return Err(model_err(format!(
-                    "factor {h} page length {page_len} overruns the container"
-                )));
-            };
-            let unit = codec::decode(&bytes[pos..end])
-                .map_err(|e| model_err(format!("factor {h} page: {e}")))?;
+            let (page, next) = next_page(bytes, pos, h)?;
+            let unit =
+                codec::decode(page).map_err(|e| model_err(format!("factor {h} page: {e}")))?;
             if unit.unit != UnitId::new(h, 0) || !unit.sub_factors.is_empty() {
                 return Err(model_err(format!("factor {h} page carries the wrong unit")));
             }
@@ -329,11 +516,51 @@ impl Model {
                 )));
             }
             factors.push(unit.factor);
-            pos = align8(end);
+            pos = next;
         }
-        let cp = CpModel::new(meta_weights(&bytes[16..meta_end], &meta), factors)
+        let cp = CpModel::new(weights, factors)
             .map_err(|e| model_err(format!("factors disagree with metadata: {e}")))?;
         Model::new(meta, cp)
+    }
+
+    /// Validates a mapped container and records slab offsets instead of
+    /// decoding: one checksum pass at load, zero copies afterwards.
+    #[cfg(target_endian = "little")]
+    fn from_mapped(map: memmap2::Mmap) -> Result<Self> {
+        let bytes: &[u8] = &map;
+        let (meta, weights, mut pos) = parse_container_head(bytes)?;
+        if weights.len() != meta.rank {
+            return Err(model_err("factors disagree with metadata: weight arity"));
+        }
+        let mut slabs = Vec::with_capacity(meta.dims.len());
+        for h in 0..meta.dims.len() {
+            let (page, next) = next_page(bytes, pos, h)?;
+            match validate_model_page(page, h, meta.dims[h], meta.rank) {
+                Ok(()) => {}
+                // Legacy codec-v1 page: not slab-shaped — decode owned.
+                Err(PageIssue::Ineligible) => return Self::from_bytes(bytes),
+                Err(PageIssue::Corrupt(e)) => return Err(e),
+            }
+            // `pos` addresses the u64 page-length prefix; the page (and
+            // therefore the slab offset) starts just past it.
+            let slab_off = pos + 8 + codec::v2_slab_offset(0);
+            if !(bytes.as_ptr() as usize + slab_off).is_multiple_of(8) {
+                // Cannot happen with a page-aligned map and the 8-aligned
+                // container layout, but misalignment must never reach the
+                // unsafe slice cast — decode owned instead.
+                return Self::from_bytes(bytes);
+            }
+            slabs.push((slab_off, meta.dims[h], meta.rank));
+            pos = next;
+        }
+        Ok(Model {
+            meta,
+            store: FactorStore::Mapped(MappedFactors {
+                map: Arc::new(map),
+                weights,
+                slabs,
+            }),
+        })
     }
 
     fn encode_meta(&self) -> Vec<u8> {
@@ -365,7 +592,7 @@ impl Model {
                 out.extend_from_slice(&(d as u64).to_le_bytes());
             }
         }
-        for &w in &self.cp.weights {
+        for &w in self.weights() {
             out.extend_from_slice(&w.to_le_bytes());
         }
         out
@@ -381,7 +608,7 @@ impl Model {
     /// [`TwoPcpError::Model`] when `coords` has the wrong arity or an
     /// index is out of range.
     pub fn entry(&self, coords: &[usize]) -> Result<f64> {
-        let dims = self.cp.dims();
+        let dims = self.dims();
         if coords.len() != dims.len() {
             return Err(model_err(format!(
                 "entry wants {} coordinates, got {}",
@@ -389,15 +616,15 @@ impl Model {
                 coords.len()
             )));
         }
-        let mut prod = self.cp.weights.clone();
-        for (h, (&c, factor)) in coords.iter().zip(&self.cp.factors).enumerate() {
+        let mut prod = self.weights().to_vec();
+        for (h, &c) in coords.iter().enumerate() {
             if c >= dims[h] {
                 return Err(model_err(format!(
                     "coordinate {c} out of range for mode {h} (dim {})",
                     dims[h]
                 )));
             }
-            for (p, &a) in prod.iter_mut().zip(factor.row(c)) {
+            for (p, &a) in prod.iter_mut().zip(self.factor(h).row(c)) {
                 *p *= a;
             }
         }
@@ -409,7 +636,7 @@ impl Model {
     /// pinned to `fixed` (given in ascending mode order, `mode` omitted).
     pub fn fiber(&self, mode: usize, fixed: &[usize]) -> Result<Vec<f64>> {
         let prod = self.pinned_product(&[mode], fixed)?;
-        let a = &self.cp.factors[mode];
+        let a = self.factor(mode);
         Ok((0..a.rows()).map(|i| dot(a.row(i), &prod)).collect())
     }
 
@@ -422,22 +649,26 @@ impl Model {
         }
         let prod = self.pinned_product(&[mode_r, mode_c], fixed)?;
         // out = (A_r ⊙ prod) · A_cᵀ  — scale A_r's columns by the pinned
-        // product, then one matmul_t gives every (i, j) at once.
-        let mut scaled = self.cp.factors[mode_r].clone();
+        // product, then one matmul_t gives every (i, j) at once. The rhs
+        // factor is consumed as a raw slice so mapped residency pays no
+        // copy for it.
+        let mut scaled = self.factor(mode_r).to_mat();
         scaled.scale_columns(&prod);
-        scaled
-            .matmul_t(&self.cp.factors[mode_c])
-            .map_err(TwoPcpError::Linalg)
+        let c = self.factor(mode_c);
+        Ok(matmul_t_slices_auto(
+            scaled.as_slice(),
+            scaled.rows(),
+            scaled.cols(),
+            c.as_slice(),
+            c.rows(),
+        ))
     }
 
     /// The `k` largest entries of the mode-`mode` fiber at `fixed`,
     /// as `(index, value)` sorted by value descending (ties by index).
     pub fn top_k(&self, mode: usize, fixed: &[usize], k: usize) -> Result<Vec<(usize, f64)>> {
         let fiber = self.fiber(mode, fixed)?;
-        let mut ranked: Vec<(usize, f64)> = fiber.into_iter().enumerate().collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(k);
-        Ok(ranked)
+        Ok(rank_fiber(fiber, k))
     }
 
     /// Cosine similarity between rows `i` and `j` of mode `mode`'s factor
@@ -452,7 +683,7 @@ impl Model {
                 )));
             }
         }
-        Ok(weighted_cosine(a.row(i), a.row(j), &self.cp.weights))
+        Ok(weighted_cosine(a.row(i), a.row(j), self.weights()))
     }
 
     /// The `k` rows of mode `mode`'s factor most cosine-similar to `row`
@@ -469,18 +700,153 @@ impl Model {
         let anchor = a.row(row);
         let mut ranked: Vec<(usize, f64)> = (0..a.rows())
             .filter(|&r| r != row)
-            .map(|r| (r, weighted_cosine(anchor, a.row(r), &self.cp.weights)))
+            .map(|r| (r, weighted_cosine(anchor, a.row(r), self.weights())))
             .collect();
         ranked.sort_by(|x, y| y.1.total_cmp(&x.1).then(x.0.cmp(&y.0)));
         ranked.truncate(k);
         Ok(ranked)
     }
 
+    // ------------------------------------------------------------------
+    // Batched queries (one pass through the factors for many requests)
+    // ------------------------------------------------------------------
+
+    /// Reconstructs many tensor entries in one pass: per mode, the needed
+    /// factor rows are gathered once and multiplied into a `n × F`
+    /// product matrix, instead of walking all modes per query. Bitwise
+    /// identical to calling [`Model::entry`] per query (each component
+    /// sees the same multiplications in the same ascending-mode order,
+    /// and the final per-row sum accumulates ascending).
+    ///
+    /// # Errors
+    /// [`TwoPcpError::Model`] on the first query with wrong arity or an
+    /// out-of-range index (all-or-nothing; callers wanting per-query
+    /// isolation validate first).
+    pub fn entries(&self, queries: &[Vec<usize>]) -> Result<Vec<f64>> {
+        let dims = self.dims();
+        for coords in queries {
+            if coords.len() != dims.len() {
+                return Err(model_err(format!(
+                    "entry wants {} coordinates, got {}",
+                    dims.len(),
+                    coords.len()
+                )));
+            }
+            for (h, &c) in coords.iter().enumerate() {
+                if c >= dims[h] {
+                    return Err(model_err(format!(
+                        "coordinate {c} out of range for mode {h} (dim {})",
+                        dims[h]
+                    )));
+                }
+            }
+        }
+        let mut prod = broadcast_weights(self.weights(), queries.len());
+        let mut rows_scratch = Vec::with_capacity(queries.len());
+        for (h, view) in (0..dims.len()).map(|h| (h, self.factor(h))) {
+            rows_scratch.clear();
+            rows_scratch.extend(queries.iter().map(|q| q[h]));
+            let gathered = gather_rows(view.as_slice(), view.rows(), view.cols(), &rows_scratch);
+            prod.hadamard_assign(&gathered)
+                .expect("broadcast and gather shapes agree");
+        }
+        Ok((0..queries.len())
+            .map(|q| prod.row(q).iter().sum())
+            .collect())
+    }
+
+    /// Reconstructs many mode-`mode` fibers in one kernel product:
+    /// pinned products for all queries become an `n × F` matrix `P`, and
+    /// one `A⁽ᵐᵒᵈᵉ⁾ · Pᵀ` through the kernel seam yields every fiber as a
+    /// column. Bitwise identical to calling [`Model::fiber`] per query
+    /// (the kernel contract accumulates each output element ascending,
+    /// exactly like the single-query dot loop).
+    ///
+    /// # Errors
+    /// [`TwoPcpError::Model`] on the first invalid query (all-or-nothing).
+    pub fn fibers(&self, mode: usize, queries: &[Vec<usize>]) -> Result<Vec<Vec<f64>>> {
+        let mut p = broadcast_weights(self.weights(), queries.len());
+        let dims = self.dims();
+        if mode >= dims.len() {
+            return Err(model_err(format!(
+                "mode {mode} out of range for an order-{} tensor",
+                dims.len()
+            )));
+        }
+        let mut rows_scratch = Vec::with_capacity(queries.len());
+        for h in 0..dims.len() {
+            if h == mode {
+                continue;
+            }
+            // `fixed` omits the free mode: pinned index of mode h sits at
+            // position h (or h-1 past the free mode).
+            let at = if h < mode { h } else { h - 1 };
+            rows_scratch.clear();
+            for q in queries {
+                if q.len() + 1 != dims.len() {
+                    return Err(model_err(format!(
+                        "expected {} pinned coordinates, got {}",
+                        dims.len() - 1,
+                        q.len()
+                    )));
+                }
+                let c = q[at];
+                if c >= dims[h] {
+                    return Err(model_err(format!(
+                        "coordinate {c} out of range for mode {h} (dim {})",
+                        dims[h]
+                    )));
+                }
+                rows_scratch.push(c);
+            }
+            let view = self.factor(h);
+            let gathered = gather_rows(view.as_slice(), view.rows(), view.cols(), &rows_scratch);
+            p.hadamard_assign(&gathered)
+                .expect("broadcast and gather shapes agree");
+        }
+        // Degenerate arity check when no pinned mode existed to do it.
+        if dims.len() == 1 {
+            for q in queries {
+                if !q.is_empty() {
+                    return Err(model_err(format!(
+                        "expected 0 pinned coordinates, got {}",
+                        q.len()
+                    )));
+                }
+            }
+        }
+        let a = self.factor(mode);
+        let m = matmul_t_slices_auto(a.as_slice(), a.rows(), a.cols(), p.as_slice(), p.rows());
+        // Column q of the I × n product is query q's fiber.
+        Ok((0..queries.len())
+            .map(|q| (0..a.rows()).map(|i| m.get(i, q)).collect())
+            .collect())
+    }
+
+    /// Gathers factor rows of mode `mode` into a dense
+    /// `indices.len() × F` matrix (bulk row fetch for similarity-style
+    /// workloads).
+    ///
+    /// # Errors
+    /// [`TwoPcpError::Model`] on a bad mode or out-of-range index.
+    pub fn rows(&self, mode: usize, indices: &[usize]) -> Result<Mat> {
+        let a = self.factor_checked(mode)?;
+        for &r in indices {
+            if r >= a.rows() {
+                return Err(model_err(format!(
+                    "row {r} out of range for mode {mode} (dim {})",
+                    a.rows()
+                )));
+            }
+        }
+        Ok(gather_rows(a.as_slice(), a.rows(), a.cols(), indices))
+    }
+
     /// `λ_f · Π_{m ∉ free} A⁽ᵐ⁾[fixed_m, f]` — the component products with
     /// every non-free mode pinned. `fixed` lists one coordinate per pinned
     /// mode, ascending; `free` is the (small) set of unpinned modes.
     fn pinned_product(&self, free: &[usize], fixed: &[usize]) -> Result<Vec<f64>> {
-        let dims = self.cp.dims();
+        let dims = self.dims();
         for &m in free {
             if m >= dims.len() {
                 return Err(model_err(format!(
@@ -496,34 +862,54 @@ impl Model {
                 fixed.len()
             )));
         }
-        let mut prod = self.cp.weights.clone();
+        let mut prod = self.weights().to_vec();
         let mut pinned = fixed.iter();
-        for (h, factor) in self.cp.factors.iter().enumerate() {
+        for (h, &dim) in dims.iter().enumerate() {
             if free.contains(&h) {
                 continue;
             }
             let &c = pinned.next().expect("arity checked above");
-            if c >= dims[h] {
+            if c >= dim {
                 return Err(model_err(format!(
-                    "coordinate {c} out of range for mode {h} (dim {})",
-                    dims[h]
+                    "coordinate {c} out of range for mode {h} (dim {dim})"
                 )));
             }
-            for (p, &a) in prod.iter_mut().zip(factor.row(c)) {
+            for (p, &a) in prod.iter_mut().zip(self.factor(h).row(c)) {
                 *p *= a;
             }
         }
         Ok(prod)
     }
 
-    fn factor_checked(&self, mode: usize) -> Result<&Mat> {
-        self.cp.factors.get(mode).ok_or_else(|| {
-            model_err(format!(
+    fn factor_checked(&self, mode: usize) -> Result<FactorView<'_>> {
+        if mode >= self.order() {
+            return Err(model_err(format!(
                 "mode {mode} out of range for an order-{} tensor",
-                self.cp.order()
-            ))
-        })
+                self.order()
+            )));
+        }
+        Ok(self.factor(mode))
     }
+}
+
+/// Ranks a fiber's entries: value descending, ties by index, truncated to
+/// `k` — the single sort both [`Model::top_k`] and the batched serving
+/// path use, so they cannot drift.
+pub fn rank_fiber(fiber: Vec<f64>, k: usize) -> Vec<(usize, f64)> {
+    let mut ranked: Vec<(usize, f64)> = fiber.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+/// An `n × F` matrix whose every row is the weight vector λ — the seed of
+/// the batched per-query component products.
+fn broadcast_weights(weights: &[f64], n: usize) -> Mat {
+    let mut data = Vec::with_capacity(n * weights.len());
+    for _ in 0..n {
+        data.extend_from_slice(weights);
+    }
+    Mat::from_vec(n, weights.len(), data)
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -554,6 +940,126 @@ fn pad8(buf: &mut Vec<u8>) {
 
 fn align8(pos: usize) -> usize {
     pos.div_ceil(8) * 8
+}
+
+/// Validates the fixed header and metadata block: returns the decoded
+/// metadata, the trailing weight vector, and the (8-aligned) position of
+/// the first factor page's length prefix.
+fn parse_container_head(bytes: &[u8]) -> Result<(ModelMeta, Vec<f64>, usize)> {
+    if bytes.len() < 16 {
+        return Err(model_err("container shorter than its fixed header"));
+    }
+    if &bytes[0..8] != MODEL_MAGIC {
+        return Err(model_err("bad magic: not a 2PCP model container"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version == 0 || version > MODEL_VERSION {
+        return Err(model_err(format!(
+            "unsupported container version {version} (expected 1..={MODEL_VERSION})"
+        )));
+    }
+    let meta_len = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if meta_len > MAX_META_LEN {
+        return Err(model_err(format!(
+            "metadata length {meta_len} exceeds the {MAX_META_LEN}-byte cap"
+        )));
+    }
+    let meta_end = 16 + meta_len as usize;
+    if bytes.len() < meta_end + 8 {
+        return Err(model_err("container truncated inside the metadata block"));
+    }
+    let stored = u64::from_le_bytes(bytes[meta_end..meta_end + 8].try_into().unwrap());
+    let actual = codec::fnv1a(&bytes[..meta_end]);
+    if stored != actual {
+        return Err(model_err(format!(
+            "metadata checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+        )));
+    }
+    let meta = decode_meta(&bytes[16..meta_end], version)?;
+    let weights = meta_weights(&bytes[16..meta_end], &meta);
+    Ok((meta, weights, align8(meta_end + 8)))
+}
+
+/// Bounds-checks the length-prefixed page starting at `pos`; returns the
+/// page bytes and the (8-aligned) position of the next page.
+fn next_page(bytes: &[u8], pos: usize, h: usize) -> Result<(&[u8], usize)> {
+    if bytes.len() < pos + 8 {
+        return Err(model_err(format!("container truncated before factor {h}")));
+    }
+    let page_len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+    let start = pos + 8;
+    let Some(end) = start
+        .checked_add(page_len as usize)
+        .filter(|&e| e <= bytes.len())
+    else {
+        return Err(model_err(format!(
+            "factor {h} page length {page_len} overruns the container"
+        )));
+    };
+    Ok((&bytes[start..end], align8(end)))
+}
+
+#[cfg(target_endian = "little")]
+enum PageIssue {
+    /// Structurally sound but not slab-addressable (legacy v1 layout).
+    Ineligible,
+    Corrupt(TwoPcpError),
+}
+
+/// Validates one factor page for the mapped load path *without* decoding
+/// it: checksum, magic, shape and layout checks mirroring
+/// `codec::decode`, leaving the slab untouched in place.
+#[cfg(target_endian = "little")]
+fn validate_model_page(
+    page: &[u8],
+    h: usize,
+    rows: usize,
+    cols: usize,
+) -> std::result::Result<(), PageIssue> {
+    let corrupt = |msg: String| PageIssue::Corrupt(model_err(format!("factor {h} page: {msg}")));
+    if page.len() < codec::MAGIC.len() + 4 + 8 + 8 {
+        return Err(corrupt("page too small".into()));
+    }
+    let (body, trailer) = page.split_at(page.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let computed = codec::fnv1a(body);
+    if stored != computed {
+        return Err(corrupt(format!(
+            "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+        )));
+    }
+    if &body[..8] != codec::MAGIC.as_slice() {
+        return Err(corrupt("bad magic".into()));
+    }
+    let word = |i: usize| u32::from_le_bytes(body[i..i + 4].try_into().expect("4 bytes"));
+    if word(8) != codec::VERSION {
+        // v1 pages interleave headers with the payload; no contiguous
+        // slab to borrow.
+        return Err(PageIssue::Ineligible);
+    }
+    if body.len() < codec::v2_slab_offset(0) {
+        return Err(corrupt("truncated v2 header".into()));
+    }
+    let (mode, part) = (word(12), word(16));
+    let (page_rows, page_cols, subs) = (word(20) as usize, word(24) as usize, word(28));
+    if mode as usize != h || part != 0 || subs != 0 {
+        return Err(PageIssue::Corrupt(model_err(format!(
+            "factor {h} page carries the wrong unit"
+        ))));
+    }
+    if page_rows != rows || page_cols != cols {
+        return Err(PageIssue::Corrupt(model_err(format!(
+            "factor {h} is {page_rows}×{page_cols}, metadata says {rows}×{cols}"
+        ))));
+    }
+    let slab_bytes = rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or_else(|| corrupt("matrix size overflow".into()))?;
+    if body.len() - codec::v2_slab_offset(0) != slab_bytes {
+        return Err(corrupt("v2 slab length mismatch".into()));
+    }
+    Ok(())
 }
 
 /// A bounds-checked little-endian reader over the metadata block.
@@ -767,9 +1273,155 @@ mod tests {
     }
 
     #[test]
+    fn shared_load_is_mapped_and_bitwise_equal() {
+        let m = sample_model();
+        let dir = std::env::temp_dir().join(format!("tpcp_model_shared_{}", std::process::id()));
+        let path = dir.join("demo.2pcpm");
+        m.save(&path).unwrap();
+        let mapped = Model::load_shared(&path).unwrap();
+        assert_eq!(mapped.residency(), Residency::Mapped);
+        assert_eq!(mapped.residency().label(), "mapped");
+        assert_eq!(m.residency(), Residency::Owned);
+        // Factor views are bitwise-equal to the owned decode, and every
+        // query answers identically.
+        for h in 0..m.order() {
+            let (a, b) = (m.factor(h), mapped.factor(h));
+            assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(
+            m.entry(&[1, 2, 3]).unwrap().to_bits(),
+            mapped.entry(&[1, 2, 3]).unwrap().to_bits()
+        );
+        let (f1, f2) = (
+            m.fiber(1, &[2, 3]).unwrap(),
+            mapped.fiber(1, &[2, 3]).unwrap(),
+        );
+        assert!(f1.iter().zip(&f2).all(|(a, b)| a.to_bits() == b.to_bits()));
+        let (s1, s2) = (
+            m.slice(0, 2, &[1]).unwrap(),
+            mapped.slice(0, 2, &[1]).unwrap(),
+        );
+        assert!(s1
+            .as_slice()
+            .iter()
+            .zip(s2.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // Clones share the same map (one mapping per model).
+        let clone = mapped.clone();
+        assert_eq!(clone.residency(), Residency::Mapped);
+        assert_eq!(clone, mapped);
+        // A mapped model survives its file being replaced (atomic rename
+        // leaves the old inode's pages intact).
+        sample_model().save(&path).unwrap();
+        assert_eq!(
+            mapped.entry(&[0, 0, 0]).unwrap().to_bits(),
+            m.entry(&[0, 0, 0]).unwrap().to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_containers_are_rejected_by_shared_load_too() {
+        let dir = std::env::temp_dir().join(format!("tpcp_model_sharedbad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = sample_model().to_bytes();
+        // Flip a byte inside a factor page's slab region.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 24] ^= 0xff;
+        let path = dir.join("bad.2pcpm");
+        std::fs::write(&path, &bad).unwrap();
+        assert!(Model::load_shared(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_entries_match_singles_bitwise() {
+        for model in [sample_model(), {
+            let dir = std::env::temp_dir().join(format!("tpcp_model_batch_{}", std::process::id()));
+            let path = dir.join("demo.2pcpm");
+            sample_model().save(&path).unwrap();
+            let m = Model::load_shared(&path).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            m
+        }] {
+            let dims = model.dims();
+            let queries: Vec<Vec<usize>> = (0..17)
+                .map(|q| {
+                    dims.iter()
+                        .enumerate()
+                        .map(|(h, &d)| (q * 5 + h * 3) % d)
+                        .collect()
+                })
+                .collect();
+            let batched = model.entries(&queries).unwrap();
+            for (q, v) in queries.iter().zip(&batched) {
+                assert_eq!(
+                    v.to_bits(),
+                    model.entry(q).unwrap().to_bits(),
+                    "batched entry differs at {q:?} ({:?})",
+                    model.residency()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fibers_match_singles_bitwise() {
+        let model = sample_model();
+        let dims = model.dims();
+        for mode in 0..dims.len() {
+            let queries: Vec<Vec<usize>> = (0..9)
+                .map(|q| {
+                    (0..dims.len())
+                        .filter(|&h| h != mode)
+                        .map(|h| (q * 7 + h) % dims[h])
+                        .collect()
+                })
+                .collect();
+            let batched = model.fibers(mode, &queries).unwrap();
+            for (q, fib) in queries.iter().zip(&batched) {
+                let single = model.fiber(mode, q).unwrap();
+                assert_eq!(fib.len(), single.len());
+                for (a, b) in fib.iter().zip(&single) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "batched fiber differs: mode {mode}, fixed {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rows_gather_factor_rows() {
+        let model = sample_model();
+        let picked = model.rows(0, &[3, 0, 3]).unwrap();
+        assert_eq!(picked.shape(), (3, model.rank()));
+        assert_eq!(picked.row(0), model.factor(0).row(3));
+        assert_eq!(picked.row(1), model.factor(0).row(0));
+        assert!(model.rows(0, &[99]).is_err());
+        assert!(model.rows(9, &[0]).is_err());
+    }
+
+    #[test]
+    fn batched_bad_queries_are_errors() {
+        let model = sample_model();
+        assert!(model.entries(&[vec![0, 0]]).is_err()); // wrong arity
+        assert!(model.entries(&[vec![99, 0, 0]]).is_err()); // out of range
+        assert!(model.fibers(7, &[vec![0, 0]]).is_err()); // bad mode
+        assert!(model.fibers(0, &[vec![0]]).is_err()); // wrong arity
+        assert!(model.entries(&[]).unwrap().is_empty()); // empty batch ok
+    }
+
+    #[test]
     fn queries_match_dense_reconstruction() {
         let m = sample_model();
-        let x = m.cp.reconstruct_dense();
+        let x = m.to_cp().reconstruct_dense();
         let dims = m.dims();
         // Every entry, bitwise.
         for i in 0..dims[0] {

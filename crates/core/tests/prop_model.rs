@@ -75,10 +75,11 @@ proptest! {
         prop_assert_eq!(back.meta.fit.to_bits(), model.meta.fit.to_bits());
         prop_assert_eq!(&back.meta.schedule, &model.meta.schedule);
         prop_assert_eq!(&back.meta.parts, &model.meta.parts);
-        for (a, b) in back.cp.weights.iter().zip(&model.cp.weights) {
+        for (a, b) in back.weights().iter().zip(model.weights()) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
         }
-        for (fa, fb) in back.cp.factors.iter().zip(&model.cp.factors) {
+        for h in 0..model.order() {
+            let (fa, fb) = (back.factor(h), model.factor(h));
             prop_assert_eq!((fa.rows(), fa.cols()), (fb.rows(), fb.cols()));
             for (a, b) in fa.as_slice().iter().zip(fb.as_slice()) {
                 prop_assert_eq!(a.to_bits(), b.to_bits());
@@ -113,8 +114,8 @@ proptest! {
         bad[pos] ^= flip;
         if let Ok(m) = Model::from_bytes(&bad) {
             // If it decodes, it must be self-consistent.
-            prop_assert_eq!(m.cp.factors.len(), m.meta.dims.len());
-            prop_assert_eq!(m.cp.weights.len(), m.meta.rank);
+            prop_assert_eq!(m.order(), m.meta.dims.len());
+            prop_assert_eq!(m.weights().len(), m.meta.rank);
         }
     }
 

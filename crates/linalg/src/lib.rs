@@ -16,12 +16,14 @@
 //! repository is fully self-hosting; the kernels use blocked/reordered loops
 //! per the Rust performance guidelines rather than naive triple loops.
 
+pub mod batch;
 pub mod kernel;
 mod kr;
 mod mat;
 mod ops;
 pub mod solve;
 
+pub use batch::{gather_rows, matmul_t_slices, matmul_t_slices_auto};
 pub use kernel::{
     InvalidKernelName, Kernel, KernelKind, ReferenceKernel, TiledKernel, KERNEL_ENV_VAR,
 };

@@ -21,7 +21,8 @@ use tpcp_par::{par_chunks_mut, tile_rows_per_chunk, ParConfig};
 /// kernel itself is in that range. Both the implicit entry points and the
 /// explicit `*_par` variants apply this clamp (via [`ParConfig::clamped`]);
 /// it is result-neutral because the kernels are thread-count deterministic.
-const PAR_MIN_FLOPS: usize = 1 << 15;
+/// Shared with the slice-based entry points in [`crate::batch`].
+const PAR_MIN_FLOPS: usize = crate::batch::PAR_MIN_FLOPS;
 
 /// The budget used by the implicit (non-`_par`) entry points: the shared
 /// automatic budget when the operation is big enough, serial otherwise
@@ -166,6 +167,10 @@ impl Mat {
 
     /// `self · rhsᵀ` on an explicit thread budget and kernel backend.
     ///
+    /// Delegates to [`crate::batch::matmul_t_slices`], the slice-based
+    /// entry point the zero-copy serving path uses — one implementation,
+    /// so owned and memory-mapped operands cannot drift bitwise.
+    ///
     /// # Errors
     /// [`LinalgError::ShapeMismatch`] when `self.cols() != rhs.cols()`.
     pub fn matmul_t_kernel(&self, rhs: &Mat, par: &ParConfig, kind: KernelKind) -> Result<Mat> {
@@ -177,26 +182,15 @@ impl Mat {
             });
         }
         let (m, k) = self.shape();
-        let n = rhs.rows();
-        let mut out = Mat::zeros(m, n);
-        if n == 0 {
-            return Ok(out);
-        }
-        let kernel = kind.resolve();
-        let par = par.clamped(m * k * n, PAR_MIN_FLOPS);
-        let chunk_rows = tile_rows_per_chunk(m, par.threads(), kernel.row_tile());
-        par_chunks_mut(
-            &par,
-            out.as_mut_slice(),
-            chunk_rows * n,
-            |chunk_idx, chunk| {
-                let i0 = chunk_idx * chunk_rows;
-                let rows = chunk.len() / n;
-                let a_band = &self.as_slice()[i0 * k..(i0 + rows) * k];
-                kernel.matmul_t(a_band, rows, k, rhs.as_slice(), n, chunk);
-            },
-        );
-        Ok(out)
+        Ok(crate::batch::matmul_t_slices(
+            self.as_slice(),
+            m,
+            k,
+            rhs.as_slice(),
+            rhs.rows(),
+            par,
+            kind,
+        ))
     }
 
     /// Gram matrix `selfᵀ · self` (always square `cols × cols`, symmetric).

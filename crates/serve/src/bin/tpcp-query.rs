@@ -5,13 +5,17 @@
 //! tpcp-query --addr A --smoke [--verify FILE]
 //!                                     # one query of each opcode; with --verify,
 //!                                     # check answers bitwise against a local load
+//! tpcp-query --addr A --batch FILE    # send FILE's requests (one per line, or
+//!                                     # "-" for stdin) as one BATCH envelope and
+//!                                     # verify each answer bitwise against the
+//!                                     # serial single-frame path
 //! tpcp-query --addr A CMD [ARGS…]    # single commands:
 //!     ping | list | stats | reload | shutdown
 //!     meta NAME | entry NAME I J …  | fiber NAME MODE I … | topk NAME MODE K I …
 //!     similar NAME MODE ROW K
 //! ```
 
-use tpcp_serve::{Client, Opcode};
+use tpcp_serve::{request, BatchSub, Client, Opcode, Status};
 use twopcp::{Model, TwoPcp, TwoPcpConfig};
 
 fn fail(msg: impl AsRef<str>) -> ! {
@@ -25,6 +29,7 @@ fn main() {
     let mut prepare: Option<String> = None;
     let mut verify: Option<String> = None;
     let mut smoke = false;
+    let mut batch: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -33,6 +38,7 @@ fn main() {
             "--prepare" => prepare = it.next(),
             "--verify" => verify = it.next(),
             "--smoke" => smoke = true,
+            "--batch" => batch = it.next(),
             _ => rest.push(arg),
         }
     }
@@ -49,6 +55,9 @@ fn main() {
         Client::connect(&addr).unwrap_or_else(|e| fail(format!("connect {addr}: {e}")));
     if smoke {
         return run_smoke(&mut client, verify.as_deref());
+    }
+    if let Some(source) = batch {
+        return run_batch(&mut client, &source);
     }
     run_command(&mut client, &rest);
 }
@@ -112,6 +121,10 @@ fn run_smoke(client: &mut Client, verify: Option<&str>) {
             c.mlrank, c.core_shape, c.energy
         ),
         None => println!("smoke: two-phase model (no compression provenance)"),
+    }
+    match meta.residency {
+        Some(r) => println!("smoke: model is {}-resident server-side", r.label()),
+        None => println!("smoke: server did not report residency (pre-v2 server)"),
     }
     let order = meta.dims.len();
     if order < 2 {
@@ -187,6 +200,62 @@ fn run_smoke(client: &mut Client, verify: Option<&str>) {
         println!("smoke: all answers bitwise-equal to the local model");
     }
 
+    // BATCH: the same queries in one envelope must answer bitwise-equal
+    // to the single-frame path, and a bad sub must fail alone.
+    let subs = vec![
+        request::entry(&name, &origin),
+        request::top_k(&name, 0, &fixed, 3),
+        request::entry(&name, &[0]), // wrong arity: per-sub error
+        request::fiber(&name, 0, &fixed),
+    ];
+    let resps = client
+        .batch(&subs)
+        .unwrap_or_else(|e| fail(format!("BATCH: {e}")));
+    if resps[0].status != Status::Ok as u16
+        || resps[1].status != Status::Ok as u16
+        || resps[3].status != Status::Ok as u16
+    {
+        fail("BATCH: a valid sub-request failed");
+    }
+    if resps[2].status == Status::Ok as u16 {
+        fail("BATCH: malformed sub-request unexpectedly succeeded");
+    }
+    let batch_entry = tpcp_serve::decode_entry_payload(&resps[0].payload)
+        .unwrap_or_else(|e| fail(format!("BATCH entry decode: {e}")));
+    if batch_entry.to_bits() != entry.to_bits() {
+        fail("BATCH: entry answer not bitwise-equal to single-frame answer");
+    }
+    let batch_fiber = tpcp_serve::decode_fiber_payload(&resps[3].payload)
+        .unwrap_or_else(|e| fail(format!("BATCH fiber decode: {e}")));
+    if batch_fiber.len() != fiber.len()
+        || batch_fiber
+            .iter()
+            .zip(&fiber)
+            .any(|(a, b)| a.to_bits() != b.to_bits())
+    {
+        fail("BATCH: fiber answer not bitwise-equal to single-frame answer");
+    }
+    // Pipelining: responses must come back in request order.
+    let piped = client
+        .pipeline(&[
+            request::entry(&name, &origin),
+            request::ping(),
+            request::top_k(&name, 0, &fixed, 3),
+        ])
+        .unwrap_or_else(|e| fail(format!("pipeline: {e}")));
+    if piped.len() != 3
+        || piped.iter().any(|(s, _)| *s != Status::Ok as u16)
+        || !piped[1].1.is_empty()
+    {
+        fail("pipeline: out-of-order or failed responses");
+    }
+    let piped_entry = tpcp_serve::decode_entry_payload(&piped[0].1)
+        .unwrap_or_else(|e| fail(format!("pipeline entry decode: {e}")));
+    if piped_entry.to_bits() != entry.to_bits() {
+        fail("pipeline: entry answer not bitwise-equal to single-frame answer");
+    }
+    println!("smoke: BATCH + pipelining ok (per-sub isolation, ordered responses)");
+
     let stats = client
         .stats()
         .unwrap_or_else(|e| fail(format!("STATS: {e}")));
@@ -233,6 +302,108 @@ fn run_smoke(client: &mut Client, verify: Option<&str>) {
     println!(
         "smoke: PASS (reload gen {}, server asked to stop)",
         reload.generation
+    );
+}
+
+/// Parses one request line into a [`BatchSub`]. Lines use the same
+/// grammar as the single commands; blank lines and `#` comments are
+/// skipped by the caller.
+fn parse_request_line(line: &str) -> Result<BatchSub, String> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let idx = |s: &str| -> Result<usize, String> {
+        s.parse().map_err(|_| format!("not an index: {s:?}"))
+    };
+    let idxs = |ss: &[&str]| -> Result<Vec<usize>, String> { ss.iter().map(|s| idx(s)).collect() };
+    match toks.as_slice() {
+        ["ping"] => Ok(request::ping()),
+        ["meta", name] => Ok(request::meta(name)),
+        ["entry", name, coords @ ..] if !coords.is_empty() => {
+            Ok(request::entry(name, &idxs(coords)?))
+        }
+        ["fiber", name, mode, fixed @ ..] => Ok(request::fiber(name, idx(mode)?, &idxs(fixed)?)),
+        ["slice", name, mode_r, mode_c, fixed @ ..] => Ok(request::slice(
+            name,
+            idx(mode_r)?,
+            idx(mode_c)?,
+            &idxs(fixed)?,
+        )),
+        ["topk", name, mode, k, fixed @ ..] => {
+            Ok(request::top_k(name, idx(mode)?, &idxs(fixed)?, idx(k)?))
+        }
+        ["similar", name, mode, row, k] => {
+            Ok(request::similar(name, idx(mode)?, idx(row)?, idx(k)?))
+        }
+        _ => Err(format!("unrecognised request line: {line:?}")),
+    }
+}
+
+/// Sends the request list in `source` (a path, or `-` for stdin) as one
+/// BATCH envelope, then re-issues every sub on the serial single-frame
+/// path and verifies status + payload are bitwise identical.
+fn run_batch(client: &mut Client, source: &str) {
+    let text = if source == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| fail(format!("read stdin: {e}")));
+        buf
+    } else {
+        std::fs::read_to_string(source).unwrap_or_else(|e| fail(format!("read {source}: {e}")))
+    };
+    let mut subs = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        subs.push(parse_request_line(line).unwrap_or_else(|e| fail(e)));
+    }
+    if subs.is_empty() {
+        fail("no requests in batch input");
+    }
+    let resps = client
+        .batch(&subs)
+        .unwrap_or_else(|e| fail(format!("BATCH: {e}")));
+    // Serial reference path: the same frames one at a time (pipeline
+    // with one request per call degenerates to write-then-read).
+    let mut mismatches = 0usize;
+    let mut errors = 0usize;
+    for (i, (sub, resp)) in subs.iter().zip(&resps).enumerate() {
+        let serial = client
+            .pipeline(std::slice::from_ref(sub))
+            .unwrap_or_else(|e| fail(format!("serial request {i}: {e}")));
+        let (s_status, s_payload) = &serial[0];
+        let ok = resp.status == Status::Ok as u16;
+        if !ok {
+            errors += 1;
+        }
+        if resp.status != *s_status || resp.payload != *s_payload {
+            mismatches += 1;
+            eprintln!(
+                "batch: sub {i} differs from serial path (batch status {}, serial status {})",
+                resp.status, s_status
+            );
+        }
+        let label = Opcode::from_u8(resp.opcode)
+            .map(|o| o.name())
+            .unwrap_or("?");
+        println!(
+            "{i}\t{label}\tstatus={}\tbytes={}",
+            resp.status,
+            resp.payload.len()
+        );
+    }
+    if mismatches > 0 {
+        fail(format!(
+            "{mismatches}/{} sub-responses not bitwise-equal to the serial path",
+            subs.len()
+        ));
+    }
+    println!(
+        "batch: PASS ({} sub(s), {} error status(es), all bitwise-equal to serial path)",
+        subs.len(),
+        errors
     );
 }
 
@@ -327,9 +498,9 @@ fn run_command(client: &mut Client, rest: &[String]) {
             }
         }
         _ => fail(
-            "usage: tpcp-query [--addr A] (--smoke [--verify FILE] | ping | list | stats | \
-             reload | shutdown | meta NAME | entry NAME I… | fiber NAME MODE I… | \
-             topk NAME MODE K I… | similar NAME MODE ROW K)",
+            "usage: tpcp-query [--addr A] (--smoke [--verify FILE] | --batch FILE | ping | \
+             list | stats | reload | shutdown | meta NAME | entry NAME I… | \
+             fiber NAME MODE I… | topk NAME MODE K I… | similar NAME MODE ROW K)",
         ),
     }
 }

@@ -18,9 +18,12 @@
 //!   pinned model version so swaps self-invalidate;
 //! * [`metrics`] — per-opcode counters and log2-µs latency histograms,
 //!   served by the STATS opcode;
-//! * [`server`] — the bounded accept loop and session threads;
+//! * [`server`] — the bounded accept loop and pipelined session threads
+//!   (a reader decodes frame `k+1` while an evaluator answers frame
+//!   `k`, bounded by [`server::PIPELINE_DEPTH`] in-flight frames);
 //! * [`client`] — a blocking client used by `tpcp-query`, the
-//!   integration tests and the bench.
+//!   integration tests and the bench, with `batch()`/`pipeline()`
+//!   multi-request APIs and bounded `Busy` retry.
 //!
 //! The wire contract is specified in `docs/protocol.md`.
 
@@ -33,9 +36,16 @@ pub mod router;
 pub mod server;
 
 pub use cache::QueryCache;
-pub use client::{Client, MetaReport, ReloadReport, StatsReport};
+pub use client::{
+    decode_entry_payload, decode_fiber_payload, decode_meta_payload, decode_ranked, request,
+    Client, MetaReport, OpStat, ReloadReport, StatsReport, CLIENT_PIPELINE_WINDOW,
+};
 pub use metrics::{Metrics, OpSnapshot};
-pub use protocol::{Opcode, ProtoError, Status};
+pub use protocol::{
+    decode_batch_request, decode_batch_response, encode_batch_request, encode_batch_response,
+    BatchSub, BatchSubResponse, Opcode, ProtoError, Status, MAX_BATCH_SUBS, MIN_VERSION, VERSION,
+};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use router::{Router, SessionState};
+pub use server::PIPELINE_DEPTH;
 pub use server::{ServeOptions, Server, DEFAULT_ADDR};

@@ -72,7 +72,7 @@ fn main() {
         names.len(),
         names
             .iter()
-            .map(|n| n.as_str())
+            .map(|n| format!("{} ({})", n, snap[*n].model.residency().label()))
             .collect::<Vec<_>>()
             .join(", ")
     );

@@ -20,6 +20,8 @@ struct OpMetrics {
     count: AtomicU64,
     errors: AtomicU64,
     total_ns: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
 }
 
@@ -32,6 +34,11 @@ pub struct OpSnapshot {
     pub errors: u64,
     /// Summed handling time.
     pub total_ns: u64,
+    /// Request payload bytes received (header bytes excluded; BATCH
+    /// sub-requests account under their own opcodes).
+    pub bytes_in: u64,
+    /// Response payload bytes sent.
+    pub bytes_out: u64,
     /// Latency histogram (log2-µs buckets).
     pub buckets: Vec<u64>,
 }
@@ -86,6 +93,16 @@ impl Metrics {
         m.buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records payload byte traffic for `op` (request bytes in, response
+    /// bytes out). Kept separate from [`Metrics::record`] because BATCH
+    /// sub-requests account their latency under their own opcodes but
+    /// their envelope bytes under [`Opcode::Batch`].
+    pub fn record_bytes(&self, op: Opcode, bytes_in: u64, bytes_out: u64) {
+        let m = &self.ops[index_of(op)];
+        m.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        m.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+    }
+
     /// Snapshots one opcode's counters.
     pub fn snapshot(&self, op: Opcode) -> OpSnapshot {
         let m = &self.ops[index_of(op)];
@@ -93,6 +110,8 @@ impl Metrics {
             count: m.count.load(Ordering::Relaxed),
             errors: m.errors.load(Ordering::Relaxed),
             total_ns: m.total_ns.load(Ordering::Relaxed),
+            bytes_in: m.bytes_in.load(Ordering::Relaxed),
+            bytes_out: m.bytes_out.load(Ordering::Relaxed),
             buckets: m
                 .buckets
                 .iter()
@@ -128,5 +147,18 @@ mod tests {
         assert_eq!(s.buckets[10], 1); // [512,1024)µs
         assert_eq!(s.quantile_us(0.5), 2);
         assert_eq!(s.quantile_us(0.99), 1024);
+    }
+
+    #[test]
+    fn byte_counters_accumulate_per_opcode() {
+        let m = Metrics::new();
+        m.record_bytes(Opcode::GetEntry, 30, 8);
+        m.record_bytes(Opcode::GetEntry, 30, 8);
+        m.record_bytes(Opcode::Batch, 100, 200);
+        let e = m.snapshot(Opcode::GetEntry);
+        assert_eq!((e.bytes_in, e.bytes_out), (60, 16));
+        let b = m.snapshot(Opcode::Batch);
+        assert_eq!((b.bytes_in, b.bytes_out), (100, 200));
+        assert_eq!(m.snapshot(Opcode::Ping).bytes_in, 0);
     }
 }

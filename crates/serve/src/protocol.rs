@@ -5,27 +5,43 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"2PCP"
-//! 4       1     protocol version (currently 1)
+//! 4       1     protocol version (1 or 2)
 //! 5       1     opcode
 //! 6       2     status (u16 LE; 0 in requests, result code in responses)
 //! 8       4     payload length (u32 LE)
 //! 12      …     payload
 //! ```
 //!
+//! Version 2 adds the [`Opcode::Batch`] envelope (N sub-requests in one
+//! frame, N sub-responses back, per-sub status) and extends the STATS and
+//! MODEL_META response encodings. The server keeps speaking version 1 to
+//! version-1 clients: every response echoes the *request's* version byte
+//! and uses that version's encoding, so old clients work unchanged
+//! against a new server. Frames of either version may be pipelined on a
+//! connection — the server answers in request order.
+//!
 //! Defensive limits are asymmetric: requests are capped at 64 KiB (a
 //! hostile client cannot make the server allocate more than that before
 //! validation), responses at 16 MiB (a slice of a large model). A frame
 //! declaring more than the cap is rejected *before* any allocation and
-//! the connection is closed. Payload field encodings are documented per
-//! opcode in `docs/protocol.md`; the [`enc`]/[`Dec`] helpers here are the
-//! single implementation both the router and the client use.
+//! the connection is closed; the same pre-allocation discipline applies
+//! inside a BATCH envelope (sub count and per-sub lengths are validated
+//! against the bytes actually present before any sub is materialised).
+//! Payload field encodings are documented per opcode in
+//! `docs/protocol.md`; the [`enc`]/[`Dec`] helpers here are the single
+//! implementation both the router and the client use.
 
 use std::io::{Read, Write};
 
 /// Frame magic.
 pub const MAGIC: [u8; 4] = *b"2PCP";
-/// Protocol version spoken by this build.
-pub const VERSION: u8 = 1;
+/// Newest protocol version spoken by this build.
+pub const VERSION: u8 = 2;
+/// Oldest protocol version still accepted.
+pub const MIN_VERSION: u8 = 1;
+/// Most sub-requests one BATCH envelope may carry, enforced before any
+/// per-sub allocation.
+pub const MAX_BATCH_SUBS: u16 = 1024;
 /// Fixed frame-header length in bytes.
 pub const HEADER_LEN: usize = 12;
 /// Largest payload a server accepts in a request frame.
@@ -59,11 +75,14 @@ pub enum Opcode {
     Reload = 0x0a,
     /// Admin: stop the server after this response.
     Shutdown = 0x0b,
+    /// Version-2 envelope: N sub-requests in one frame, N sub-responses
+    /// back, each with its own status.
+    Batch = 0x0c,
 }
 
 impl Opcode {
     /// All opcodes, in wire order (drives STATS iteration and docs).
-    pub const ALL: [Opcode; 11] = [
+    pub const ALL: [Opcode; 12] = [
         Opcode::Ping,
         Opcode::ListModels,
         Opcode::ModelMeta,
@@ -75,6 +94,7 @@ impl Opcode {
         Opcode::Stats,
         Opcode::Reload,
         Opcode::Shutdown,
+        Opcode::Batch,
     ];
 
     /// Decodes a wire opcode byte.
@@ -96,6 +116,7 @@ impl Opcode {
             Opcode::Stats => "STATS",
             Opcode::Reload => "RELOAD",
             Opcode::Shutdown => "SHUTDOWN",
+            Opcode::Batch => "BATCH",
         }
     }
 }
@@ -143,6 +164,10 @@ impl Status {
 /// One decoded frame.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Frame {
+    /// Protocol version the peer wrote ([`MIN_VERSION`]..=[`VERSION`]).
+    /// The server echoes it in the response so v1 clients never see v2
+    /// headers or encodings.
+    pub version: u8,
     /// Raw opcode byte (kept raw so unknown opcodes can be reported).
     pub opcode: u8,
     /// Status field (0 in requests).
@@ -210,11 +235,24 @@ impl From<std::io::Error> for ProtoError {
 /// Convenience result alias for the protocol layer.
 pub type Result<T> = std::result::Result<T, ProtoError>;
 
-/// Writes one frame.
+/// Writes one frame at the current protocol [`VERSION`].
 pub fn write_frame(w: &mut impl Write, opcode: u8, status: u16, payload: &[u8]) -> Result<()> {
+    write_frame_versioned(w, VERSION, opcode, status, payload)
+}
+
+/// Writes one frame with an explicit version byte — the server uses this
+/// to echo the request frame's version back, so a v1 client never sees a
+/// v2 header.
+pub fn write_frame_versioned(
+    w: &mut impl Write,
+    version: u8,
+    opcode: u8,
+    status: u16,
+    payload: &[u8],
+) -> Result<()> {
     let mut header = [0u8; HEADER_LEN];
     header[0..4].copy_from_slice(&MAGIC);
-    header[4] = VERSION;
+    header[4] = version;
     header[5] = opcode;
     header[6..8].copy_from_slice(&status.to_le_bytes());
     header[8..12].copy_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -237,7 +275,7 @@ pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Frame> {
     if header[0..4] != MAGIC {
         return Err(ProtoError::BadMagic(header[0..4].try_into().unwrap()));
     }
-    if header[4] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&header[4]) {
         return Err(ProtoError::BadVersion(header[4]));
     }
     let status = u16::from_le_bytes(header[6..8].try_into().unwrap());
@@ -251,10 +289,125 @@ pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Frame> {
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     Ok(Frame {
+        version: header[4],
         opcode: header[5],
         status,
         payload,
     })
+}
+
+// ----------------------------------------------------------------------
+// BATCH envelope (protocol v2)
+// ----------------------------------------------------------------------
+
+/// One sub-request inside a BATCH envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchSub {
+    /// The sub-request's opcode byte (kept raw like [`Frame::opcode`]).
+    pub opcode: u8,
+    /// The sub-request's payload, encoded exactly as a single frame of
+    /// that opcode would be.
+    pub payload: Vec<u8>,
+}
+
+/// One sub-response inside a BATCH envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchSubResponse {
+    /// Echo of the sub-request's opcode.
+    pub opcode: u8,
+    /// The sub-request's own status — one bad sub fails alone.
+    pub status: u16,
+    /// The sub-response payload (an error message on non-Ok status).
+    pub payload: Vec<u8>,
+}
+
+/// Encodes a BATCH request payload:
+/// `u16 count`, then per sub `u8 opcode + u32 len + bytes`.
+pub fn encode_batch_request(subs: &[BatchSub]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + subs.iter().map(|s| 5 + s.payload.len()).sum::<usize>());
+    enc::u16(&mut out, subs.len() as u16);
+    for s in subs {
+        out.push(s.opcode);
+        enc::u32(&mut out, s.payload.len() as u32);
+        out.extend_from_slice(&s.payload);
+    }
+    out
+}
+
+/// Decodes a BATCH request payload. Defensive: the sub count is capped at
+/// [`MAX_BATCH_SUBS`] and every declared length is checked against the
+/// bytes actually present *before* the sub's payload is allocated, so a
+/// hostile envelope cannot reserve more memory than it shipped.
+pub fn decode_batch_request(payload: &[u8]) -> Result<Vec<BatchSub>> {
+    let mut d = Dec::new(payload);
+    let count = d.u16()?;
+    if count > MAX_BATCH_SUBS {
+        return Err(ProtoError::Malformed(format!(
+            "batch declares {count} subs, cap is {MAX_BATCH_SUBS}"
+        )));
+    }
+    let mut subs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let opcode = d.u8()?;
+        let len = d.u32()? as usize;
+        if len > d.remaining() {
+            return Err(ProtoError::Malformed(format!(
+                "batch sub declares {len} bytes, {} remain",
+                d.remaining()
+            )));
+        }
+        subs.push(BatchSub {
+            opcode,
+            payload: d.bytes_exact(len)?.to_vec(),
+        });
+    }
+    d.finish()?;
+    Ok(subs)
+}
+
+/// Encodes a BATCH response payload:
+/// `u16 count`, then per sub `u8 opcode + u16 status + u32 len + bytes`.
+pub fn encode_batch_response(subs: &[BatchSubResponse]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + subs.iter().map(|s| 7 + s.payload.len()).sum::<usize>());
+    enc::u16(&mut out, subs.len() as u16);
+    for s in subs {
+        out.push(s.opcode);
+        enc::u16(&mut out, s.status);
+        enc::u32(&mut out, s.payload.len() as u32);
+        out.extend_from_slice(&s.payload);
+    }
+    out
+}
+
+/// Decodes a BATCH response payload (same pre-allocation discipline as
+/// [`decode_batch_request`]).
+pub fn decode_batch_response(payload: &[u8]) -> Result<Vec<BatchSubResponse>> {
+    let mut d = Dec::new(payload);
+    let count = d.u16()?;
+    if count > MAX_BATCH_SUBS {
+        return Err(ProtoError::Malformed(format!(
+            "batch declares {count} subs, cap is {MAX_BATCH_SUBS}"
+        )));
+    }
+    let mut subs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let opcode = d.u8()?;
+        let status = d.u16()?;
+        let len = d.u32()? as usize;
+        if len > d.remaining() {
+            return Err(ProtoError::Malformed(format!(
+                "batch sub declares {len} bytes, {} remain",
+                d.remaining()
+            )));
+        }
+        subs.push(BatchSubResponse {
+            opcode,
+            status,
+            payload: d.bytes_exact(len)?.to_vec(),
+        });
+    }
+    d.finish()?;
+    Ok(subs)
 }
 
 // ----------------------------------------------------------------------
@@ -338,6 +491,10 @@ impl<'a> Dec<'a> {
     pub fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
+    /// Reads exactly `n` raw bytes (BATCH sub payloads).
+    pub fn bytes_exact(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
     /// Reads a `u16 LE`.
     pub fn u16(&mut self) -> Result<u16> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
@@ -377,9 +534,84 @@ mod tests {
         let mut buf = Vec::new();
         write_frame(&mut buf, Opcode::GetEntry as u8, 0, b"hello").unwrap();
         let f = read_frame(&mut Cursor::new(&buf), MAX_REQUEST_PAYLOAD).unwrap();
+        assert_eq!(f.version, VERSION);
         assert_eq!(f.opcode, Opcode::GetEntry as u8);
         assert_eq!(f.status, 0);
         assert_eq!(f.payload, b"hello");
+    }
+
+    #[test]
+    fn v1_frames_are_still_accepted() {
+        let mut buf = Vec::new();
+        write_frame_versioned(&mut buf, 1, Opcode::Ping as u8, 0, &[]).unwrap();
+        let f = read_frame(&mut Cursor::new(&buf), MAX_REQUEST_PAYLOAD).unwrap();
+        assert_eq!(f.version, 1);
+        // Versions outside [MIN_VERSION, VERSION] are rejected.
+        for bad in [0u8, VERSION + 1, 0xff] {
+            let mut buf = Vec::new();
+            write_frame_versioned(&mut buf, bad, Opcode::Ping as u8, 0, &[]).unwrap();
+            match read_frame(&mut Cursor::new(&buf), MAX_REQUEST_PAYLOAD) {
+                Err(ProtoError::BadVersion(v)) => assert_eq!(v, bad),
+                other => panic!("version {bad}: expected BadVersion, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_envelope_roundtrip() {
+        let subs = vec![
+            BatchSub {
+                opcode: Opcode::GetEntry as u8,
+                payload: vec![1, 2, 3],
+            },
+            BatchSub {
+                opcode: Opcode::TopK as u8,
+                payload: Vec::new(),
+            },
+        ];
+        let back = decode_batch_request(&encode_batch_request(&subs)).unwrap();
+        assert_eq!(back, subs);
+        let resps = vec![
+            BatchSubResponse {
+                opcode: Opcode::GetEntry as u8,
+                status: Status::Ok as u16,
+                payload: vec![9; 8],
+            },
+            BatchSubResponse {
+                opcode: Opcode::TopK as u8,
+                status: Status::BadRequest as u16,
+                payload: b"nope".to_vec(),
+            },
+        ];
+        let back = decode_batch_response(&encode_batch_response(&resps)).unwrap();
+        assert_eq!(back, resps);
+    }
+
+    #[test]
+    fn hostile_batch_envelopes_are_rejected_before_allocation() {
+        // Sub count over the cap.
+        let mut payload = Vec::new();
+        enc::u16(&mut payload, MAX_BATCH_SUBS + 1);
+        assert!(decode_batch_request(&payload).is_err());
+        // A sub declaring more bytes than the envelope carries.
+        let mut payload = Vec::new();
+        enc::u16(&mut payload, 1);
+        payload.push(Opcode::Ping as u8);
+        enc::u32(&mut payload, u32::MAX);
+        assert!(decode_batch_request(&payload).is_err());
+        assert!(decode_batch_response(&{
+            let mut p = Vec::new();
+            enc::u16(&mut p, 1);
+            p.push(Opcode::Ping as u8);
+            enc::u16(&mut p, 0);
+            enc::u32(&mut p, 1 << 30);
+            p
+        })
+        .is_err());
+        // Trailing garbage after the last sub.
+        let mut payload = encode_batch_request(&[]);
+        payload.push(0);
+        assert!(decode_batch_request(&payload).is_err());
     }
 
     #[test]

@@ -8,15 +8,35 @@
 //! mid-session never mixes versions within one connection. Error
 //! responses carry a human-readable message string as payload; the
 //! connection stays usable after any status except a frame-layer error.
+//!
+//! # BATCH dispatch (protocol v2)
+//!
+//! A BATCH envelope is unpacked into sub-requests and answered with one
+//! sub-response each, in order, with per-sub status — one bad sub fails
+//! alone. Homogeneous runs are *grouped* and evaluated through the bulk
+//! model entry points: all valid GET_ENTRY subs against one model become
+//! one [`Model::entries`] call, all valid GET_FIBER/TOP_K subs against
+//! one `(model, mode)` become one [`Model::fibers`] call — a single
+//! matmul-shaped pass through the factors instead of N dot loops.
+//! Grouping is transparent: the bulk paths are bitwise-identical to the
+//! single-query ones (guaranteed in `twopcp::model`), sub payloads share
+//! the query cache with single frames (identical bytes → identical key),
+//! and each sub still records once under its own opcode in [`Metrics`].
+//! Subs that fail pre-validation are routed through the ordinary single
+//! dispatch so their error messages are exactly what a single frame
+//! would have produced. SHUTDOWN and nested BATCH are rejected per-sub.
 
 use crate::cache::QueryCache;
 use crate::metrics::Metrics;
-use crate::protocol::{enc, Dec, Frame, Opcode, Status};
+use crate::protocol::{
+    decode_batch_request, enc, encode_batch_response, BatchSubResponse, Dec, Frame, Opcode, Status,
+    VERSION,
+};
 use crate::registry::{ModelEntry, ModelRegistry};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use twopcp::TwoPcpError;
+use twopcp::{rank_fiber, TwoPcpError};
 
 /// Ceiling on `k` in TOP_K / SIMILAR requests (defensive: bounds the
 /// response size independently of model shape).
@@ -87,8 +107,9 @@ pub struct Router {
 }
 
 impl Router {
-    /// Routes one request frame, recording latency and outcome in
-    /// [`Metrics`].
+    /// Routes one request frame, recording latency, outcome and payload
+    /// bytes in [`Metrics`]. Responses are encoded for the *frame's*
+    /// protocol version, so v1 clients get v1 bodies back.
     pub fn handle(&self, session: &mut SessionState, frame: &Frame) -> Response {
         let start = Instant::now();
         let Some(op) = Opcode::from_u8(frame.opcode) else {
@@ -98,29 +119,43 @@ impl Router {
                 format!("opcode {:#04x} not recognised", frame.opcode),
             );
         };
-        let resp = self.dispatch(session, op, &frame.payload);
+        let resp = self.dispatch(session, op, &frame.payload, frame.version);
         self.metrics
             .record(op, start.elapsed(), resp.status == Status::Ok);
+        self.metrics
+            .record_bytes(op, frame.payload.len() as u64, resp.payload.len() as u64);
         resp
     }
 
-    fn dispatch(&self, session: &mut SessionState, op: Opcode, payload: &[u8]) -> Response {
+    fn dispatch(
+        &self,
+        session: &mut SessionState,
+        op: Opcode,
+        payload: &[u8],
+        version: u8,
+    ) -> Response {
         match op {
             Opcode::Ping => Response::ok(Vec::new()),
             Opcode::ListModels => self.list_models(),
-            Opcode::Stats => self.stats(),
+            Opcode::Stats => self.stats(version),
             Opcode::Reload => self.reload(),
             Opcode::Shutdown => Response {
                 status: Status::Ok,
                 payload: Vec::new(),
                 shutdown: true,
             },
+            Opcode::Batch => {
+                if version < 2 {
+                    return Response::err(Status::BadRequest, "BATCH requires protocol version 2");
+                }
+                self.batch(session, payload, version)
+            }
             Opcode::ModelMeta
             | Opcode::GetEntry
             | Opcode::GetFiber
             | Opcode::GetSlice
             | Opcode::TopK
-            | Opcode::Similar => self.model_query(session, op, payload),
+            | Opcode::Similar => self.model_query(session, op, payload, version),
         }
     }
 
@@ -137,7 +172,7 @@ impl Router {
         Response::ok(out)
     }
 
-    fn stats(&self) -> Response {
+    fn stats(&self, version: u8) -> Response {
         let mut out = Vec::new();
         out.push(Opcode::ALL.len() as u8);
         for op in Opcode::ALL {
@@ -146,6 +181,12 @@ impl Router {
             enc::u64(&mut out, s.count);
             enc::u64(&mut out, s.errors);
             enc::u64(&mut out, s.total_ns);
+            // v2 rows carry byte accounting; a v1 client's decoder does
+            // not know these fields, so they are version-gated.
+            if version >= 2 {
+                enc::u64(&mut out, s.bytes_in);
+                enc::u64(&mut out, s.bytes_out);
+            }
             out.push(s.buckets.len() as u8);
             for b in s.buckets {
                 enc::u64(&mut out, b);
@@ -173,7 +214,13 @@ impl Router {
 
     /// All model-addressed opcodes: resolve the pin, consult the cache,
     /// evaluate on miss.
-    fn model_query(&self, session: &mut SessionState, op: Opcode, payload: &[u8]) -> Response {
+    fn model_query(
+        &self,
+        session: &mut SessionState,
+        op: Opcode,
+        payload: &[u8],
+        version: u8,
+    ) -> Response {
         let mut dec = Dec::new(payload);
         let name = match dec.string() {
             Ok(n) => n,
@@ -182,11 +229,11 @@ impl Router {
         let Some(entry) = session.resolve(&self.registry, &name) else {
             return Response::err(Status::UnknownModel, format!("no model named {name:?}"));
         };
-        if let Some(cached) = self.cache.get(op as u8, entry.version, payload) {
+        if let Some(cached) = self.cache.get(version, op as u8, entry.version, payload) {
             return Response::ok(cached);
         }
         let result = match op {
-            Opcode::ModelMeta => meta_response(&entry),
+            Opcode::ModelMeta => meta_response(&entry, version),
             Opcode::GetEntry => entry_response(&entry, dec),
             Opcode::GetFiber => fiber_response(&entry, dec),
             Opcode::GetSlice => slice_response(&entry, dec),
@@ -197,11 +244,284 @@ impl Router {
         match result {
             Ok(out) => {
                 self.cache
-                    .put(op as u8, entry.version, payload, out.clone());
+                    .put(version, op as u8, entry.version, payload, out.clone());
                 Response::ok(out)
             }
             Err(resp) => resp,
         }
+    }
+
+    /// The BATCH envelope: unpack, group, bulk-evaluate, reassemble in
+    /// request order.
+    fn batch(&self, session: &mut SessionState, payload: &[u8], version: u8) -> Response {
+        let subs = match decode_batch_request(payload) {
+            Ok(s) => s,
+            Err(e) => return Response::err(Status::BadRequest, e.to_string()),
+        };
+        let mut out: Vec<Option<BatchSubResponse>> = (0..subs.len()).map(|_| None).collect();
+        // Homogeneous runs eligible for bulk evaluation, keyed by the
+        // pinned model (and mode for fibers). Values are (sub index,
+        // decoded query, k-for-topk).
+        #[allow(clippy::type_complexity)]
+        let mut entry_groups: HashMap<String, (Arc<ModelEntry>, Vec<(usize, Vec<usize>)>)> =
+            HashMap::new();
+        #[allow(clippy::type_complexity)]
+        let mut fiber_groups: HashMap<
+            (String, usize, bool),
+            (Arc<ModelEntry>, Vec<(usize, Vec<usize>, u32)>),
+        > = HashMap::new();
+
+        for (i, sub) in subs.iter().enumerate() {
+            let resolved = Opcode::from_u8(sub.opcode);
+            let answered = match resolved {
+                None => Some(Response::err(
+                    Status::UnknownOpcode,
+                    format!("opcode {:#04x} not recognised", sub.opcode),
+                )),
+                Some(Opcode::Batch) => Some(Response::err(
+                    Status::BadRequest,
+                    "nested BATCH is not allowed",
+                )),
+                Some(Opcode::Shutdown) => Some(Response::err(
+                    Status::BadRequest,
+                    "SHUTDOWN is not allowed inside a BATCH",
+                )),
+                Some(Opcode::GetEntry) => {
+                    match self.classify_entry(session, version, &sub.payload) {
+                        Classified::Grouped(entry, coords) => {
+                            entry_groups
+                                .entry(entry.name.clone())
+                                .or_insert_with(|| (entry, Vec::new()))
+                                .1
+                                .push((i, coords));
+                            None
+                        }
+                        Classified::Answer(resp) => Some(resp),
+                    }
+                }
+                Some(op @ (Opcode::GetFiber | Opcode::TopK)) => {
+                    match self.classify_fiber(session, version, op, &sub.payload) {
+                        Classified::Grouped(entry, (mode, fixed, k)) => {
+                            fiber_groups
+                                .entry((entry.name.clone(), mode, op == Opcode::TopK))
+                                .or_insert_with(|| (entry, Vec::new()))
+                                .1
+                                .push((i, fixed, k));
+                            None
+                        }
+                        Classified::Answer(resp) => Some(resp),
+                    }
+                }
+                // Everything else rides as an ordinary single dispatch.
+                Some(op) => {
+                    let t = Instant::now();
+                    let resp = self.dispatch(session, op, &sub.payload, version);
+                    self.metrics
+                        .record(op, t.elapsed(), resp.status == Status::Ok);
+                    Some(resp)
+                }
+            };
+            if let Some(resp) = answered {
+                out[i] = Some(sub_response(sub.opcode, resp));
+            }
+        }
+
+        for (entry, members) in entry_groups.into_values() {
+            let t = Instant::now();
+            let queries: Vec<Vec<usize>> = members.iter().map(|(_, q)| q.clone()).collect();
+            let values = entry.model.entries(&queries);
+            let elapsed = t.elapsed() / members.len().max(1) as u32;
+            for (slot, (i, _)) in members.iter().enumerate() {
+                let resp = match &values {
+                    Ok(vs) => {
+                        let mut p = Vec::new();
+                        enc::f64(&mut p, vs[slot]);
+                        self.cache.put(
+                            version,
+                            Opcode::GetEntry as u8,
+                            entry.version,
+                            &subs[*i].payload,
+                            p.clone(),
+                        );
+                        Response::ok(p)
+                    }
+                    // Pre-validation makes this unreachable in practice;
+                    // surface it faithfully if it ever happens.
+                    Err(e) => Response::err(Status::Internal, e.to_string()),
+                };
+                self.metrics
+                    .record(Opcode::GetEntry, elapsed, resp.status == Status::Ok);
+                out[*i] = Some(sub_response(Opcode::GetEntry as u8, resp));
+            }
+        }
+
+        for ((_, mode, is_topk), (entry, members)) in fiber_groups {
+            let t = Instant::now();
+            let queries: Vec<Vec<usize>> = members.iter().map(|(_, q, _)| q.clone()).collect();
+            let fibers = entry.model.fibers(mode, &queries);
+            let elapsed = t.elapsed() / members.len().max(1) as u32;
+            let op = if is_topk {
+                Opcode::TopK
+            } else {
+                Opcode::GetFiber
+            };
+            for (slot, (i, _, k)) in members.iter().enumerate() {
+                let resp = match &fibers {
+                    Ok(fs) => {
+                        let p = if is_topk {
+                            ranked_payload(&rank_fiber(fs[slot].clone(), *k as usize))
+                        } else {
+                            let mut p = Vec::new();
+                            enc::u32(&mut p, fs[slot].len() as u32);
+                            for &v in &fs[slot] {
+                                enc::f64(&mut p, v);
+                            }
+                            p
+                        };
+                        self.cache.put(
+                            version,
+                            op as u8,
+                            entry.version,
+                            &subs[*i].payload,
+                            p.clone(),
+                        );
+                        Response::ok(p)
+                    }
+                    Err(e) => Response::err(Status::Internal, e.to_string()),
+                };
+                self.metrics.record(op, elapsed, resp.status == Status::Ok);
+                out[*i] = Some(sub_response(op as u8, resp));
+            }
+        }
+
+        let flat: Vec<BatchSubResponse> = out
+            .into_iter()
+            .map(|r| r.expect("every sub answered"))
+            .collect();
+        Response::ok(encode_batch_response(&flat))
+    }
+
+    /// Decodes and fully validates one GET_ENTRY sub. Valid queries join
+    /// the bulk group; cache hits and anything invalid are answered
+    /// immediately (the latter by the single dispatch path, so the error
+    /// message is exactly what a lone frame would get).
+    fn classify_entry(
+        &self,
+        session: &mut SessionState,
+        version: u8,
+        payload: &[u8],
+    ) -> Classified<Vec<usize>> {
+        let valid = (|| {
+            let mut dec = Dec::new(payload);
+            let name = dec.string().ok()?;
+            let entry = session.resolve(&self.registry, &name)?;
+            if let Some(cached) =
+                self.cache
+                    .get(version, Opcode::GetEntry as u8, entry.version, payload)
+            {
+                return Some((entry, None, Some(cached)));
+            }
+            let coords = dec.coords().ok()?;
+            dec.finish().ok()?;
+            let dims = entry.model.dims();
+            if coords.len() != dims.len() || coords.iter().zip(&dims).any(|(&c, &d)| c >= d) {
+                return None;
+            }
+            Some((entry, Some(coords), None))
+        })();
+        match valid {
+            Some((_, _, Some(cached))) => {
+                self.metrics
+                    .record(Opcode::GetEntry, std::time::Duration::ZERO, true);
+                Classified::Answer(Response::ok(cached))
+            }
+            Some((entry, Some(coords), None)) => Classified::Grouped(entry, coords),
+            _ => Classified::Answer(self.single_sub(session, Opcode::GetEntry, payload, version)),
+        }
+    }
+
+    /// Decodes and fully validates one GET_FIBER or TOP_K sub (same
+    /// policy as [`Router::classify_entry`]).
+    fn classify_fiber(
+        &self,
+        session: &mut SessionState,
+        version: u8,
+        op: Opcode,
+        payload: &[u8],
+    ) -> Classified<(usize, Vec<usize>, u32)> {
+        let valid = (|| {
+            let mut dec = Dec::new(payload);
+            let name = dec.string().ok()?;
+            let entry = session.resolve(&self.registry, &name)?;
+            if let Some(cached) = self.cache.get(version, op as u8, entry.version, payload) {
+                return Some((entry, None, Some(cached)));
+            }
+            let mode = dec.u16().ok()? as usize;
+            let k = if op == Opcode::TopK {
+                let k = dec.u32().ok()?;
+                if k > MAX_K {
+                    return None;
+                }
+                k
+            } else {
+                0
+            };
+            let fixed = dec.coords().ok()?;
+            dec.finish().ok()?;
+            let dims = entry.model.dims();
+            if mode >= dims.len() || fixed.len() + 1 != dims.len() {
+                return None;
+            }
+            let in_range = fixed
+                .iter()
+                .zip((0..dims.len()).filter(|&h| h != mode))
+                .all(|(&c, h)| c < dims[h]);
+            if !in_range {
+                return None;
+            }
+            Some((entry, Some((mode, fixed, k)), None))
+        })();
+        match valid {
+            Some((_, _, Some(cached))) => {
+                self.metrics.record(op, std::time::Duration::ZERO, true);
+                Classified::Answer(Response::ok(cached))
+            }
+            Some((entry, Some(q), None)) => Classified::Grouped(entry, q),
+            _ => Classified::Answer(self.single_sub(session, op, payload, version)),
+        }
+    }
+
+    /// Single-dispatch fallback for a batch sub, with its own metrics
+    /// record (exactly like a lone frame, minus the envelope bytes).
+    fn single_sub(
+        &self,
+        session: &mut SessionState,
+        op: Opcode,
+        payload: &[u8],
+        version: u8,
+    ) -> Response {
+        let t = Instant::now();
+        let resp = self.model_query(session, op, payload, version);
+        self.metrics
+            .record(op, t.elapsed(), resp.status == Status::Ok);
+        resp
+    }
+}
+
+/// Outcome of classifying one batch sub-request.
+enum Classified<Q> {
+    /// Joined a bulk-evaluation group (pinned entry + decoded query).
+    Grouped(Arc<ModelEntry>, Q),
+    /// Answered immediately (cache hit, validation failure, or a
+    /// non-groupable opcode).
+    Answer(Response),
+}
+
+fn sub_response(opcode: u8, resp: Response) -> BatchSubResponse {
+    BatchSubResponse {
+        opcode,
+        status: resp.status as u16,
+        payload: resp.payload,
     }
 }
 
@@ -220,7 +540,7 @@ fn bad(e: impl std::fmt::Display) -> Response {
     Response::err(Status::BadRequest, e.to_string())
 }
 
-fn meta_response(entry: &ModelEntry) -> QueryResult {
+fn meta_response(entry: &ModelEntry, version: u8) -> QueryResult {
     let m = &entry.model.meta;
     let mut out = Vec::new();
     enc::string(&mut out, &m.name);
@@ -254,6 +574,14 @@ fn meta_response(entry: &ModelEntry) -> QueryResult {
             }
         }
         None => out.push(0),
+    }
+    // Protocol-v2 tail: residency provenance (1 = mmap-resident,
+    // 0 = owned). v1 clients' decoders stop before this byte.
+    if version >= VERSION {
+        out.push(match entry.model.residency() {
+            twopcp::Residency::Mapped => 1,
+            twopcp::Residency::Owned => 0,
+        });
     }
     Ok(out)
 }

@@ -12,16 +12,35 @@
 //! Idle sessions wait in short `peek` timeouts so a shutdown is observed
 //! within ~250 ms even with clients connected; once a frame starts
 //! arriving the session switches to a long timeout to read it whole.
+//!
+//! # Pipelining
+//!
+//! Each session is a *pair* of threads: the reader (the session thread
+//! itself) decodes frames off the socket and pushes them onto a bounded
+//! in-flight queue; the evaluator pops them, routes, and writes the
+//! responses back on a cloned handle of the same stream. Because the
+//! queue is FIFO and a single evaluator drains it, responses always come
+//! back in request order — a client may therefore write frame k+1
+//! without waiting for response k, and the server decodes k+1 while k is
+//! still being evaluated. The queue is bounded at [`PIPELINE_DEPTH`]
+//! frames: a client that floods requests blocks in the kernel's socket
+//! buffer rather than growing server memory. Frame-layer faults
+//! (oversize, bad magic) are queued in-order too, so every response the
+//! client sees before the close is correctly sequenced.
 
 use crate::cache::QueryCache;
 use crate::metrics::Metrics;
-use crate::protocol::{read_frame, write_frame, Opcode, ProtoError, Status, MAX_REQUEST_PAYLOAD};
+use crate::protocol::{
+    read_frame, write_frame_versioned, Frame, Opcode, ProtoError, Status, MAX_REQUEST_PAYLOAD,
+    MIN_VERSION,
+};
 use crate::registry::ModelRegistry;
 use crate::router::{Router, SessionState};
 use std::io::ErrorKind;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -34,6 +53,9 @@ const IDLE_POLL: Duration = Duration::from_millis(250);
 const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
 /// Accept-loop sleep between polls when nothing is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Most frames a session holds decoded-but-unanswered (the pipelining
+/// in-flight bound).
+pub const PIPELINE_DEPTH: usize = 32;
 
 /// Server construction options.
 pub struct ServeOptions {
@@ -221,16 +243,60 @@ fn accept_loop(
 }
 
 /// Over the session limit: answer every arriving frame's slot with one
-/// `Busy` error and close.
+/// `Busy` error and close. Written at [`MIN_VERSION`] so clients of any
+/// protocol version can decode it.
 fn refuse_busy(mut stream: TcpStream) {
     let mut payload = Vec::new();
     crate::protocol::enc::string(&mut payload, "session limit reached");
-    let _ = write_frame(&mut stream, 0, Status::Busy as u16, &payload);
+    let _ = write_frame_versioned(&mut stream, MIN_VERSION, 0, Status::Busy as u16, &payload);
 }
 
-fn session_loop(mut stream: TcpStream, router: &Arc<Router>, shutdown: &Arc<AtomicBool>) {
+/// One unit of in-flight session work, queued in request order.
+enum SessionItem {
+    /// A decoded request frame awaiting evaluation.
+    Frame(Frame),
+    /// A frame-layer fault: answer it in-order, then the session closes.
+    Fault { status: Status, message: String },
+}
+
+/// A session: reader (this thread) + evaluator (spawned), joined on exit
+/// so the accept loop's active count stays accurate.
+fn session_loop(stream: TcpStream, router: &Arc<Router>, shutdown: &Arc<AtomicBool>) {
     let _ = stream.set_nodelay(true);
-    let mut session = SessionState::new();
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::sync_channel::<SessionItem>(PIPELINE_DEPTH);
+    // Set by the evaluator when it exits (write failure, shutdown), so
+    // the reader stops pulling frames nobody will answer.
+    let done = Arc::new(AtomicBool::new(false));
+
+    let eval_router = router.clone();
+    let eval_shutdown = shutdown.clone();
+    let eval_done = done.clone();
+    let evaluator = std::thread::Builder::new()
+        .name("tpcp-session-eval".into())
+        .spawn(move || {
+            evaluator_loop(write_half, rx, &eval_router, &eval_shutdown);
+            eval_done.store(true, Ordering::Release);
+        });
+    let Ok(evaluator) = evaluator else {
+        return;
+    };
+    reader_loop(stream, &tx, shutdown, &done);
+    drop(tx); // EOF for the evaluator once the queue drains
+    let _ = evaluator.join();
+}
+
+/// Decodes frames off the socket into the in-flight queue. The bounded
+/// `send` blocks when [`PIPELINE_DEPTH`] frames are unanswered — that is
+/// the pipelining backpressure.
+fn reader_loop(
+    mut stream: TcpStream,
+    tx: &mpsc::SyncSender<SessionItem>,
+    shutdown: &Arc<AtomicBool>,
+    done: &Arc<AtomicBool>,
+) {
     loop {
         // Idle wait: peek until a byte arrives so a frame is then read
         // whole under the long timeout (a timeout mid-`read_exact` would
@@ -241,7 +307,7 @@ fn session_loop(mut stream: TcpStream, router: &Arc<Router>, shutdown: &Arc<Atom
             Ok(0) => return, // orderly EOF
             Ok(_) => {}
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shutdown.load(Ordering::Acquire) {
+                if shutdown.load(Ordering::Acquire) || done.load(Ordering::Acquire) {
                     return;
                 }
                 continue;
@@ -251,9 +317,54 @@ fn session_loop(mut stream: TcpStream, router: &Arc<Router>, shutdown: &Arc<Atom
         let _ = stream.set_read_timeout(Some(FRAME_TIMEOUT));
         match read_frame(&mut stream, MAX_REQUEST_PAYLOAD) {
             Ok(frame) => {
+                if tx.send(SessionItem::Frame(frame)).is_err() {
+                    return; // evaluator gone
+                }
+            }
+            // Frame-layer failures: queue one in-order fault answer, then
+            // stop reading — the stream position is no longer trustworthy.
+            Err(ProtoError::TooLarge { declared, cap }) => {
+                let _ = tx.send(SessionItem::Fault {
+                    status: Status::TooLarge,
+                    message: format!("declared payload {declared} exceeds cap {cap}"),
+                });
+                return;
+            }
+            Err(ProtoError::BadMagic(_)) | Err(ProtoError::BadVersion(_)) => {
+                let _ = tx.send(SessionItem::Fault {
+                    status: Status::BadFrame,
+                    message: "bad frame header".to_string(),
+                });
+                return;
+            }
+            Err(_) => return, // truncation / disconnect mid-frame
+        }
+    }
+}
+
+/// Routes queued frames and writes responses — single consumer, so
+/// responses leave in exactly the order requests arrived.
+fn evaluator_loop(
+    mut stream: TcpStream,
+    rx: mpsc::Receiver<SessionItem>,
+    router: &Arc<Router>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let mut session = SessionState::new();
+    while let Ok(item) = rx.recv() {
+        match item {
+            SessionItem::Frame(frame) => {
                 let resp = router.handle(&mut session, &frame);
-                if write_frame(&mut stream, frame.opcode, resp.status as u16, &resp.payload)
-                    .is_err()
+                // Echo the request's protocol version so v1 clients get
+                // v1 headers (and v1 bodies, chosen by the router).
+                if write_frame_versioned(
+                    &mut stream,
+                    frame.version,
+                    frame.opcode,
+                    resp.status as u16,
+                    &resp.payload,
+                )
+                .is_err()
                 {
                     return;
                 }
@@ -262,34 +373,18 @@ fn session_loop(mut stream: TcpStream, router: &Arc<Router>, shutdown: &Arc<Atom
                     return;
                 }
             }
-            // Frame-layer failures: answer once if possible, then close —
-            // the stream position is no longer trustworthy.
-            Err(ProtoError::TooLarge { declared, cap }) => {
+            SessionItem::Fault { status, message } => {
                 let mut payload = Vec::new();
-                crate::protocol::enc::string(
-                    &mut payload,
-                    &format!("declared payload {declared} exceeds cap {cap}"),
-                );
-                let _ = write_frame(
+                crate::protocol::enc::string(&mut payload, &message);
+                let _ = write_frame_versioned(
                     &mut stream,
+                    MIN_VERSION,
                     Opcode::Ping as u8,
-                    Status::TooLarge as u16,
+                    status as u16,
                     &payload,
                 );
                 return;
             }
-            Err(ProtoError::BadMagic(_)) | Err(ProtoError::BadVersion(_)) => {
-                let mut payload = Vec::new();
-                crate::protocol::enc::string(&mut payload, "bad frame header");
-                let _ = write_frame(
-                    &mut stream,
-                    Opcode::Ping as u8,
-                    Status::BadFrame as u16,
-                    &payload,
-                );
-                return;
-            }
-            Err(_) => return, // truncation / disconnect mid-frame
         }
     }
 }

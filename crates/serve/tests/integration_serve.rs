@@ -241,9 +241,10 @@ fn session_limit_refuses_with_busy_then_recovers() {
     first.ping().unwrap();
 
     // Give the accept loop a moment to register the first session, then a
-    // second connection must be refused with Busy.
+    // second connection with retries disabled must fail fast with Busy.
     std::thread::sleep(std::time::Duration::from_millis(100));
     let mut second = Client::connect(&addr).unwrap();
+    second.set_busy_retry(0, std::time::Duration::from_millis(1));
     match second.ping() {
         Err(ProtoError::Remote { status, .. }) => {
             assert_eq!(status, Status::Busy as u16)
@@ -251,8 +252,22 @@ fn session_limit_refuses_with_busy_then_recovers() {
         other => panic!("expected Busy refusal, got {other:?}"),
     }
 
-    // Once the first session ends, a new one is admitted.
+    // A client with retries enabled rides out the saturation: it keeps
+    // reconnecting with backoff while the lone session slot is held, and
+    // succeeds once the first session ends.
+    let retrier = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.set_busy_retry(10, std::time::Duration::from_millis(30));
+            c.ping().expect("busy retry should outlast the saturation");
+        }
+    });
+    std::thread::sleep(std::time::Duration::from_millis(200));
     drop(first);
+    retrier.join().unwrap();
+
+    // The retried session has ended too, so a fresh one is admitted.
     std::thread::sleep(std::time::Duration::from_millis(600));
     let mut third = Client::connect(&addr).unwrap();
     third.ping().unwrap();

@@ -11,7 +11,9 @@ use std::sync::Arc;
 use tpcp_cp::CpModel;
 use tpcp_linalg::Mat;
 use tpcp_serve::protocol::{
-    enc, read_frame, write_frame, Dec, ProtoError, MAX_REQUEST_PAYLOAD, MAX_RESPONSE_PAYLOAD,
+    decode_batch_request, decode_batch_response, enc, encode_batch_request, encode_batch_response,
+    read_frame, write_frame, BatchSub, BatchSubResponse, Dec, ProtoError, MAX_BATCH_SUBS,
+    MAX_REQUEST_PAYLOAD, MAX_RESPONSE_PAYLOAD,
 };
 use tpcp_serve::{Client, ModelRegistry, Opcode, ProtoError as PE, ServeOptions, Server, Status};
 use twopcp::{Model, ModelMeta};
@@ -90,6 +92,80 @@ proptest! {
         let mut d = Dec::new(&soup);
         let _ = d.string();
         let _ = d.coords();
+    }
+
+    /// BATCH envelopes with ragged sub sizes (including empty payloads)
+    /// roundtrip exactly, request and response side.
+    #[test]
+    fn batch_envelopes_roundtrip_ragged(
+        shape in proptest::collection::vec((any::<u8>(), 0usize..48), 0..24),
+    ) {
+        let subs: Vec<BatchSub> = shape
+            .iter()
+            .map(|&(opcode, len)| BatchSub {
+                opcode,
+                payload: (0..len).map(|i| (i as u8).wrapping_mul(31) ^ opcode).collect(),
+            })
+            .collect();
+        let back = decode_batch_request(&encode_batch_request(&subs)).unwrap();
+        prop_assert_eq!(&back, &subs);
+
+        let resps: Vec<BatchSubResponse> = subs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| BatchSubResponse {
+                opcode: s.opcode,
+                status: (i % 7) as u16, // mixed OK and error statuses
+                payload: s.payload.clone(),
+            })
+            .collect();
+        let back = decode_batch_response(&encode_batch_response(&resps)).unwrap();
+        prop_assert_eq!(back, resps);
+    }
+
+    /// A BATCH request truncated anywhere strictly inside is an error,
+    /// never a panic or a silently shorter batch.
+    #[test]
+    fn batch_truncations_error_cleanly(
+        shape in proptest::collection::vec((any::<u8>(), 0usize..32), 1..12),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let subs: Vec<BatchSub> = shape
+            .iter()
+            .map(|&(opcode, len)| BatchSub { opcode, payload: vec![opcode; len] })
+            .collect();
+        let buf = encode_batch_request(&subs);
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        match decode_batch_request(&buf[..cut]) {
+            Ok(back) => {
+                prop_assert_eq!(cut, buf.len());
+                prop_assert_eq!(back, subs);
+            }
+            Err(_) => prop_assert!(cut < buf.len()),
+        }
+    }
+
+    /// Hostile counts and declared sub lengths are rejected before any
+    /// allocation proportional to the declared size: a tiny buffer that
+    /// declares a huge count or sub length must fail on the bytes it
+    /// has, not on what it promises.
+    #[test]
+    fn hostile_batch_declarations_rejected(
+        count in (MAX_BATCH_SUBS + 1)..=u16::MAX,
+        declared_len in (MAX_REQUEST_PAYLOAD + 1)..u32::MAX,
+    ) {
+        // Oversized count, no sub bytes at all.
+        let mut buf = Vec::new();
+        enc::u16(&mut buf, count);
+        prop_assert!(decode_batch_request(&buf).is_err());
+
+        // Valid count, one sub declaring more bytes than the buffer holds.
+        let mut buf = Vec::new();
+        enc::u16(&mut buf, 1);
+        buf.push(0x03);
+        enc::u32(&mut buf, declared_len);
+        buf.extend_from_slice(&[0xAB; 16]);
+        prop_assert!(decode_batch_request(&buf).is_err());
     }
 }
 
